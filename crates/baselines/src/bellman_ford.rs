@@ -1,0 +1,73 @@
+//! Round-synchronous parallel Bellman–Ford.
+//!
+//! The `r(v) = ∞` extreme of radius stepping (§3: "the substeps will run
+//! until all vertices are settled, and hence there will be a single step").
+//! Each round relaxes all edges out of the vertices whose distance changed
+//! in the previous round; rounds until fixpoint equal the maximum hop
+//! length of a shortest path.
+
+use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
+use rs_par::{atomic_vec, VertexSubset};
+
+/// Parallel Bellman–Ford; returns distances and the number of relaxation
+/// rounds until fixpoint.
+pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
+    let n = g.num_vertices();
+    let dist = atomic_vec(n, INF);
+    dist[s as usize].store(0);
+    let mut frontier = VertexSubset::single(n, s);
+    // Per-round snapshot of source distances: rounds are synchronous
+    // (Jacobi) so the round count is schedule-independent.
+    let mut snapshot: Vec<Dist> = vec![INF; n];
+    let mut rounds = 0;
+    while !frontier.is_empty() {
+        rounds += 1;
+        for u in frontier.to_ids() {
+            snapshot[u as usize] = dist[u as usize].load();
+        }
+        let snap = &snapshot;
+        frontier = edge_map(
+            g,
+            &frontier,
+            |u, v, w| {
+                let cand = snap[u as usize].saturating_add(w as Dist);
+                dist[v as usize].write_min(cand)
+            },
+            |_| true,
+        );
+        debug_assert!(rounds <= n, "negative cycle impossible with positive weights");
+    }
+    (dist.iter().map(|d| d.load()).collect(), rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_default;
+    use rs_graph::{gen, weights, WeightModel};
+
+    #[test]
+    fn agrees_with_dijkstra() {
+        let g = weights::reweight(&gen::grid2d(10, 10), WeightModel::paper_weighted(), 3);
+        let (bf, _) = bellman_ford(&g, 42);
+        assert_eq!(bf, dijkstra_default(&g, 42));
+    }
+
+    #[test]
+    fn rounds_bounded_by_hop_depth() {
+        let g = gen::path(20);
+        let (dist, rounds) = bellman_ford(&g, 0);
+        assert_eq!(dist[19], 19);
+        // 19 productive rounds + 1 empty-detection round.
+        assert_eq!(rounds, 20);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = CsrGraph::empty(1);
+        let (dist, rounds) = bellman_ford(&g, 0);
+        assert_eq!(dist, vec![0]);
+        // One round processes the source's (empty) edge list.
+        assert_eq!(rounds, 1);
+    }
+}

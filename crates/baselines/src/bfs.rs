@@ -1,0 +1,89 @@
+//! Breadth-first search: the paper's unweighted baseline.
+//!
+//! Tables 4–5 compare radius stepping's round counts against "a
+//! conventional BFS implementation"; [`bfs_par`] is the level-synchronous
+//! parallel BFS (one round per level, via `edge_map`), [`bfs_seq`] the
+//! queue-based sequential reference.
+
+use std::collections::VecDeque;
+
+use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
+use rs_par::{AtomicBitset, VertexSubset};
+
+/// Sequential BFS; returns hop distances (`INF` if unreachable).
+pub fn bfs_seq(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[s as usize] = 0;
+    let mut queue = VecDeque::from([s]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Level-synchronous parallel BFS; returns hop distances and the number of
+/// rounds (levels processed), the "BFS rounds" denominator of Table 5.
+pub fn bfs_par(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
+    let n = g.num_vertices();
+    let visited = AtomicBitset::new(n);
+    visited.set(s as usize);
+    let mut dist = vec![INF; n];
+    dist[s as usize] = 0;
+    let mut frontier = VertexSubset::single(n, s);
+    let mut level: Dist = 0;
+    let mut rounds = 0;
+    while !frontier.is_empty() {
+        rounds += 1;
+        level += 1;
+        frontier = edge_map(
+            g,
+            &frontier,
+            |_, v, _| visited.set(v as usize),
+            |v| !visited.get(v as usize),
+        );
+        for v in frontier.to_ids() {
+            dist[v as usize] = level;
+        }
+    }
+    (dist, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::gen;
+
+    #[test]
+    fn seq_and_par_agree_on_suite() {
+        for g in [gen::grid2d(9, 11), gen::scale_free(400, 3, 7), gen::path(30)] {
+            let a = bfs_seq(&g, 0);
+            let (b, _) = bfs_par(&g, 0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rounds_equal_eccentricity_plus_one() {
+        // The last round discovers nothing, so rounds = eccentricity + 1.
+        let g = gen::path(10);
+        let (dist, rounds) = bfs_par(&g, 0);
+        assert_eq!(dist[9], 9);
+        assert_eq!(rounds, 10);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreached() {
+        let g = gen::star(5);
+        let mut dist = bfs_seq(&g, 1);
+        assert_eq!(dist[0], 1);
+        assert_eq!(dist[1], 0);
+        dist.sort_unstable();
+        assert_eq!(dist, vec![0, 1, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Sequential Dijkstra, generic over the decrease-key heap.
+//!
+//! The correctness reference for every parallel solver in the workspace,
+//! and — with its heap parameter — the ablation subject for the
+//! preprocessing's priority-queue choice (Lemma 4.2 specifies Fibonacci
+//! heaps; the d-ary heap usually wins on constants).
+
+use rs_ds::{DaryHeap, DecreaseKeyHeap};
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+/// Single-source shortest paths with heap `H`; `dist[v] = INF` if
+/// unreachable.
+pub fn dijkstra<H: DecreaseKeyHeap>(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap = H::with_capacity(n);
+    dist[s as usize] = 0;
+    heap.push_or_decrease(s, 0);
+    while let Some((u, du)) = heap.pop_min() {
+        debug_assert_eq!(du, dist[u as usize]);
+        for (v, w) in g.edges(u) {
+            let cand = du + w as Dist;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push_or_decrease(v, cand);
+            }
+        }
+    }
+    dist
+}
+
+/// [`dijkstra`] with the default 4-ary heap.
+pub fn dijkstra_default(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+    dijkstra::<DaryHeap>(g, s)
+}
+
+/// Dijkstra that also returns the shortest-path tree: `parent[v]` is the
+/// predecessor of `v` on a shortest `s → v` path (`parent[s] = s`,
+/// `u32::MAX` if unreachable).
+pub fn dijkstra_with_parents(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut heap = DaryHeap::with_capacity(n);
+    dist[s as usize] = 0;
+    parent[s as usize] = s;
+    heap.push_or_decrease(s, 0);
+    while let Some((u, du)) = heap.pop_min() {
+        for (v, w) in g.edges(u) {
+            let cand = du + w as Dist;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                parent[v as usize] = u;
+                heap.push_or_decrease(v, cand);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the shortest path `s → t` from a parent array, or `None`
+/// if `t` is unreachable.
+pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
+    if parent[t as usize] == u32::MAX {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while parent[cur as usize] != cur {
+        cur = parent[cur as usize];
+        path.push(cur);
+        debug_assert!(path.len() <= parent.len(), "parent cycle");
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_ds::{FibonacciHeap, PairingHeap};
+    use rs_graph::{gen, weights, EdgeListBuilder, WeightModel};
+
+    fn diamond() -> CsrGraph {
+        // 0 -2- 1 -2- 3, 0 -5- 2 -1- 3: shortest 0->3 = 4 via 1.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 3, 2);
+        b.add_edge(0, 2, 5);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn hand_checked_distances() {
+        let d = dijkstra_default(&diamond(), 0);
+        assert_eq!(d, vec![0, 2, 5, 4]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let mut b = EdgeListBuilder::new(3);
+        b.add_edge(0, 1, 7);
+        let d = dijkstra_default(&b.build(), 0);
+        assert_eq!(d, vec![0, 7, INF]);
+    }
+
+    #[test]
+    fn all_heaps_agree() {
+        let g = weights::reweight(&gen::grid2d(12, 13), WeightModel::paper_weighted(), 4);
+        let a = dijkstra::<DaryHeap>(&g, 5);
+        let b = dijkstra::<PairingHeap>(&g, 5);
+        let c = dijkstra::<FibonacciHeap>(&g, 5);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn parents_form_shortest_paths() {
+        let g = weights::reweight(&gen::scale_free(200, 3, 2), WeightModel::paper_weighted(), 5);
+        let (dist, parent) = dijkstra_with_parents(&g, 0);
+        for t in 0..200u32 {
+            let path = extract_path(&parent, t).expect("connected");
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), t);
+            let mut acc = 0u64;
+            for w in path.windows(2) {
+                acc += g.arc_weight(w[0], w[1]).expect("path edge exists") as u64;
+            }
+            assert_eq!(acc, dist[t as usize], "path weight equals distance to {t}");
+        }
+    }
+
+    #[test]
+    fn source_distance_zero_path_trivial() {
+        let (_, parent) = dijkstra_with_parents(&diamond(), 2);
+        assert_eq!(extract_path(&parent, 2), Some(vec![2]));
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline shortest-path algorithms the paper builds on and compares
+//! against.
+//!
+//! * [`dijkstra`] — the sequential reference (§1), generic over the
+//!   decrease-key heap so the Fibonacci/pairing/d-ary trade-off can be
+//!   measured.
+//! * [`bfs`] — standard sequential BFS and level-synchronous parallel BFS;
+//!   the unweighted baseline of Tables 4–5.
+//! * [`bellman_ford`] — round-synchronous parallel Bellman–Ford, the
+//!   `r(v) = ∞` extreme of radius stepping.
+//! * [`delta_stepping`] — Meyer–Sanders ∆-stepping with the light/heavy
+//!   edge split, the algorithm radius stepping refines.
+//!
+//! Every solver returns exact distances (tested against each other), plus
+//! the step/phase counters used in the experiment harness.
+
+pub mod bellman_ford;
+pub mod bfs;
+pub mod delta_stepping;
+pub mod dijkstra;
+
+pub use bellman_ford::bellman_ford;
+pub use bfs::{bfs_par, bfs_seq};
+pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
+pub use dijkstra::{dijkstra, dijkstra_default, dijkstra_with_parents};

@@ -1,0 +1,37 @@
+//! Engine ablation: the parallel frontier engine (Algorithm 1) vs the
+//! treap-based Algorithm 2, on identical preprocessed inputs. Step counts
+//! are equal by construction (tested); this measures the constant-factor
+//! cost of the faithful BST bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rs_core::preprocess::{PreprocessConfig, Preprocessed};
+use rs_core::{EngineConfig, EngineKind};
+use rs_graph::{gen, weights, WeightModel};
+
+fn engines(c: &mut Criterion) {
+    let graphs = vec![
+        ("grid2d_3600", weights::reweight(&gen::grid2d(60, 60), WeightModel::paper_weighted(), 2)),
+        ("scale_free_4k", weights::reweight(&gen::scale_free(4000, 5, 8), WeightModel::paper_weighted(), 6)),
+    ];
+    for (name, g) in graphs {
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 16));
+        let mut group = c.benchmark_group(format!("engine/{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("frontier"), |b| {
+            b.iter(|| {
+                black_box(pre.sssp_with(0, EngineKind::Frontier, EngineConfig::default()).stats.steps)
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("bst"), |b| {
+            b.iter(|| {
+                black_box(pre.sssp_with(0, EngineKind::Bst, EngineConfig::default()).stats.steps)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

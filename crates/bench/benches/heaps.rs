@@ -1,0 +1,62 @@
+//! Heap ablation (DESIGN.md substitution S2): Lemma 4.2 prescribes
+//! Fibonacci heaps; this measures Fibonacci vs pairing vs 4-ary both as
+//! Dijkstra's queue and under a decrease-key-heavy synthetic storm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rs_baselines::dijkstra;
+use rs_ds::{DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap};
+use rs_graph::{gen, weights, WeightModel};
+
+fn storm<H: DecreaseKeyHeap>(n: u32, ops: usize, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heap = H::with_capacity(n as usize);
+    let mut acc = 0u64;
+    for i in 0..n {
+        heap.push_or_decrease(i, 1 << 40);
+    }
+    for _ in 0..ops {
+        match rng.random_range(0..4u32) {
+            0 => {
+                if let Some((_, k)) = heap.pop_min() {
+                    acc ^= k;
+                }
+            }
+            _ => {
+                heap.push_or_decrease(rng.random_range(0..n), rng.random_range(0..1 << 40));
+            }
+        }
+    }
+    acc
+}
+
+fn heaps(c: &mut Criterion) {
+    let g = weights::reweight(&gen::grid2d(80, 80), WeightModel::paper_weighted(), 3);
+    let mut group = c.benchmark_group("dijkstra_heap");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("dary"), |b| {
+        b.iter(|| black_box(dijkstra::<DaryHeap>(&g, 0)[6399]))
+    });
+    group.bench_function(BenchmarkId::from_parameter("pairing"), |b| {
+        b.iter(|| black_box(dijkstra::<PairingHeap>(&g, 0)[6399]))
+    });
+    group.bench_function(BenchmarkId::from_parameter("fibonacci"), |b| {
+        b.iter(|| black_box(dijkstra::<FibonacciHeap>(&g, 0)[6399]))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("heap_storm");
+    group.sample_size(10);
+    group.bench_function("dary", |b| b.iter(|| black_box(storm::<DaryHeap>(10_000, 100_000, 1))));
+    group.bench_function("pairing", |b| b.iter(|| black_box(storm::<PairingHeap>(10_000, 100_000, 1))));
+    group.bench_function("fibonacci", |b| {
+        b.iter(|| black_box(storm::<FibonacciHeap>(10_000, 100_000, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, heaps);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Preprocessing cost (§4): ball searches, heuristics, and radii-only mode,
+//! as ρ and the heuristic vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rs_core::preprocess::{compute_radii, PreprocessConfig, Preprocessed, ShortcutHeuristic};
+use rs_graph::{gen, weights, WeightModel};
+
+fn preprocess(c: &mut Criterion) {
+    let g = weights::reweight(&gen::grid2d(60, 60), WeightModel::paper_weighted(), 7);
+    let mut group = c.benchmark_group("preprocess/grid60x60");
+    group.sample_size(10);
+    for rho in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("full_k1", rho), &rho, |b, &rho| {
+            b.iter(|| black_box(Preprocessed::build(&g, &PreprocessConfig::new(1, rho)).stats.raw_shortcuts))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_k3", rho), &rho, |b, &rho| {
+            b.iter(|| {
+                let cfg = PreprocessConfig { k: 3, rho, heuristic: ShortcutHeuristic::Dp };
+                black_box(Preprocessed::build(&g, &cfg).stats.raw_shortcuts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_k3", rho), &rho, |b, &rho| {
+            b.iter(|| {
+                let cfg = PreprocessConfig { k: 3, rho, heuristic: ShortcutHeuristic::Greedy };
+                black_box(Preprocessed::build(&g, &cfg).stats.raw_shortcuts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("radii_only", rho), &rho, |b, &rho| {
+            b.iter(|| black_box(compute_radii(&g, rho)[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preprocess);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Parallel-primitive microbenchmarks: scan, pack, write-min, treap bulk
+//! ops, and edge_map direction ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rs_ds::Treap;
+use rs_graph::{edge_map::edge_map_dense, edge_map::edge_map_sparse, gen};
+use rs_par::{atomic_vec, exclusive_scan, pack_indices, par_min, VertexSubset};
+
+fn primitives(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
+
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    group.bench_function("scan_1M", |b| b.iter(|| black_box(exclusive_scan(&data).1)));
+    group.bench_function("pack_1M", |b| {
+        b.iter(|| black_box(pack_indices(n, |i| i % 3 == 0).len()))
+    });
+    group.bench_function("par_min_1M", |b| {
+        b.iter(|| black_box(par_min(n, |i| data[i])))
+    });
+    group.bench_function("write_min_1M", |b| {
+        let cells = atomic_vec(n, u64::MAX);
+        b.iter(|| {
+            for i in 0..n {
+                cells[i].write_min(data[i]);
+            }
+            black_box(cells[0].load())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("treap");
+    group.sample_size(10);
+    for size in [1usize << 12, 1 << 16] {
+        let a: Treap = (0..size as u32).map(|i| (i as u64 * 2, i)).collect();
+        let b_t: Treap = (0..size as u32).map(|i| (i as u64 * 2 + 1, i)).collect();
+        group.bench_with_input(BenchmarkId::new("union", size), &size, |bch, _| {
+            bch.iter(|| black_box(Treap::union(a.clone(), b_t.clone()).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", size), &size, |bch, _| {
+            bch.iter(|| black_box(Treap::difference(a.clone(), a.clone()).len()))
+        });
+    }
+    group.finish();
+
+    // Ligra direction ablation on a grid frontier.
+    let g = gen::grid2d(300, 300);
+    let frontier_ids: Vec<u32> = (0..9000u32).map(|i| i * 10).collect();
+    let frontier = VertexSubset::from_ids(g.num_vertices(), frontier_ids.clone());
+    let mut group = c.benchmark_group("edge_map");
+    group.sample_size(10);
+    group.bench_function("sparse", |b| {
+        b.iter(|| {
+            black_box(
+                edge_map_sparse(&g, g.num_vertices(), &frontier_ids, |_, _, _| true, |v| v % 2 == 0)
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            black_box(edge_map_dense(&g, &frontier, |_, _, _| true, |v| v % 2 == 0).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Exercises every experiment driver at tiny scale, so `cargo bench` runs
+//! the same code paths that regenerate each paper table/figure, and times
+//! the step-count measurement itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rs_bench::experiments::{bounds, fig2, shortcuts, steps, table1, ExpConfig};
+use rs_bench::sample_sources;
+use rs_graph::{gen, weights, WeightModel};
+
+fn step_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    let cfg = ExpConfig::tiny();
+
+    group.bench_function(BenchmarkId::from_parameter("fig4_table45_unweighted"), |b| {
+        b.iter(|| black_box(steps::run(&cfg, false).rounds.rows.len()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("fig5_table67_weighted"), |b| {
+        b.iter(|| black_box(steps::run(&cfg, true).rounds.rows.len()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("fig3_table23_shortcuts"), |b| {
+        b.iter(|| black_box(shortcuts::run(&cfg).fig3_panels.len()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("fig2_gadget"), |b| {
+        b.iter(|| black_box(fig2::run(&cfg).rows.len()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("table1_empirical"), |b| {
+        b.iter(|| black_box(table1::measured_table(&cfg).rows.len()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("bounds_validation"), |b| {
+        b.iter(|| black_box(bounds::run(&cfg).rows.len()))
+    });
+    group.finish();
+
+    // The core measurement primitive on a mid-size graph.
+    let g = weights::reweight(&gen::grid2d(50, 50), WeightModel::paper_weighted(), 9);
+    let sources = sample_sources(2500, 3, 1);
+    let mut group = c.benchmark_group("mean_steps/grid50x50");
+    group.sample_size(10);
+    for rho in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            b.iter(|| black_box(steps::mean_steps(&g, rho, &sources)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, step_experiments);
+criterion_main!(benches);

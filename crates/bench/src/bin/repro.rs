@@ -1,0 +1,161 @@
+//! Reproduces every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENTS...] [--scale N] [--sources N] [--out DIR] [--seed N]
+//!
+//! EXPERIMENTS: fig2 fig3 fig4 fig5 table1 table2 table3 table4 table5
+//!              table6 table7 bounds | --all (default)
+//! --scale N    divide the paper's graph sizes by N (default 16; 1 = paper scale)
+//! --sources N  sampled sources per graph (default 5; paper used 1000)
+//! --out DIR    CSV output directory (default results/)
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rs_bench::experiments::{bounds, fig2, shortcuts, steps, substeps, table1, ExpConfig};
+use rs_bench::table::Table;
+
+const ALL: [&str; 13] = [
+    "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "bounds", "substeps",
+];
+
+fn main() {
+    let (wanted, cfg) = parse_args();
+    println!(
+        "radius-stepping repro | scale 1/{} | {} sources | out {}",
+        cfg.scale_denom,
+        cfg.sources,
+        cfg.out_dir.display()
+    );
+    let t0 = Instant::now();
+    let mut emitted: Vec<(String, Table)> = Vec::new();
+
+    if wanted.iter().any(|w| ["fig3", "table2", "table3"].contains(&w.as_str())) {
+        let run = timed("shortcut heuristics (fig3/table2/table3)", || shortcuts::run(&cfg));
+        for (i, t) in run.table2_greedy.into_iter().enumerate() {
+            if wanted.contains("table2") {
+                emitted.push((format!("table2_{i}"), t));
+            }
+        }
+        for (i, t) in run.table3_dp.into_iter().enumerate() {
+            if wanted.contains("table3") {
+                emitted.push((format!("table3_{i}"), t));
+            }
+        }
+        for (i, t) in run.fig3_panels.into_iter().enumerate() {
+            if wanted.contains("fig3") {
+                emitted.push((format!("fig3_{}", ["a", "b", "c"][i]), t));
+            }
+        }
+    }
+    if wanted.iter().any(|w| ["fig4", "table4", "table5"].contains(&w.as_str())) {
+        let run = timed("unweighted steps (fig4/table4/table5)", || steps::run(&cfg, false));
+        if wanted.contains("table4") {
+            emitted.push(("table4".into(), run.rounds));
+        }
+        if wanted.contains("table5") {
+            emitted.push(("table5".into(), run.reduction));
+        }
+        if wanted.contains("fig4") {
+            for (i, t) in run.figure_panels.into_iter().enumerate() {
+                emitted.push((format!("fig4_{}", ["a", "b", "c"][i]), t));
+            }
+        }
+    }
+    if wanted.iter().any(|w| ["fig5", "table6", "table7"].contains(&w.as_str())) {
+        let run = timed("weighted steps (fig5/table6/table7)", || steps::run(&cfg, true));
+        if wanted.contains("table6") {
+            emitted.push(("table6".into(), run.rounds));
+        }
+        if wanted.contains("table7") {
+            emitted.push(("table7".into(), run.reduction));
+        }
+        if wanted.contains("fig5") {
+            for (i, t) in run.figure_panels.into_iter().enumerate() {
+                emitted.push((format!("fig5_{}", ["a", "b", "c"][i]), t));
+            }
+        }
+    }
+    if wanted.contains("fig2") {
+        emitted.push(("fig2".into(), timed("fig2 gadget", || fig2::run(&cfg))));
+    }
+    if wanted.contains("table1") {
+        emitted.push(("table1_bounds".into(), table1::bounds_table()));
+        emitted.push((
+            "table1_empirical".into(),
+            timed("table1 empirical", || table1::measured_table(&cfg)),
+        ));
+    }
+    if wanted.contains("bounds") {
+        emitted.push(("bounds".into(), timed("theorem validation", || bounds::run(&cfg))));
+    }
+    if wanted.contains("substeps") {
+        emitted.push((
+            "substeps".into(),
+            timed("substep structure vs delta-stepping", || substeps::run(&cfg)),
+        ));
+    }
+
+    for (stem, table) in &emitted {
+        println!("\n{}", table.render());
+        if let Err(e) = table.write_csv(&cfg.out_dir, stem) {
+            eprintln!("warning: failed to write {stem}.csv: {e}");
+        }
+    }
+    println!(
+        "\ndone: {} tables in {:.1}s -> {}",
+        emitted.len(),
+        t0.elapsed().as_secs_f64(),
+        cfg.out_dir.display()
+    );
+}
+
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    eprintln!("[running] {label} ...");
+    let out = f();
+    eprintln!("[done]    {label} in {:.1}s", t.elapsed().as_secs_f64());
+    out
+}
+
+fn parse_args() -> (BTreeSet<String>, ExpConfig) {
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut cfg = ExpConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut need = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            "--scale" => cfg.scale_denom = need("--scale").parse().expect("--scale N"),
+            "--sources" => cfg.sources = need("--sources").parse().expect("--sources N"),
+            "--seed" => cfg.seed = need("--seed").parse().expect("--seed N"),
+            "--out" => cfg.out_dir = PathBuf::from(need("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [{}|--all] [--scale N] [--sources N] [--out DIR] [--seed N]",
+                    ALL.join("|")
+                );
+                std::process::exit(0);
+            }
+            name if ALL.contains(&name) => {
+                wanted.insert(name.to_string());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    (wanted, cfg)
+}

@@ -1,0 +1,52 @@
+//! Figure 2: the sparse graph on which reaching ρ vertices costs Θ(ρ²)
+//! edge visits (§4.1).
+//!
+//! Builds the gadget (three columns of `d` vertices with complete bipartite
+//! edges between adjacent columns), runs a ball search with ρ = 3d, and
+//! reports edges explored per d² — a flat series confirms the quadratic
+//! lower bound that makes Lemma 4.2's `O(nρ²)` preprocessing work tight.
+
+use rs_core::preprocess::{ball_search, BallScratch};
+use rs_graph::gen;
+
+use crate::table::Table;
+
+use super::ExpConfig;
+
+/// Runs the Figure-2 experiment for a geometric ladder of gadget sizes.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let sizes: &[usize] = if cfg.scale_denom >= 256 { &[8, 16, 32] } else { &[16, 32, 64, 128, 256] };
+    let mut t = Table::new(
+        "Figure 2: ball search must explore Θ(d²) edges to reach 3d vertices",
+        &["d", "n=3d", "rho", "explored edges", "explored / d^2"],
+    );
+    for &d in sizes {
+        let g = gen::fig2_gadget(d, 3);
+        let rho = 3 * d;
+        let mut scratch = BallScratch::new(g.num_vertices());
+        let ball = ball_search(&g.weight_sorted(), 0, rho, rho, &mut scratch);
+        assert_eq!(ball.members.len(), 3 * d, "gadget ball must cover the graph");
+        t.push_row(vec![
+            d.to_string(),
+            g.num_vertices().to_string(),
+            rho.to_string(),
+            ball.explored_edges.to_string(),
+            format!("{:.2}", ball.explored_edges as f64 / (d * d) as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_column_is_flat() {
+        let t = run(&ExpConfig::tiny());
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(ratios.len() >= 3);
+        let (lo, hi) = ratios.iter().fold((f64::MAX, f64::MIN), |(l, h), &r| (l.min(r), h.max(r)));
+        assert!(hi / lo < 3.0, "Θ(d²) ratio should be flat, got {ratios:?}");
+    }
+}

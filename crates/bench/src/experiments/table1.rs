@@ -1,0 +1,94 @@
+//! Table 1: work/depth bounds of exact sub-cubic SSSP algorithms.
+//!
+//! The table itself is analytic; we reproduce it as a rendered table and
+//! back the two "this work" rows with measured proxies on a suite graph:
+//! total relaxations against the `O((m + nρ) log n)` work term and
+//! steps·substeps against the `O((n/ρ) log n log ρL)` depth term.
+
+use rs_core::preprocess::{PreprocessConfig, Preprocessed};
+use rs_core::verify::ceil_log2;
+use rs_core::{EngineConfig, EngineKind};
+
+use crate::suite::build_graph;
+use crate::table::Table;
+
+use super::ExpConfig;
+
+/// The static bounds table (paper Table 1, abridged to the exact-SSSP
+/// rows).
+pub fn bounds_table() -> Table {
+    let mut t = Table::new(
+        "Table 1: work/depth bounds for exact Sssp with subcubic work",
+        &["setting", "algorithm", "work", "depth"],
+    );
+    let rows: [[&str; 4]; 9] = [
+        ["unweighted", "standard BFS", "O(m+n)", "O(n)"],
+        ["unweighted", "Ullman & Yannakakis", "~O(m√n + nm/t + n³/t⁴)", "~O(t)"],
+        ["unweighted", "Spencer", "O(m log ρ + nρ² log² ρ)", "O((n/ρ) log² ρ)"],
+        ["unweighted", "this work", "O(m + nρ)  [preproc O(nρ²)]", "O((n/ρ) log ρ log* ρ)  [preproc O(ρ log* ρ)]"],
+        ["weighted", "parallel Dijkstra (Paige-Kruskal)", "O(m + n log n)", "O(n log n)"],
+        ["weighted", "Klein & Subramanian", "O(m√n log K log n)", "O(√n log K log n)"],
+        ["weighted", "Spencer", "O((nρ² log ρ + m) log(nρL))", "O((n/ρ) log n log(ρL))"],
+        ["weighted", "Cohen", "O(n² + n³/ρ²)", "O(ρ · polylog(n))"],
+        ["weighted", "this work", "O((m + nρ) log n)  [preproc O(m log n + nρ²)]", "O((n/ρ) log n log ρL)  [preproc O(ρ²)]"],
+    ];
+    for r in rows {
+        t.push_row(r.iter().map(|s| s.to_string()).collect());
+    }
+    t
+}
+
+/// Measured work/depth proxies backing the "this work" rows.
+pub fn measured_table(cfg: &ExpConfig) -> Table {
+    let sg = build_graph("2D", cfg.scale_denom.max(64));
+    let g = sg.weighted();
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut t = Table::new(
+        format!("Table 1 (empirical): work/depth proxies on 2D grid (n={n}, m={m})"),
+        &[
+            "rho", "preproc edges explored", "n*rho^2 bound", "relaxations", "(m+n*rho)log n bound",
+            "steps*substeps", "(n/rho)log n log(rhoL) bound",
+        ],
+    );
+    for rho in [4usize, 16, 64] {
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, rho));
+        let out = pre.sssp_with(0, EngineKind::Frontier, EngineConfig::with_trace());
+        let log_n = ceil_log2(n as u64) as usize;
+        let log_rho_l = ceil_log2(rho as u64 * pre.graph.max_weight() as u64) as usize;
+        let depth_proxy = out.stats.substeps;
+        t.push_row(vec![
+            rho.to_string(),
+            pre.stats.explored_edges.to_string(),
+            (n * rho * rho).to_string(),
+            out.stats.relaxations.to_string(),
+            ((m + n * rho) * log_n).to_string(),
+            depth_proxy.to_string(),
+            (n / rho * log_n * log_rho_l).to_string(),
+        ]);
+        // The bounds must actually bound the measurements (constants are 1
+        // here, which empirically suffices on these inputs).
+        assert!(pre.stats.explored_edges <= (n * rho * rho) as u64, "Lemma 4.2 work bound");
+        assert!(depth_proxy <= n / rho * log_n * log_rho_l, "depth proxy exceeds bound shape");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_renders() {
+        let t = bounds_table();
+        assert_eq!(t.rows.len(), 9);
+        assert!(t.render().contains("this work"));
+    }
+
+    #[test]
+    fn measured_proxies_within_bounds() {
+        // `measured_table` asserts the bounds internally.
+        let t = measured_table(&ExpConfig::tiny());
+        assert_eq!(t.rows.len(), 3);
+    }
+}

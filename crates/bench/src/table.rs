@@ -1,0 +1,134 @@
+//! Paper-style table rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], width: &[usize], out: &mut String| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>w$}", c, w = width[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&self.header, &width, &mut out);
+        let sep: Vec<String> = width.iter().map(|&w| "-".repeat(w)).collect();
+        line(&sep, &width, &mut out);
+        for row in &self.rows {
+            line(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// Writes `title.csv` under `dir` (creating it), RFC-4180-ish.
+    pub fn write_csv(&self, dir: &Path, file_stem: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        fs::write(dir.join(format!("{file_stem}.csv")), out)
+    }
+}
+
+/// Formats a float the way the paper's tables do (2 decimals, or compact
+/// scientific-ish for big values like "986K").
+pub fn fmt_count(x: f64) -> String {
+    if x >= 100_000.0 {
+        format!("{:.0}K", x / 1000.0)
+    } else if x >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new("Demo", &["rho", "steps"]);
+        t.push_row(vec!["1".into(), "1504.0".into()]);
+        t.push_row(vec!["1000".into(), "64.88".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All table lines equal width.
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_escaping() {
+        let dir = std::env::temp_dir().join(format!("rs_bench_csv_{}", std::process::id()));
+        let mut t = Table::new("x", &["name", "value"]);
+        t.push_row(vec!["has,comma".into(), "2".into()]);
+        t.write_csv(&dir, "test").unwrap();
+        let content = std::fs::read_to_string(dir.join("test.csv")).unwrap();
+        assert!(content.contains("\"has,comma\",2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn count_formats() {
+        assert_eq!(fmt_count(986_000.0), "986K");
+        assert_eq!(fmt_count(1504.0), "1504.0");
+        assert_eq!(fmt_count(64.88), "64.88");
+    }
+}

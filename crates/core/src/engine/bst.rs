@@ -1,0 +1,260 @@
+//! The Algorithm-2 engine: fringe maintained in two join-based treaps.
+//!
+//! Exactly the efficient implementation of §3.3: `Q` holds the unsettled
+//! relaxed vertices keyed by `(δ(u), u)`, `R` holds them keyed by
+//! `(δ(u) + r(u), u)`. Each step reads `d_i` from `R`'s minimum, obtains
+//! the active set with `Q.split(d_i)`, and runs Bellman–Ford substeps in
+//! which relaxations are applied with a parallel priority-write and the
+//! treaps are maintained with *batched* `difference`/`union` of sorted key
+//! sets — the parallel-BST data flow the paper describes (build a BST of
+//! successful relaxations, subtract out-of-date keys, split by `d_i`, union
+//! each part with `A_i` and `Q`).
+//!
+//! Step counts, round distances and distances are identical to the
+//! [`super::frontier`] engine (asserted in cross-engine tests); only the
+//! constant factors differ.
+
+use rayon::prelude::*;
+
+use rs_ds::Treap;
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+use rs_par::{atomic_vec, AtomicBitset};
+
+use crate::radii::RadiiSpec;
+use crate::stats::{SsspResult, StepStats, StepTrace};
+use crate::EngineConfig;
+
+const SEQ_SUBSTEP: usize = 2048;
+
+pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+    let n = g.num_vertices();
+    let dist = atomic_vec(n, INF);
+    let settled = AtomicBitset::new(n);
+    let in_active = AtomicBitset::new(n);
+    let touched = AtomicBitset::new(n);
+    // Membership + current key of each vertex in Q (and, shifted by r, R).
+    let in_q = AtomicBitset::new(n);
+    let mut qkey: Vec<Dist> = vec![INF; n];
+
+    let mut stats = StepStats {
+        trace: config.trace.then(Vec::new),
+        ..Default::default()
+    };
+
+    // Lines 1–4: settle the source; Q/R seeded with its neighbours.
+    dist[source as usize].store(0);
+    settled.set(source as usize);
+    stats.settled = 1;
+    stats.relaxations += g.degree(source) as u64;
+    let mut q_inserts: Vec<(Dist, VertexId)> = Vec::new();
+    for (v, w) in g.edges(source) {
+        dist[v as usize].write_min(w as Dist);
+        if in_q.set(v as usize) {
+            qkey[v as usize] = w as Dist;
+            q_inserts.push((w as Dist, v));
+        }
+    }
+    q_inserts.sort_unstable();
+    let mut q = Treap::from_sorted(&q_inserts);
+    let mut r_inserts: Vec<(Dist, VertexId)> =
+        q_inserts.iter().map(|&(d, v)| (radii.key(v, d), v)).collect();
+    r_inserts.sort_unstable();
+    let mut r = Treap::from_sorted(&r_inserts);
+
+    while !q.is_empty() {
+        debug_assert_eq!(q.len(), r.len(), "Q and R must stay in lockstep");
+        // Line 6: d_i from R's minimum (the lead vertex attains it).
+        let di = r.min().expect("Q nonempty implies R nonempty").0;
+
+        // Line 7: {A_i, Q} = Q.split(d_i).
+        let a_i = q.split_at_most(di);
+        let mut active: Vec<VertexId> = a_i.to_vec().iter().map(|&(_, v)| v).collect();
+        // Line 8: remove A_i's entries from R (batched difference).
+        let mut r_removals: Vec<(Dist, VertexId)> = active
+            .iter()
+            .map(|&v| (radii.key(v, qkey[v as usize]), v))
+            .collect();
+        r_removals.sort_unstable();
+        r = Treap::difference(r, Treap::from_sorted(&r_removals));
+        for &v in &active {
+            in_q.clear(v as usize);
+            in_active.set(v as usize);
+        }
+
+        // Lines 9–19: substeps.
+        let mut dirty: Vec<VertexId> = active.clone();
+        let mut substeps = 0;
+        loop {
+            substeps += 1;
+            stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+            // Synchronous substep: snapshot source distances first, so the
+            // substep count is schedule-independent (as in `frontier`).
+            let snapshot: Vec<(VertexId, Dist)> =
+                dirty.iter().map(|&u| (u, dist[u as usize].load())).collect();
+            let claimed = relax_parallel(g, &dist, &settled, &touched, &snapshot);
+
+            // Apply phase: reconcile every claimed vertex with Q/R, exactly
+            // the three cases of §3.3.
+            let mut next_dirty: Vec<VertexId> = Vec::new();
+            let mut any_le = false;
+            let mut q_remove: Vec<(Dist, VertexId)> = Vec::new();
+            let mut r_remove: Vec<(Dist, VertexId)> = Vec::new();
+            let mut q_insert: Vec<(Dist, VertexId)> = Vec::new();
+            let mut r_insert: Vec<(Dist, VertexId)> = Vec::new();
+            for &v in &claimed {
+                touched.clear(v as usize);
+                let new = dist[v as usize].load();
+                if new <= di {
+                    any_le = true;
+                }
+                if in_active.get(v as usize) {
+                    // Case (1): already active — only its δ changed.
+                    debug_assert!(new <= di);
+                    next_dirty.push(v);
+                    continue;
+                }
+                let was_in_q = in_q.get(v as usize);
+                if was_in_q {
+                    q_remove.push((qkey[v as usize], v));
+                    r_remove.push((radii.key(v, qkey[v as usize]), v));
+                }
+                if new <= di {
+                    // Case (2): crossed the round distance — joins A_i.
+                    in_q.clear(v as usize);
+                    in_active.set(v as usize);
+                    active.push(v);
+                    next_dirty.push(v);
+                } else {
+                    // Case (3): decrease-key in Q and R (or fresh insert).
+                    q_insert.push((new, v));
+                    r_insert.push((radii.key(v, new), v));
+                    qkey[v as usize] = new;
+                    in_q.set(v as usize);
+                }
+            }
+            if !q_remove.is_empty() {
+                q_remove.sort_unstable();
+                r_remove.sort_unstable();
+                q = Treap::difference(q, Treap::from_sorted(&q_remove));
+                r = Treap::difference(r, Treap::from_sorted(&r_remove));
+            }
+            if !q_insert.is_empty() {
+                q_insert.sort_unstable();
+                r_insert.sort_unstable();
+                q = Treap::union(q, Treap::from_sorted(&q_insert));
+                r = Treap::union(r, Treap::from_sorted(&r_insert));
+            }
+            dirty = next_dirty;
+            if !any_le {
+                break;
+            }
+        }
+
+        // Settle the active set.
+        for &v in &active {
+            settled.set(v as usize);
+            in_active.clear(v as usize);
+            debug_assert!(dist[v as usize].load() <= di);
+        }
+        stats.record_step(Some(StepTrace {
+            d_i: di,
+            settled: active.len(),
+            substeps,
+            active_size: active.len(),
+        }));
+    }
+
+    SsspResult {
+        dist: dist.iter().map(|d| d.load()).collect(),
+        stats,
+    }
+}
+
+/// Parallel relaxation of `dirty`'s out-edges; returns the set of vertices
+/// whose δ dropped, each claimed exactly once via the `touched` bitset.
+fn relax_parallel(
+    g: &CsrGraph,
+    dist: &[rs_par::AtomicMinU64],
+    settled: &AtomicBitset,
+    touched: &AtomicBitset,
+    dirty: &[(VertexId, Dist)],
+) -> Vec<VertexId> {
+    let relax_one = |acc: &mut Vec<VertexId>, (u, du): (VertexId, Dist)| {
+        for (v, w) in g.edges(u) {
+            if settled.get(v as usize) {
+                continue;
+            }
+            if dist[v as usize].write_min(du + w as Dist) && touched.set(v as usize) {
+                acc.push(v);
+            }
+        }
+    };
+    if dirty.len() < SEQ_SUBSTEP {
+        let mut acc = Vec::new();
+        for &pair in dirty {
+            relax_one(&mut acc, pair);
+        }
+        acc
+    } else {
+        dirty
+            .par_iter()
+            .fold(Vec::new, |mut acc, &pair| {
+                relax_one(&mut acc, pair);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::frontier;
+    use rs_graph::{gen, weights, WeightModel};
+
+    fn both(g: &CsrGraph, radii: &RadiiSpec, s: VertexId) -> (SsspResult, SsspResult) {
+        (
+            frontier::run(g, radii, s, EngineConfig::with_trace()),
+            run(g, radii, s, EngineConfig::with_trace()),
+        )
+    }
+
+    fn assert_equivalent(g: &CsrGraph, radii: &RadiiSpec, s: VertexId) {
+        let (f, b) = both(g, radii, s);
+        assert_eq!(f.dist, b.dist, "distances differ");
+        assert_eq!(f.stats.steps, b.stats.steps, "step counts differ");
+        assert_eq!(f.stats.substeps, b.stats.substeps, "substep counts differ");
+        let ft = f.stats.trace.unwrap();
+        let bt = b.stats.trace.unwrap();
+        let f_d: Vec<Dist> = ft.iter().map(|t| t.d_i).collect();
+        let b_d: Vec<Dist> = bt.iter().map(|t| t.d_i).collect();
+        assert_eq!(f_d, b_d, "round-distance sequences differ");
+    }
+
+    #[test]
+    fn engines_equivalent_across_radii() {
+        let g = weights::reweight(&gen::grid2d(10, 12), WeightModel::paper_weighted(), 6);
+        for radii in [RadiiSpec::Zero, RadiiSpec::Constant(1000), RadiiSpec::Constant(20_000)] {
+            assert_equivalent(&g, &radii, 0);
+        }
+        assert_equivalent(&g, &RadiiSpec::Infinite, 17);
+    }
+
+    #[test]
+    fn engines_equivalent_on_scale_free() {
+        let g = weights::reweight(&gen::scale_free(300, 3, 4), WeightModel::paper_weighted(), 8);
+        let radii: Vec<Dist> = (0..300).map(|v| (v as Dist * 37) % 5000).collect();
+        assert_equivalent(&g, &RadiiSpec::PerVertex(&radii), 5);
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let g = gen::star(6); // solve from a leaf: everything reachable via center
+        let (f, b) = both(&g, &RadiiSpec::Zero, 3);
+        assert_eq!(f.dist, b.dist);
+        assert_eq!(b.stats.settled, 6);
+    }
+}

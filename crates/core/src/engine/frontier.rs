@@ -1,0 +1,277 @@
+//! The parallel frontier engine: Algorithm 1 as a production solver.
+//!
+//! Per step `i`:
+//!
+//! 1. `d_i ← min_{v ∈ fringe} (δ(v) + r(v))` — a parallel min-reduction
+//!    over the packed fringe (unsettled vertices with finite `δ`); vertices
+//!    with `δ = ∞` contribute `∞` and are simply not in the fringe.
+//! 2. The active set `A_i = {v ∈ fringe : δ(v) ≤ d_i}` runs Bellman–Ford
+//!    substeps: every changed vertex relaxes its out-edges with an atomic
+//!    priority-write. Vertices pulled to `δ ≤ d_i` join `A_i`; vertices
+//!    newly reached above `d_i` join the fringe. The loop exits after the
+//!    first substep producing no update `≤ d_i` (the paper's termination
+//!    condition, line 9), so the final "checking" substep is counted —
+//!    Theorem 3.2's bound of `k + 2` includes it.
+//! 3. `A_i` is settled and removed from the fringe.
+//!
+//! Relaxations of settled vertices can never succeed (their `δ` is final
+//! and any candidate is `≥` it), so settled targets are skipped purely as
+//! an optimisation; likewise re-relaxing an unchanged vertex can produce no
+//! new updates, which is why change-driven substeps count identically to
+//! the literal "all of `A_i` every substep" of Algorithm 1.
+
+use rayon::prelude::*;
+
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+use rs_par::{atomic_vec, AtomicBitset, par_min};
+
+use crate::radii::RadiiSpec;
+use crate::stats::{SsspResult, StepStats, StepTrace};
+use crate::EngineConfig;
+
+/// Sequential cutover: below this many dirty vertices a substep relaxes
+/// sequentially (fork-join overhead dominates tiny frontiers).
+const SEQ_SUBSTEP: usize = 2048;
+
+pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+    let n = g.num_vertices();
+    let dist = atomic_vec(n, INF);
+    let settled = AtomicBitset::new(n);
+    let in_fringe = AtomicBitset::new(n);
+    let in_active = AtomicBitset::new(n);
+    let dirty_mark = AtomicBitset::new(n);
+
+    let mut stats = StepStats {
+        trace: config.trace.then(Vec::new),
+        ..Default::default()
+    };
+
+    // Line 1–2: settle the source, relax its neighbours into the fringe.
+    dist[source as usize].store(0);
+    settled.set(source as usize);
+    stats.settled = 1;
+    let mut fringe: Vec<VertexId> = Vec::new();
+    for (v, w) in g.edges(source) {
+        dist[v as usize].write_min(w as Dist);
+        if in_fringe.set(v as usize) {
+            fringe.push(v);
+        }
+    }
+    stats.relaxations += g.degree(source) as u64;
+
+    let mut prev_di: Dist = 0;
+    while !fringe.is_empty() {
+        // Line 4: d_i = min over the fringe of δ(v) + r(v).
+        let di = par_min(fringe.len(), |i| {
+            let v = fringe[i];
+            radii.key(v, dist[v as usize].load())
+        });
+        debug_assert!(
+            stats.steps == 0 || di > prev_di,
+            "round distances must strictly increase"
+        );
+        prev_di = di;
+
+        // Active set: fringe vertices with δ ≤ d_i (non-empty: the argmin
+        // vertex has δ ≤ δ + r = d_i).
+        let mut active: Vec<VertexId> = fringe
+            .iter()
+            .copied()
+            .filter(|&v| dist[v as usize].load() <= di)
+            .collect();
+        for &v in &active {
+            in_active.set(v as usize);
+        }
+
+        // Lines 5–9: Bellman–Ford substeps over the annulus. Each substep
+        // relaxes from a snapshot of its sources' distances (synchronous /
+        // Jacobi semantics), so the substep count matches the paper's
+        // definition and is independent of scheduling.
+        let mut dirty: Vec<VertexId> = active.clone();
+        let mut fringe_adds: Vec<VertexId> = Vec::new();
+        let mut substeps = 0;
+        loop {
+            substeps += 1;
+            stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+            let snapshot: Vec<(VertexId, Dist)> =
+                dirty.iter().map(|&u| (u, dist[u as usize].load())).collect();
+            let (next_dirty, adds, any_le) =
+                relax_substep(g, &dist, &settled, &in_fringe, &dirty_mark, &snapshot, di);
+            fringe_adds.extend(adds);
+            for &v in &next_dirty {
+                dirty_mark.clear(v as usize);
+                if in_active.set(v as usize) {
+                    active.push(v);
+                }
+            }
+            dirty = next_dirty;
+            if !any_le {
+                break;
+            }
+        }
+
+        // Line 10: S_i ← S_{i-1} ∪ A_i.
+        for &v in &active {
+            settled.set(v as usize);
+            in_active.clear(v as usize);
+            debug_assert!(dist[v as usize].load() <= di);
+        }
+
+        // Maintain the fringe: drop settled, add newly reached.
+        fringe.retain(|&v| !settled.get(v as usize));
+        fringe.extend(fringe_adds.into_iter().filter(|&v| !settled.get(v as usize)));
+
+        stats.record_step(Some(StepTrace {
+            d_i: di,
+            settled: active.len(),
+            substeps,
+            active_size: active.len(),
+        }));
+    }
+
+    SsspResult {
+        dist: dist.iter().map(|d| d.load()).collect(),
+        stats,
+    }
+}
+
+/// One substep: relax all out-edges of `dirty` (given as `(vertex, δ)`
+/// pairs snapshotted at substep start), returning the vertices whose δ
+/// dropped to ≤ `di` (the next dirty set), the vertices newly reached
+/// above `di` (fringe additions), and whether any update ≤ `di` happened
+/// (the loop-termination signal of line 9).
+#[allow(clippy::too_many_arguments)]
+fn relax_substep(
+    g: &CsrGraph,
+    dist: &[rs_par::AtomicMinU64],
+    settled: &AtomicBitset,
+    in_fringe: &AtomicBitset,
+    dirty_mark: &AtomicBitset,
+    dirty: &[(VertexId, Dist)],
+    di: Dist,
+) -> (Vec<VertexId>, Vec<VertexId>, bool) {
+    #[derive(Default)]
+    struct Acc {
+        dirty: Vec<VertexId>,
+        adds: Vec<VertexId>,
+        any_le: bool,
+    }
+
+    let relax_one = |acc: &mut Acc, (u, du): (VertexId, Dist)| {
+        for (v, w) in g.edges(u) {
+            if settled.get(v as usize) {
+                continue;
+            }
+            let cand = du + w as Dist;
+            if dist[v as usize].write_min(cand) {
+                if cand <= di {
+                    acc.any_le = true;
+                    if dirty_mark.set(v as usize) {
+                        acc.dirty.push(v);
+                    }
+                } else if in_fringe.set(v as usize) {
+                    acc.adds.push(v);
+                }
+            }
+        }
+    };
+
+    let acc = if dirty.len() < SEQ_SUBSTEP {
+        let mut acc = Acc::default();
+        for &pair in dirty {
+            relax_one(&mut acc, pair);
+        }
+        acc
+    } else {
+        dirty
+            .par_iter()
+            .fold(Acc::default, |mut acc, &pair| {
+                relax_one(&mut acc, pair);
+                acc
+            })
+            .reduce(Acc::default, |mut a, mut b| {
+                a.dirty.append(&mut b.dirty);
+                a.adds.append(&mut b.adds);
+                a.any_le |= b.any_le;
+                a
+            })
+    };
+    (acc.dirty, acc.adds, acc.any_le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::{gen, weights, EdgeListBuilder, WeightModel};
+
+    fn solve(g: &CsrGraph, radii: &RadiiSpec, s: VertexId) -> SsspResult {
+        run(g, radii, s, EngineConfig::with_trace())
+    }
+
+    #[test]
+    fn zero_radii_is_dijkstra_by_levels() {
+        // r ≡ 0 settles exactly one distance value per step.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(1, 3, 2);
+        let g = b.build();
+        let out = solve(&g, &RadiiSpec::Zero, 0);
+        assert_eq!(out.dist, vec![0, 1, 1, 3]);
+        // Distinct nonzero distance values: {1, 3} -> 2 steps.
+        assert_eq!(out.stats.steps, 2);
+        // §3: with r ≡ 0 "the inner step is run only once" — every active
+        // vertex has δ = d_i, so no relaxation can land ≤ d_i.
+        assert_eq!(out.stats.max_substeps_in_step, 1);
+    }
+
+    #[test]
+    fn infinite_radii_is_bellman_ford_single_step() {
+        let g = gen::path(12);
+        let out = solve(&g, &RadiiSpec::Infinite, 0);
+        assert_eq!(out.stats.steps, 1);
+        assert_eq!(out.dist[11], 11);
+        // Vertex 1 starts relaxed; substeps walk the chain to vertex 11
+        // (10 productive substeps), plus the final no-update check.
+        assert_eq!(out.stats.substeps, 11);
+    }
+
+    #[test]
+    fn unreachable_stay_inf() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        let g = b.build();
+        let out = solve(&g, &RadiiSpec::Constant(5), 0);
+        assert_eq!(out.dist, vec![0, 3, INF, INF]);
+        assert_eq!(out.stats.settled, 2);
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let g = weights::reweight(&gen::grid2d(8, 8), WeightModel::paper_weighted(), 2);
+        let out = solve(&g, &RadiiSpec::Constant(500), 0);
+        let trace = out.stats.trace.as_ref().unwrap();
+        assert_eq!(trace.len(), out.stats.steps);
+        // d_i strictly increasing; settled counts sum to reachable count.
+        assert!(trace.windows(2).all(|w| w[0].d_i < w[1].d_i));
+        let settled: usize = trace.iter().map(|t| t.settled).sum();
+        assert_eq!(settled + 1, 64); // +1 for the source
+        assert_eq!(out.stats.settled, 64);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = CsrGraph::empty(1);
+        let out = solve(&g, &RadiiSpec::Zero, 0);
+        assert_eq!(out.dist, vec![0]);
+        assert_eq!(out.stats.steps, 0);
+    }
+
+    #[test]
+    fn star_settles_in_one_step_with_big_radius() {
+        let g = gen::star(50);
+        let out = solve(&g, &RadiiSpec::Constant(10), 0);
+        assert_eq!(out.stats.steps, 1, "all leaves within d_1 = 1 + 10");
+        assert!(out.dist[1..].iter().all(|&d| d == 1));
+    }
+}

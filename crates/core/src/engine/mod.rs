@@ -1,0 +1,101 @@
+//! Radius-stepping execution engines.
+//!
+//! Two interchangeable engines compute identical step sequences:
+//!
+//! * [`frontier`] — the production engine: Algorithm 1 with a packed
+//!   fringe, parallel min-reduction for `d_i`, and parallel priority-write
+//!   Bellman–Ford substeps.
+//! * [`bst`] — the faithful Algorithm 2: the fringe lives in two join-based
+//!   treaps `Q` (by `δ(u)`) and `R` (by `δ(u) + r(u)`), driven by
+//!   extract-min / split / union / difference exactly as §3.3 prescribes.
+//!
+//! Their step counts, round distances and results are asserted equal in the
+//! cross-engine tests; the `engines` bench measures the constant-factor gap.
+
+pub mod bst;
+pub mod frontier;
+pub mod unweighted;
+
+use rs_graph::{CsrGraph, VertexId};
+
+use crate::radii::RadiiSpec;
+use crate::stats::SsspResult;
+
+/// Engine selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Parallel frontier engine (Algorithm 1); the default.
+    #[default]
+    Frontier,
+    /// Treap-based engine (Algorithm 2 with BSTs `Q` and `R`).
+    Bst,
+    /// BFS-style engine for unit-weight graphs (§3.4); no ordered
+    /// structures at all. Panics on weighted inputs.
+    Unweighted,
+}
+
+/// Engine options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Record a per-step trace in the result (costs one record per step).
+    pub trace: bool,
+}
+
+impl EngineConfig {
+    /// Config with tracing enabled.
+    pub fn with_trace() -> Self {
+        EngineConfig { trace: true }
+    }
+}
+
+/// Solves SSSP from `source` with the default (frontier) engine.
+///
+/// Correct for any `radii` (Theorem 3.1 holds regardless); the radii govern
+/// only how many steps and substeps the run takes.
+pub fn radius_stepping(g: &CsrGraph, radii: &RadiiSpec, source: VertexId) -> SsspResult {
+    radius_stepping_with(g, radii, source, EngineKind::Frontier, EngineConfig::default())
+}
+
+/// Solves SSSP with an explicit engine and configuration.
+pub fn radius_stepping_with(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    kind: EngineKind,
+    config: EngineConfig,
+) -> SsspResult {
+    assert!((source as usize) < g.num_vertices(), "source out of range");
+    match kind {
+        EngineKind::Frontier => frontier::run(g, radii, source, config),
+        EngineKind::Bst => bst::run(g, radii, source, config),
+        EngineKind::Unweighted => unweighted::run(g, radii, source, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::{gen, weights, WeightModel, INF};
+
+    #[test]
+    fn dispatch_runs_both_engines() {
+        let g = weights::reweight(&gen::cycle(8), WeightModel::paper_weighted(), 1);
+        let a = radius_stepping_with(
+            &g,
+            &RadiiSpec::Zero,
+            0,
+            EngineKind::Frontier,
+            EngineConfig::default(),
+        );
+        let b = radius_stepping_with(&g, &RadiiSpec::Zero, 0, EngineKind::Bst, EngineConfig::default());
+        assert_eq!(a.dist, b.dist);
+        assert!(a.dist.iter().all(|&d| d != INF));
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn source_bounds_checked() {
+        let g = gen::path(3);
+        radius_stepping(&g, &RadiiSpec::Zero, 99);
+    }
+}

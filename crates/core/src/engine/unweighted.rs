@@ -1,0 +1,140 @@
+//! The unweighted specialisation of §3.4 (Lemma 3.10).
+//!
+//! On unit-weight graphs every fringe vertex shares the same tentative
+//! distance (the current BFS level ℓ), so no ordered structures are needed
+//! at all: the round distance is `d_i = ℓ + min_{v ∈ frontier} r(v)` and a
+//! step is a plain level-synchronous BFS expansion of levels `ℓ..=d_i`.
+//! Each round costs `O(n')` work for `n'` frontier vertices and edges —
+//! `O(m + n)` total — and the only non-BFS machinery is one parallel
+//! min-reduction per step, giving the Lemma 3.10 bounds
+//! (`O((n/ρ) log ρ log* ρ)` depth after (k,ρ) preprocessing).
+//!
+//! Produces identical distances, steps and substeps to the general
+//! engines on unit-weight inputs (asserted in tests).
+
+use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
+use rs_par::{par_min, AtomicBitset, VertexSubset};
+
+use crate::radii::RadiiSpec;
+use crate::stats::{SsspResult, StepStats, StepTrace};
+use crate::EngineConfig;
+
+pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+    assert!(
+        g.is_unit_weighted(),
+        "the unweighted engine requires unit weights; use the frontier engine instead"
+    );
+    let n = g.num_vertices();
+    let visited = AtomicBitset::new(n);
+    let mut dist = vec![INF; n];
+    let mut stats = StepStats {
+        trace: config.trace.then(Vec::new),
+        ..Default::default()
+    };
+
+    visited.set(source as usize);
+    dist[source as usize] = 0;
+    stats.settled = 1;
+
+    // Frontier = the unsettled BFS level ℓ (all at distance ℓ).
+    let mut frontier: Vec<VertexId> = g.neighbors(source).to_vec();
+    for &v in &frontier {
+        visited.set(v as usize);
+    }
+    stats.relaxations += g.degree(source) as u64;
+    let mut level: Dist = 1;
+
+    while !frontier.is_empty() {
+        // d_i = ℓ + min r(v) over the frontier (line 4 specialised).
+        let di = par_min(frontier.len(), |i| radii.key(frontier[i], 0)).saturating_add(level);
+        let mut substeps = 0;
+        let mut settled_this_step = 0usize;
+
+        // Expand levels ℓ..=d_i; each expansion is one substep.
+        while level <= di && !frontier.is_empty() {
+            substeps += 1;
+            for &v in &frontier {
+                dist[v as usize] = level;
+            }
+            settled_this_step += frontier.len();
+            stats.relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+            let subset = VertexSubset::from_ids(n, std::mem::take(&mut frontier));
+            frontier = edge_map(
+                g,
+                &subset,
+                |_, v, _| visited.set(v as usize),
+                |v| !visited.get(v as usize),
+            )
+            .to_ids();
+            level += 1;
+        }
+
+        stats.record_step(Some(StepTrace {
+            d_i: di,
+            settled: settled_this_step,
+            substeps,
+            active_size: settled_this_step,
+        }));
+    }
+
+    SsspResult { dist, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::frontier;
+    use crate::preprocess::compute_radii;
+    use rs_graph::gen;
+
+    fn assert_matches_general(g: &CsrGraph, radii: &RadiiSpec, s: VertexId) {
+        let bfs_mode = run(g, radii, s, EngineConfig::with_trace());
+        let general = frontier::run(g, radii, s, EngineConfig::with_trace());
+        assert_eq!(bfs_mode.dist, general.dist, "distances differ");
+        assert_eq!(bfs_mode.stats.steps, general.stats.steps, "steps differ");
+        assert_eq!(bfs_mode.stats.substeps, general.stats.substeps, "substeps differ");
+        let a: Vec<Dist> = bfs_mode.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
+        let b: Vec<Dist> = general.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
+        assert_eq!(a, b, "round distances differ");
+    }
+
+    #[test]
+    fn matches_general_engine_across_radii() {
+        for g in [gen::grid2d(15, 16), gen::scale_free(400, 3, 3), gen::path(30)] {
+            for radii in [RadiiSpec::Zero, RadiiSpec::Constant(3), RadiiSpec::Constant(10)] {
+                assert_matches_general(&g, &radii, 0);
+            }
+            assert_matches_general(&g, &RadiiSpec::Infinite, 2);
+        }
+    }
+
+    #[test]
+    fn matches_with_preprocessed_radii() {
+        let g = gen::webgraph(600, 3, 0.3, 15, 7);
+        for rho in [2usize, 8, 32] {
+            let radii = compute_radii(&g, rho);
+            assert_matches_general(&g, &RadiiSpec::PerVertex(&radii), 0);
+        }
+    }
+
+    #[test]
+    fn zero_radii_is_exactly_bfs() {
+        let g = gen::grid2d(10, 10);
+        let out = run(&g, &RadiiSpec::Zero, 0, EngineConfig::default());
+        // steps = eccentricity (one level per step), 1 substep each.
+        assert_eq!(out.stats.steps, 18);
+        assert_eq!(out.stats.substeps, 18);
+        assert_eq!(out.dist[99], 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit weights")]
+    fn rejects_weighted_graphs() {
+        let g = rs_graph::weights::reweight(
+            &gen::path(4),
+            rs_graph::WeightModel::UniformInt { lo: 2, hi: 9 },
+            1,
+        );
+        run(&g, &RadiiSpec::Zero, 0, EngineConfig::default());
+    }
+}

@@ -1,0 +1,389 @@
+//! (k, ρ)-graph preprocessing (§4).
+//!
+//! [`Preprocessed::build`] runs a truncated Dijkstra from every vertex in
+//! parallel (Lemma 4.2), derives the vertex radii `r(v) = r_ρ(v)`, selects
+//! shortcut edges with the chosen heuristic, and merges them into the
+//! graph (duplicate edges keep the minimum weight). The result satisfies
+//! `r(v) ≤ r̄_k(v)` and `|B(v, r(v))| ≥ ρ` — the preconditions of
+//! Theorems 3.2 and 3.3 — whenever every vertex can reach at least ρ
+//! vertices, so each subsequent [`Preprocessed::sssp`] call takes at most
+//! `⌈n/ρ⌉(1 + ⌈log₂ ρL⌉)` steps of at most `k + 2` substeps.
+//!
+//! For step-count experiments at very large ρ (where `n·ρ` shortcut edges
+//! cannot be materialised — the paper's Tables 4–7 go to ρ = 10⁴ on
+//! million-vertex graphs), use [`balls::compute_radii`] and run the engine
+//! on the original graph: the step bound of Theorem 3.3 depends only on
+//! the radii, not on the shortcuts (shortcuts bound the *substeps*).
+
+pub mod balls;
+pub mod dp;
+pub mod greedy;
+
+pub use balls::{ball_search, compute_radii, Ball, BallMember, BallScratch};
+pub use dp::dp_shortcuts;
+pub use greedy::{full_shortcuts, greedy_count, greedy_shortcuts};
+
+use rayon::prelude::*;
+
+use rs_graph::builder::merge_edges;
+use rs_graph::{CsrGraph, Dist, Edge, VertexId};
+
+use crate::engine::{radius_stepping_with, EngineConfig, EngineKind};
+use crate::radii::RadiiSpec;
+use crate::stats::SsspResult;
+
+/// Which shortcut-selection rule to use (§4.1–4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShortcutHeuristic {
+    /// (1, ρ): direct shortcut to every ball member (§4.1). Up to `n·ρ`
+    /// edges; the fewest-edges choice only when `k = 1`.
+    Full,
+    /// Source-to-(k·i+1)-hop-levels rule (§4.2.1).
+    Greedy,
+    /// Per-tree-optimal dynamic program (§4.2.2); the paper's recommended
+    /// heuristic.
+    #[default]
+    Dp,
+}
+
+/// Preprocessing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessConfig {
+    /// Hop bound `k ≥ 1`: each step of the solver takes ≤ `k + 2` substeps.
+    pub k: u32,
+    /// Ball size ρ ≥ 1: the solver takes `O((n/ρ) log ρL)` steps.
+    pub rho: usize,
+    /// Shortcut heuristic.
+    pub heuristic: ShortcutHeuristic,
+}
+
+impl PreprocessConfig {
+    /// Config with the paper's default heuristic for the given `k`
+    /// ((1,ρ)-Full when `k = 1`, DP otherwise).
+    pub fn new(k: u32, rho: usize) -> Self {
+        assert!(k >= 1 && rho >= 1);
+        let heuristic = if k == 1 { ShortcutHeuristic::Full } else { ShortcutHeuristic::Dp };
+        PreprocessConfig { k, rho, heuristic }
+    }
+
+    /// Overrides the heuristic.
+    pub fn with_heuristic(mut self, h: ShortcutHeuristic) -> Self {
+        self.heuristic = h;
+        self
+    }
+}
+
+/// Preprocessing outcome measurements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Shortcut edges proposed by the heuristic, summed over sources
+    /// (before deduplication against existing edges) — the quantity
+    /// Figures 3 and Tables 2–3 report as a fraction of `m`.
+    pub raw_shortcuts: usize,
+    /// Net new undirected edges after the min-weight merge.
+    pub effective_new_edges: usize,
+    /// Undirected edge count of the input graph.
+    pub original_edges: usize,
+    /// Total edges examined by all ball searches (Lemma 4.2 work measure).
+    pub explored_edges: u64,
+    /// Total ball memberships (≥ n·ρ; ties can push it higher).
+    pub ball_members: u64,
+}
+
+impl PreprocessStats {
+    /// `raw_shortcuts / original_edges`: the paper's "factors of additional
+    /// edges".
+    pub fn added_edge_factor(&self) -> f64 {
+        self.raw_shortcuts as f64 / self.original_edges.max(1) as f64
+    }
+}
+
+/// A graph prepared for radius stepping: shortcut-augmented topology plus
+/// the vertex radii.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// The (k, ρ)-graph: input plus shortcut edges.
+    pub graph: CsrGraph,
+    /// `r(v) = r_ρ(v)` (distance to the ρ-th closest vertex, counting `v`).
+    pub radii: Vec<Dist>,
+    /// Parameters used.
+    pub config: PreprocessConfig,
+    /// Measurements.
+    pub stats: PreprocessStats,
+}
+
+impl Preprocessed {
+    /// Runs the full preprocessing phase over all sources in parallel.
+    pub fn build(g: &CsrGraph, cfg: &PreprocessConfig) -> Preprocessed {
+        let (radii, shortcuts, stats) = preprocess_edges(g, cfg);
+        let graph = merge_edges(g, &shortcuts);
+        let effective = graph.num_edges() - g.num_edges();
+        Preprocessed {
+            graph,
+            radii,
+            config: *cfg,
+            stats: PreprocessStats { effective_new_edges: effective, ..stats },
+        }
+    }
+
+    /// Solves SSSP from `source` on the preprocessed graph (frontier
+    /// engine).
+    pub fn sssp(&self, source: VertexId) -> SsspResult {
+        self.sssp_with(source, EngineKind::Frontier, EngineConfig::default())
+    }
+
+    /// Solves SSSP with an explicit engine/config.
+    pub fn sssp_with(&self, source: VertexId, kind: EngineKind, config: EngineConfig) -> SsspResult {
+        radius_stepping_with(&self.graph, &RadiiSpec::PerVertex(&self.radii), source, kind, config)
+    }
+
+    /// Persists the preprocessing (augmented graph + radii + parameters) so
+    /// the `O(m log n + nρ²)`-work phase is paid once per graph, not once
+    /// per process.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(b"RSPP")?;
+        w.write_all(&self.config.k.to_le_bytes())?;
+        w.write_all(&(self.config.rho as u64).to_le_bytes())?;
+        let h: u8 = match self.config.heuristic {
+            ShortcutHeuristic::Full => 0,
+            ShortcutHeuristic::Greedy => 1,
+            ShortcutHeuristic::Dp => 2,
+        };
+        w.write_all(&[h])?;
+        for s in [
+            self.stats.raw_shortcuts as u64,
+            self.stats.effective_new_edges as u64,
+            self.stats.original_edges as u64,
+            self.stats.explored_edges,
+            self.stats.ball_members,
+        ] {
+            w.write_all(&s.to_le_bytes())?;
+        }
+        w.write_all(&(self.radii.len() as u64).to_le_bytes())?;
+        for &r in &self.radii {
+            w.write_all(&r.to_le_bytes())?;
+        }
+        rs_graph::io::write_binary_to(&self.graph, &mut w)?;
+        w.flush()
+    }
+
+    /// Loads a preprocessing written by [`Preprocessed::save`].
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Preprocessed> {
+        use std::io::Read;
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"RSPP" {
+            return Err(bad("not a saved preprocessing"));
+        }
+        let mut b4 = [0u8; 4];
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b4)?;
+        let k = u32::from_le_bytes(b4);
+        r.read_exact(&mut b8)?;
+        let rho = u64::from_le_bytes(b8) as usize;
+        let mut hb = [0u8; 1];
+        r.read_exact(&mut hb)?;
+        let heuristic = match hb[0] {
+            0 => ShortcutHeuristic::Full,
+            1 => ShortcutHeuristic::Greedy,
+            2 => ShortcutHeuristic::Dp,
+            _ => return Err(bad("unknown heuristic tag")),
+        };
+        let mut nums = [0u64; 5];
+        for v in &mut nums {
+            r.read_exact(&mut b8)?;
+            *v = u64::from_le_bytes(b8);
+        }
+        r.read_exact(&mut b8)?;
+        let n = u64::from_le_bytes(b8) as usize;
+        let mut radii = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut b8)?;
+            radii.push(u64::from_le_bytes(b8));
+        }
+        let graph = rs_graph::io::read_binary_from(&mut r)?;
+        if graph.num_vertices() != n {
+            return Err(bad("radii length does not match the embedded graph"));
+        }
+        Ok(Preprocessed {
+            graph,
+            radii,
+            config: PreprocessConfig { k, rho, heuristic },
+            stats: PreprocessStats {
+                raw_shortcuts: nums[0] as usize,
+                effective_new_edges: nums[1] as usize,
+                original_edges: nums[2] as usize,
+                explored_edges: nums[3],
+                ball_members: nums[4],
+            },
+        })
+    }
+}
+
+/// Shared worker: balls → (radii, shortcut list, stats) without building
+/// the merged graph (exposed for experiments that only need counts).
+pub fn preprocess_edges(g: &CsrGraph, cfg: &PreprocessConfig) -> (Vec<Dist>, Vec<Edge>, PreprocessStats) {
+    let ws = g.weight_sorted();
+    let n = g.num_vertices();
+    let per_source: Vec<(Dist, Vec<Edge>, u64, u64)> = (0..n as VertexId)
+        .into_par_iter()
+        .map_init(
+            || BallScratch::new(n),
+            |scratch, v| {
+                let ball = ball_search(&ws, v, cfg.rho, cfg.rho, scratch);
+                let edges = match cfg.heuristic {
+                    ShortcutHeuristic::Full => full_shortcuts(&ball),
+                    ShortcutHeuristic::Greedy => greedy_shortcuts(&ball, cfg.k),
+                    ShortcutHeuristic::Dp => dp_shortcuts(&ball, cfg.k),
+                };
+                (ball.radius, edges, ball.explored_edges, ball.members.len() as u64)
+            },
+        )
+        .collect();
+
+    let mut radii = Vec::with_capacity(n);
+    let mut shortcuts = Vec::new();
+    let mut stats = PreprocessStats { original_edges: g.num_edges(), ..Default::default() };
+    for (radius, edges, explored, members) in per_source {
+        radii.push(radius);
+        stats.raw_shortcuts += edges.len();
+        stats.explored_edges += explored;
+        stats.ball_members += members;
+        shortcuts.extend(edges);
+    }
+    (radii, shortcuts, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_baselines::dijkstra_default;
+    use rs_graph::{gen, weights, WeightModel, INF};
+
+    fn weighted_grid() -> CsrGraph {
+        weights::reweight(&gen::grid2d(10, 10), WeightModel::paper_weighted(), 11)
+    }
+
+    #[test]
+    fn build_preserves_distances() {
+        let g = weighted_grid();
+        for cfg in [
+            PreprocessConfig::new(1, 8),
+            PreprocessConfig::new(3, 16),
+            PreprocessConfig::new(3, 16).with_heuristic(ShortcutHeuristic::Greedy),
+        ] {
+            let pre = Preprocessed::build(&g, &cfg);
+            pre.graph.check_invariants().unwrap();
+            for s in [0u32, 37, 99] {
+                assert_eq!(
+                    dijkstra_default(&pre.graph, s),
+                    dijkstra_default(&g, s),
+                    "shortcuts must not change distances ({cfg:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_and_respects_substep_bound() {
+        let g = weighted_grid();
+        for (k, rho) in [(1u32, 4usize), (1, 16), (2, 10), (3, 25), (4, 50)] {
+            let pre = Preprocessed::build(&g, &PreprocessConfig::new(k, rho));
+            for s in [0u32, 55] {
+                let out = pre.sssp_with(s, EngineKind::Frontier, EngineConfig::with_trace());
+                assert_eq!(out.dist, dijkstra_default(&g, s));
+                assert!(
+                    out.stats.max_substeps_in_step <= (k as usize) + 2,
+                    "Theorem 3.2 violated: {} substeps with k={k}",
+                    out.stats.max_substeps_in_step
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_bound_theorem_holds() {
+        // Theorem 3.3: steps ≤ ⌈n/ρ⌉ (1 + ⌈log₂ ρL⌉).
+        let g = weighted_grid();
+        let n = g.num_vertices();
+        for rho in [2usize, 8, 32] {
+            let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, rho));
+            let bound = crate::verify::step_bound(n, rho, pre.graph.max_weight() as u64);
+            let out = pre.sssp(0);
+            assert!(
+                out.stats.steps <= bound,
+                "steps {} > bound {bound} at rho={rho}",
+                out.stats.steps
+            );
+        }
+    }
+
+    #[test]
+    fn dp_adds_no_more_than_greedy_globally() {
+        let g = gen::scale_free(300, 4, 2);
+        let base = PreprocessConfig::new(3, 30);
+        let (_, _, dp) = preprocess_edges(&g, &base.with_heuristic(ShortcutHeuristic::Dp));
+        let (_, _, gr) = preprocess_edges(&g, &base.with_heuristic(ShortcutHeuristic::Greedy));
+        assert!(dp.raw_shortcuts <= gr.raw_shortcuts);
+        assert!(dp.added_edge_factor() <= gr.added_edge_factor());
+    }
+
+    #[test]
+    fn radii_independent_of_heuristic() {
+        let g = weighted_grid();
+        let base = PreprocessConfig::new(2, 12);
+        let (r1, _, _) = preprocess_edges(&g, &base.with_heuristic(ShortcutHeuristic::Full));
+        let (r2, _, _) = preprocess_edges(&g, &base.with_heuristic(ShortcutHeuristic::Dp));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn full_and_k1_dp_produce_same_effective_graph() {
+        let g = weighted_grid();
+        let full = Preprocessed::build(&g, &PreprocessConfig::new(1, 10));
+        let dp = Preprocessed::build(
+            &g,
+            &PreprocessConfig { k: 1, rho: 10, heuristic: ShortcutHeuristic::Dp },
+        );
+        assert_eq!(full.graph, dp.graph, "hop-1 members dedup to the same graph");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let g = weighted_grid();
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(2, 12).with_heuristic(ShortcutHeuristic::Dp));
+        let path = std::env::temp_dir().join(format!("rs_pre_{}.bin", std::process::id()));
+        pre.save(&path).unwrap();
+        let loaded = Preprocessed::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.graph, pre.graph);
+        assert_eq!(loaded.radii, pre.radii);
+        assert_eq!(loaded.config, pre.config);
+        assert_eq!(loaded.stats, pre.stats);
+        assert_eq!(loaded.sssp(9).dist, pre.sssp(9).dist);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("rs_pre_bad_{}.bin", std::process::id()));
+        std::fs::write(&path, b"WRONG").unwrap();
+        assert!(Preprocessed::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn small_graph_radius_inf_still_correct() {
+        // ρ larger than the graph: radii become INF, algorithm degenerates
+        // to Bellman-Ford but stays correct.
+        let g = weights::reweight(&gen::cycle(6), WeightModel::paper_weighted(), 3);
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 50));
+        assert!(pre.radii.iter().all(|&r| r == INF));
+        let out = pre.sssp(2);
+        assert_eq!(out.dist, dijkstra_default(&g, 2));
+        assert_eq!(out.stats.steps, 1);
+    }
+}

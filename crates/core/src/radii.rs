@@ -1,0 +1,65 @@
+//! Vertex radius assignments.
+//!
+//! Algorithm 1 takes a function `r : V → R+`. §3 spells out the spectrum:
+//! `r ≡ 0` makes it Dijkstra (one substep per step), `r ≡ ∞` makes it
+//! Bellman–Ford (one step of many substeps), `r ≡ ∆` is almost ∆-stepping,
+//! and `r(v) = r_ρ(v)` from preprocessing gives the paper's bounds. The
+//! algorithm is *correct* for every choice; the radii only trade steps
+//! against substeps.
+
+use rs_graph::{Dist, VertexId, INF};
+
+/// A radius assignment `r(v)`.
+#[derive(Debug, Clone)]
+pub enum RadiiSpec<'a> {
+    /// `r(v) = 0`: Dijkstra-like; settles one distance level per step.
+    Zero,
+    /// `r(v) = ∞`: Bellman–Ford-like; one step, substeps to fixpoint.
+    Infinite,
+    /// `r(v) = ∆`: fixed increment, ∆-stepping-like (§3: "almost
+    /// ∆-stepping, but not quite since ∆ is added to the distance of the
+    /// nearest frontier vertex instead of to `d_{i-1}`").
+    Constant(Dist),
+    /// Per-vertex radii, e.g. `r_ρ(v)` from preprocessing.
+    PerVertex(&'a [Dist]),
+}
+
+impl<'a> RadiiSpec<'a> {
+    /// `r(v)`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Dist {
+        match self {
+            RadiiSpec::Zero => 0,
+            RadiiSpec::Infinite => INF,
+            RadiiSpec::Constant(d) => *d,
+            RadiiSpec::PerVertex(r) => r[v as usize],
+        }
+    }
+
+    /// `δ + r(v)`, saturating at `INF`.
+    #[inline]
+    pub fn key(&self, v: VertexId, delta: Dist) -> Dist {
+        delta.saturating_add(self.get(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_values() {
+        assert_eq!(RadiiSpec::Zero.get(3), 0);
+        assert_eq!(RadiiSpec::Infinite.get(3), INF);
+        assert_eq!(RadiiSpec::Constant(7).get(3), 7);
+        let r = vec![1, 2, 3];
+        assert_eq!(RadiiSpec::PerVertex(&r).get(2), 3);
+    }
+
+    #[test]
+    fn key_saturates() {
+        assert_eq!(RadiiSpec::Infinite.key(0, 5), INF);
+        assert_eq!(RadiiSpec::Constant(2).key(0, INF - 1), INF);
+        assert_eq!(RadiiSpec::Constant(2).key(0, 10), 12);
+    }
+}

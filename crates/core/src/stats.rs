@@ -1,0 +1,130 @@
+//! Execution statistics: the quantities §5 measures.
+//!
+//! The paper's experiments count *steps* (outer while-loop iterations,
+//! Figures 4–5 and Tables 4–7) and rely on the *substep* bound of
+//! Theorem 3.2 (`k + 2` per step). Both are first-class outputs here, along
+//! with relaxation counts (a work proxy) and an optional per-step trace.
+
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+/// Result of one single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct SsspResult {
+    /// `dist[v]` = shortest-path distance from the source ([`rs_graph::INF`]
+    /// if unreachable).
+    pub dist: Vec<Dist>,
+    /// Execution counters.
+    pub stats: StepStats,
+}
+
+impl SsspResult {
+    /// Reconstructs a shortest path to `t` by walking the distance array
+    /// backwards (`dist[u] + w(u,t) == dist[t]` picks a valid predecessor),
+    /// so no parent pointers need to be stored during the solve. Returns
+    /// `None` if `t` is unreachable.
+    pub fn path_to(&self, g: &CsrGraph, t: VertexId) -> Option<Vec<VertexId>> {
+        shortest_path_from_dist(g, &self.dist, t)
+    }
+}
+
+/// See [`SsspResult::path_to`].
+pub fn shortest_path_from_dist(g: &CsrGraph, dist: &[Dist], t: VertexId) -> Option<Vec<VertexId>> {
+    if dist[t as usize] == INF {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while dist[cur as usize] != 0 {
+        let d = dist[cur as usize];
+        let pred = g
+            .edges(cur)
+            .find(|&(u, w)| dist[u as usize].saturating_add(w as Dist) == d)
+            .map(|(u, _)| u)
+            .expect("distance array inconsistent: no predecessor on a shortest path");
+        path.push(pred);
+        cur = pred;
+        assert!(path.len() <= dist.len(), "predecessor cycle: distances not from this graph");
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Step/substep/work counters for one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Outer-loop steps (the paper's "number of steps"/"rounds").
+    pub steps: usize,
+    /// Total Bellman–Ford substeps across all steps.
+    pub substeps: usize,
+    /// Largest number of substeps in any single step (Theorem 3.2 bounds
+    /// this by `k + 2` on a (k, ρ)-graph).
+    pub max_substeps_in_step: usize,
+    /// Edge relaxations attempted (a sequential-work proxy).
+    pub relaxations: u64,
+    /// Vertices settled (equals reachable vertices on termination).
+    pub settled: usize,
+    /// Per-step trace, when requested via
+    /// [`crate::EngineConfig::with_trace`].
+    pub trace: Option<Vec<StepTrace>>,
+}
+
+/// One step's record in the optional trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepTrace {
+    /// The round distance `d_i`.
+    pub d_i: Dist,
+    /// Vertices settled by this step (`|S_i \ S_{i-1}|`).
+    pub settled: usize,
+    /// Substeps this step used.
+    pub substeps: usize,
+    /// Size of the active set when the step closed.
+    pub active_size: usize,
+}
+
+impl StepStats {
+    /// Folds one step's outcome into the totals.
+    pub fn record_step(&mut self, trace: Option<StepTrace>) {
+        self.steps += 1;
+        if let Some(t) = trace {
+            self.substeps += t.substeps;
+            self.max_substeps_in_step = self.max_substeps_in_step.max(t.substeps);
+            self.settled += t.settled;
+            if let Some(v) = self.trace.as_mut() {
+                v.push(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_reconstruction() {
+        use crate::{radius_stepping, RadiiSpec};
+        use rs_graph::EdgeListBuilder;
+        let mut b = EdgeListBuilder::new(5);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        b.add_edge(0, 2, 5);
+        b.add_edge(3, 4, 1); // separate component
+        let g = b.build();
+        let out = radius_stepping(&g, &RadiiSpec::Zero, 0);
+        assert_eq!(out.path_to(&g, 2), Some(vec![0, 1, 2]), "goes via the cheaper 2-hop route");
+        assert_eq!(out.path_to(&g, 0), Some(vec![0]));
+        assert_eq!(out.path_to(&g, 4), None, "unreachable");
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = StepStats { trace: Some(Vec::new()), ..Default::default() };
+        s.record_step(Some(StepTrace { d_i: 5, settled: 3, substeps: 2, active_size: 3 }));
+        s.record_step(Some(StepTrace { d_i: 9, settled: 1, substeps: 4, active_size: 2 }));
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.substeps, 6);
+        assert_eq!(s.max_substeps_in_step, 4);
+        assert_eq!(s.settled, 4);
+        assert_eq!(s.trace.as_ref().unwrap().len(), 2);
+    }
+}

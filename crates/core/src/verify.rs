@@ -1,0 +1,172 @@
+//! Exact (brute-force) computation of the paper's structural quantities,
+//! for validating the fast paths on small graphs.
+//!
+//! * [`dist_hops`] — per-vertex `(d(u,v), d̂(u,v))`: shortest distance and
+//!   the hop count of the hop-minimal shortest path (Definition 1).
+//! * [`k_radius`] — `r̄_k(u) = min{ d(u,v) : d̂(u,v) > k }` (Definition 2).
+//! * [`ball_size`] — `|B(u, r)|` (§2).
+//! * [`check_k_rho_graph`] — verifies Definition 4 plus Lemma 4.1's
+//!   preconditions for a radius assignment.
+//! * [`step_bound`] / [`substep_bound`] — the Theorem 3.2/3.3 bounds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+/// Exact `(distance, min-hop)` pairs from `source` (full Dijkstra ordered
+/// lexicographically by `(dist, hops)`).
+pub fn dist_hops(g: &CsrGraph, source: VertexId) -> Vec<(Dist, u32)> {
+    let n = g.num_vertices();
+    let mut best: Vec<(Dist, u32)> = vec![(INF, u32::MAX); n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    best[source as usize] = (0, 0);
+    heap.push(Reverse((0u64, 0u32, source)));
+    while let Some(Reverse((d, h, u))) = heap.pop() {
+        if done[u as usize] || (d, h) != best[u as usize] {
+            continue;
+        }
+        done[u as usize] = true;
+        for (v, w) in g.edges(u) {
+            let cand = (d + w as Dist, h + 1);
+            if !done[v as usize] && cand < best[v as usize] {
+                best[v as usize] = cand;
+                heap.push(Reverse((cand.0, cand.1, v)));
+            }
+        }
+    }
+    best
+}
+
+/// Exact k-radius `r̄_k(u)` (Definition 2): the closest distance to `u`
+/// among vertices more than `k` hops away; `INF` if none exists.
+pub fn k_radius(g: &CsrGraph, u: VertexId, k: u32) -> Dist {
+    dist_hops(g, u)
+        .iter()
+        .filter(|&&(d, h)| d != INF && h > k)
+        .map(|&(d, _)| d)
+        .min()
+        .unwrap_or(INF)
+}
+
+/// Exact enclosed-ball size `|B(u, r)| = |{v : d(u,v) ≤ r}|`.
+pub fn ball_size(g: &CsrGraph, u: VertexId, r: Dist) -> usize {
+    dist_hops(g, u).iter().filter(|&&(d, _)| d <= r).count()
+}
+
+/// Verifies the two preconditions of Lemma 4.1 for a radius assignment:
+/// `r(v) ≤ r̄_k(v)` (bounds substeps) and `|B(v, r(v))| ≥ ρ` (bounds
+/// steps). Returns the first violating vertex, if any. `O(n · m log n)` —
+/// test-scale graphs only.
+pub fn check_k_rho_graph(
+    g: &CsrGraph,
+    radii: &[Dist],
+    k: u32,
+    rho: usize,
+) -> Result<(), (VertexId, String)> {
+    for v in 0..g.num_vertices() as VertexId {
+        let r = radii[v as usize];
+        let rk = k_radius(g, v, k);
+        if r > rk {
+            return Err((v, format!("r({v}) = {r} exceeds k-radius {rk}")));
+        }
+        let b = ball_size(g, v, r);
+        if b < rho {
+            return Err((v, format!("|B({v}, {r})| = {b} < rho = {rho}")));
+        }
+    }
+    Ok(())
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x >= 1);
+    64 - (x - 1).leading_zeros().min(64)
+}
+
+/// Theorem 3.3's step bound: `⌈n/ρ⌉ (1 + ⌈log₂ ρL⌉)`.
+pub fn step_bound(n: usize, rho: usize, max_weight: u64) -> usize {
+    n.div_ceil(rho) * (1 + ceil_log2((rho as u64).saturating_mul(max_weight)) as usize)
+}
+
+/// Theorem 3.2's substep bound: `k + 2`.
+pub fn substep_bound(k: u32) -> usize {
+    k as usize + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::{gen, weights, EdgeListBuilder, WeightModel};
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 40), 40);
+    }
+
+    #[test]
+    fn step_bound_formula() {
+        // n=100, rho=10, L=1: ceil(100/10) * (1 + ceil(log2 10)) = 10 * 5.
+        assert_eq!(step_bound(100, 10, 1), 50);
+        assert_eq!(step_bound(101, 10, 1), 55);
+        assert_eq!(substep_bound(1), 3);
+    }
+
+    #[test]
+    fn dist_hops_prefers_fewer_hops_among_shortest() {
+        // 0-3 direct weight 2; 0-1-3 and 0-2-3 weight 1+1.
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 3, 2);
+        let g = b.build();
+        let dh = dist_hops(&g, 0);
+        assert_eq!(dh[3], (2, 1), "1-hop shortest path wins");
+        assert_eq!(dh[1], (1, 1));
+    }
+
+    #[test]
+    fn k_radius_on_unit_path() {
+        let g = gen::path(10);
+        // From vertex 0, vertices at hops 1..9 and distance == hops.
+        assert_eq!(k_radius(&g, 0, 1), 2);
+        assert_eq!(k_radius(&g, 0, 3), 4);
+        assert_eq!(k_radius(&g, 0, 9), INF, "nothing beyond 9 hops");
+        // Middle vertex sees both directions.
+        assert_eq!(k_radius(&g, 5, 2), 3);
+    }
+
+    #[test]
+    fn ball_sizes_on_grid() {
+        let g = gen::grid2d(5, 5);
+        // Manhattan ball around the center: r=1 -> 5 vertices, r=2 -> 13.
+        assert_eq!(ball_size(&g, 12, 0), 1);
+        assert_eq!(ball_size(&g, 12, 1), 5);
+        assert_eq!(ball_size(&g, 12, 2), 13);
+    }
+
+    #[test]
+    fn preprocessing_satisfies_lemma_4_1() {
+        // The end-to-end guarantee: after Preprocessed::build, the radii
+        // and augmented graph form a (k, ρ)-graph in the exact sense.
+        use crate::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
+        let g = weights::reweight(&gen::grid2d(7, 7), WeightModel::paper_weighted(), 5);
+        for (k, rho, h) in [
+            (1u32, 6usize, ShortcutHeuristic::Full),
+            (2, 10, ShortcutHeuristic::Greedy),
+            (3, 12, ShortcutHeuristic::Dp),
+        ] {
+            let pre = Preprocessed::build(&g, &PreprocessConfig { k, rho, heuristic: h });
+            check_k_rho_graph(&pre.graph, &pre.radii, k, rho)
+                .unwrap_or_else(|(v, msg)| panic!("{h:?}: {msg} (vertex {v})"));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Fibonacci heap with decrease-key.
+//!
+//! The structure Lemma 4.2 specifies for the truncated-Dijkstra
+//! preprocessing: `O(1)` amortised insert/decrease-key, `O(log n)` amortised
+//! pop-min, via lazy root lists, degree-bucket consolidation, and cascading
+//! cuts. Arena-allocated with circular doubly-linked sibling lists.
+
+use crate::DecreaseKeyHeap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    item: u32,
+    parent: u32,
+    child: u32,
+    /// Circular doubly-linked siblings.
+    left: u32,
+    right: u32,
+    degree: u32,
+    marked: bool,
+}
+
+/// Fibonacci min-heap over items `0..capacity`.
+#[derive(Debug, Clone)]
+pub struct FibonacciHeap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    slot: Vec<u32>,
+    min: u32,
+    len: usize,
+    /// Scratch for consolidation, reused across pops.
+    degree_buckets: Vec<u32>,
+}
+
+impl FibonacciHeap {
+    fn alloc(&mut self, key: u64, item: u32) -> u32 {
+        let node = Node {
+            key,
+            item,
+            parent: NONE,
+            child: NONE,
+            left: NONE,
+            right: NONE,
+            degree: 0,
+            marked: false,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Splices `x` (a detached node) into the circular list containing `at`.
+    fn splice_into(&mut self, at: u32, x: u32) {
+        let right = self.nodes[at as usize].right;
+        self.nodes[x as usize].left = at;
+        self.nodes[x as usize].right = right;
+        self.nodes[at as usize].right = x;
+        self.nodes[right as usize].left = x;
+    }
+
+    /// Removes `x` from its circular list; returns some other member or
+    /// `NONE` if the list becomes empty.
+    fn unsplice(&mut self, x: u32) -> u32 {
+        let (l, r) = (self.nodes[x as usize].left, self.nodes[x as usize].right);
+        if l == x {
+            return NONE;
+        }
+        self.nodes[l as usize].right = r;
+        self.nodes[r as usize].left = l;
+        r
+    }
+
+    fn make_singleton_list(&mut self, x: u32) {
+        self.nodes[x as usize].left = x;
+        self.nodes[x as usize].right = x;
+    }
+
+    /// Adds `x` to the root list and fixes the min pointer.
+    fn add_root(&mut self, x: u32) {
+        self.nodes[x as usize].parent = NONE;
+        if self.min == NONE {
+            self.make_singleton_list(x);
+            self.min = x;
+        } else {
+            self.splice_into(self.min, x);
+            if self.nodes[x as usize].key < self.nodes[self.min as usize].key {
+                self.min = x;
+            }
+        }
+    }
+
+    /// Links root `y` under root `x` (precondition: `key(x) <= key(y)`).
+    fn link(&mut self, x: u32, y: u32) {
+        debug_assert!(self.nodes[x as usize].key <= self.nodes[y as usize].key);
+        self.nodes[y as usize].parent = x;
+        self.nodes[y as usize].marked = false;
+        let child = self.nodes[x as usize].child;
+        if child == NONE {
+            self.make_singleton_list(y);
+            self.nodes[x as usize].child = y;
+        } else {
+            self.splice_into(child, y);
+        }
+        self.nodes[x as usize].degree += 1;
+    }
+
+    fn consolidate(&mut self, start: u32) {
+        // Collect current roots (the circular list through `start`).
+        let mut roots = Vec::new();
+        let mut cur = start;
+        loop {
+            roots.push(cur);
+            cur = self.nodes[cur as usize].right;
+            if cur == start {
+                break;
+            }
+        }
+        let max_degree = (usize::BITS - (self.len.max(1)).leading_zeros()) as usize + 2;
+        self.degree_buckets.clear();
+        self.degree_buckets.resize(max_degree * 2, NONE);
+        for mut x in roots {
+            loop {
+                let d = self.nodes[x as usize].degree as usize;
+                let other = self.degree_buckets[d];
+                if other == NONE {
+                    self.degree_buckets[d] = x;
+                    break;
+                }
+                self.degree_buckets[d] = NONE;
+                let (a, b) = if self.nodes[x as usize].key <= self.nodes[other as usize].key {
+                    (x, other)
+                } else {
+                    (other, x)
+                };
+                self.link(a, b);
+                x = a;
+            }
+        }
+        // Rebuild the root list from the buckets.
+        self.min = NONE;
+        let buckets = std::mem::take(&mut self.degree_buckets);
+        for &r in buckets.iter().filter(|&&r| r != NONE) {
+            self.add_root(r);
+        }
+        self.degree_buckets = buckets;
+    }
+
+    /// Cuts `x` from its parent and moves it to the root list, cascading.
+    fn cut_cascading(&mut self, mut x: u32) {
+        loop {
+            let parent = self.nodes[x as usize].parent;
+            debug_assert!(parent != NONE);
+            // Remove x from parent's child list.
+            let remaining = self.unsplice(x);
+            if self.nodes[parent as usize].child == x {
+                self.nodes[parent as usize].child = remaining;
+            }
+            self.nodes[parent as usize].degree -= 1;
+            self.nodes[x as usize].marked = false;
+            self.add_root(x);
+            // Cascade.
+            if self.nodes[parent as usize].parent == NONE {
+                break;
+            }
+            if !self.nodes[parent as usize].marked {
+                self.nodes[parent as usize].marked = true;
+                break;
+            }
+            x = parent;
+        }
+    }
+}
+
+impl DecreaseKeyHeap for FibonacciHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        FibonacciHeap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            slot: vec![NONE; capacity],
+            min: NONE,
+            len: 0,
+            degree_buckets: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push_or_decrease(&mut self, item: u32, key: u64) -> bool {
+        match self.slot[item as usize] {
+            NONE => {
+                let idx = self.alloc(key, item);
+                self.slot[item as usize] = idx;
+                self.add_root(idx);
+                self.len += 1;
+                true
+            }
+            idx => {
+                if self.nodes[idx as usize].key <= key {
+                    return false;
+                }
+                self.nodes[idx as usize].key = key;
+                let parent = self.nodes[idx as usize].parent;
+                if parent != NONE && self.nodes[parent as usize].key > key {
+                    self.cut_cascading(idx);
+                } else if parent == NONE && key < self.nodes[self.min as usize].key {
+                    self.min = idx;
+                }
+                true
+            }
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(u32, u64)> {
+        if self.min == NONE {
+            return None;
+        }
+        let z = self.min;
+        let Node { key, item, child, .. } = self.nodes[z as usize];
+        // Promote children to the root list.
+        if child != NONE {
+            let mut c = child;
+            loop {
+                let next = self.nodes[c as usize].right;
+                self.nodes[c as usize].parent = NONE;
+                c = next;
+                if c == child {
+                    break;
+                }
+            }
+            // Splice the whole child ring into the root ring next to z.
+            let z_right = self.nodes[z as usize].right;
+            let child_left = self.nodes[child as usize].left;
+            self.nodes[z as usize].right = child;
+            self.nodes[child as usize].left = z;
+            self.nodes[child_left as usize].right = z_right;
+            self.nodes[z_right as usize].left = child_left;
+        }
+        let remaining = self.unsplice(z);
+        self.slot[item as usize] = NONE;
+        self.free.push(z);
+        self.len -= 1;
+        if remaining == NONE {
+            self.min = NONE;
+        } else {
+            self.consolidate(remaining);
+        }
+        Some((item, key))
+    }
+
+    fn key_of(&self, item: u32) -> Option<u64> {
+        match self.slot[item as usize] {
+            NONE => None,
+            idx => Some(self.nodes[idx as usize].key),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.slot.fill(NONE);
+        self.min = NONE;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap_test_support::*;
+
+    #[test]
+    fn basic_order() {
+        let mut h = FibonacciHeap::with_capacity(5);
+        for (i, k) in [(0u32, 50u64), (1, 20), (2, 40), (3, 10), (4, 30)] {
+            assert!(h.push_or_decrease(i, k));
+        }
+        let drained: Vec<(u32, u64)> = std::iter::from_fn(|| h.pop_min()).collect();
+        assert_eq!(drained, vec![(3, 10), (1, 20), (4, 30), (2, 40), (0, 50)]);
+    }
+
+    #[test]
+    fn decrease_triggers_cascading_cuts() {
+        let mut h = FibonacciHeap::with_capacity(64);
+        // Build structure: push many, pop one to force consolidation into
+        // multi-level trees, then repeatedly decrease deep nodes.
+        for i in 0..64u32 {
+            h.push_or_decrease(i, 1000 + i as u64);
+        }
+        assert_eq!(h.pop_min().unwrap().0, 0);
+        for i in (32..64u32).rev() {
+            assert!(h.push_or_decrease(i, i as u64));
+        }
+        let mut last = 0;
+        let mut count = 0;
+        while let Some((_, k)) = h.pop_min() {
+            assert!(k >= last);
+            last = k;
+            count += 1;
+        }
+        assert_eq!(count, 63);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut h = FibonacciHeap::with_capacity(100);
+        for round in 0..10u64 {
+            for i in 0..10u32 {
+                h.push_or_decrease(round as u32 * 10 + i, (i as u64 + round) % 7 + round);
+            }
+            let (_, k) = h.pop_min().unwrap();
+            assert!(k <= h.pop_min().map(|(_, k2)| k2).unwrap_or(u64::MAX) || h.is_empty());
+        }
+        assert_eq!(h.len(), 80);
+    }
+
+    #[test]
+    fn model_battery() {
+        run_model_battery::<FibonacciHeap>(20, 4000, 50);
+        run_model_battery::<FibonacciHeap>(21, 4000, 5);
+    }
+
+    #[test]
+    fn heapsort() {
+        run_heapsort::<FibonacciHeap>(22, 2000);
+    }
+
+    #[test]
+    fn decrease_storm() {
+        run_decrease_storm::<FibonacciHeap>(23, 300, 5000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Priority structures for the radius-stepping workspace.
+//!
+//! The paper leans on two families of structures:
+//!
+//! * **Decrease-key heaps** for the truncated-Dijkstra preprocessing
+//!   (Lemma 4.2 specifies Fibonacci heaps): [`FibonacciHeap`],
+//!   [`PairingHeap`] and the cache-friendly [`DaryHeap`] all implement the
+//!   common [`DecreaseKeyHeap`] trait so the preprocessing and the Dijkstra
+//!   baseline are generic over the choice (ablated in the benches).
+//! * **Ordered sets with split / union / difference** for the efficient
+//!   Algorithm-2 engine (§3.3 maintains the fringe in two balanced BSTs
+//!   `Q` and `R`): [`Treap`] is a join-based treap with size augmentation
+//!   and optionally parallel union/difference, following the join-based
+//!   ordered-set line of work the paper cites.
+//!
+//! [`BucketQueue`] is the cyclic bucket array classic ∆-stepping uses.
+
+pub mod bucket;
+pub mod dary;
+pub mod fibonacci;
+pub mod pairing;
+pub mod treap;
+
+pub use bucket::BucketQueue;
+pub use dary::DaryHeap;
+pub use fibonacci::FibonacciHeap;
+pub use pairing::PairingHeap;
+pub use treap::Treap;
+
+/// A min-priority queue over items `0..capacity` with `u64` keys and
+/// decrease-key, the interface Dijkstra-style searches need.
+///
+/// Each item may appear at most once; [`DecreaseKeyHeap::push_or_decrease`]
+/// merges insert and decrease-key the way relaxation uses them.
+pub trait DecreaseKeyHeap {
+    /// Creates a heap for items `0..capacity`.
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// Number of items currently queued.
+    fn len(&self) -> usize;
+
+    /// True when no items are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `item` with `key`, or lowers its key if already queued with a
+    /// larger one. Returns `true` iff the heap changed (inserted or
+    /// decreased) — exactly "the relaxation succeeded".
+    fn push_or_decrease(&mut self, item: u32, key: u64) -> bool;
+
+    /// Removes and returns the minimum-key item (ties broken arbitrarily).
+    fn pop_min(&mut self) -> Option<(u32, u64)>;
+
+    /// Current key of `item`, if queued.
+    fn key_of(&self, item: u32) -> Option<u64>;
+
+    /// Removes all items, keeping capacity.
+    fn clear(&mut self);
+}
+
+#[cfg(test)]
+pub(crate) mod heap_test_support {
+    //! Model-based test battery shared by all three heap implementations.
+    use super::DecreaseKeyHeap;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Drives `H` against a simple model; panics on divergence.
+    pub fn run_model_battery<H: DecreaseKeyHeap>(seed: u64, ops: usize, universe: u32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap = H::with_capacity(universe as usize);
+        let mut model: std::collections::BTreeMap<u32, u64> = Default::default();
+        for _ in 0..ops {
+            match rng.random_range(0..10) {
+                0..=5 => {
+                    let item = rng.random_range(0..universe);
+                    let key = rng.random_range(0..1000u64);
+                    let model_changed = match model.get(&item) {
+                        Some(&old) if old <= key => false,
+                        _ => {
+                            model.insert(item, key);
+                            true
+                        }
+                    };
+                    let heap_changed = heap.push_or_decrease(item, key);
+                    assert_eq!(heap_changed, model_changed, "push_or_decrease({item},{key})");
+                }
+                6..=8 => {
+                    let expect_min = model.values().copied().min();
+                    match heap.pop_min() {
+                        None => assert!(model.is_empty()),
+                        Some((item, key)) => {
+                            assert_eq!(Some(key), expect_min, "pop_min returned non-minimal key");
+                            assert_eq!(model.remove(&item), Some(key), "pop_min item/key mismatch");
+                        }
+                    }
+                }
+                _ => {
+                    let item = rng.random_range(0..universe);
+                    assert_eq!(heap.key_of(item), model.get(&item).copied(), "key_of({item})");
+                }
+            }
+            assert_eq!(heap.len(), model.len());
+            assert_eq!(heap.is_empty(), model.is_empty());
+        }
+        // Drain: must come out in nondecreasing key order.
+        let mut last = 0u64;
+        while let Some((item, key)) = heap.pop_min() {
+            assert!(key >= last, "heap order violated");
+            last = key;
+            assert_eq!(model.remove(&item), Some(key));
+        }
+        assert!(model.is_empty());
+    }
+
+    /// Heapsort check: n random keys drain in sorted order.
+    pub fn run_heapsort<H: DecreaseKeyHeap>(seed: u64, n: u32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap = H::with_capacity(n as usize);
+        let mut keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(heap.push_or_decrease(i as u32, k));
+        }
+        keys.sort_unstable();
+        let mut drained = Vec::with_capacity(n as usize);
+        while let Some((_, k)) = heap.pop_min() {
+            drained.push(k);
+        }
+        assert_eq!(drained, keys);
+    }
+
+    /// Exercises decrease-key cascades: keys only ever decrease.
+    pub fn run_decrease_storm<H: DecreaseKeyHeap>(seed: u64, n: u32, rounds: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap = H::with_capacity(n as usize);
+        let mut best = vec![u64::MAX; n as usize];
+        for i in 0..n {
+            let k = 1_000_000 + rng.random_range(0..1000u64);
+            heap.push_or_decrease(i, k);
+            best[i as usize] = k;
+        }
+        for _ in 0..rounds {
+            let i = rng.random_range(0..n);
+            let k = rng.random_range(0..1_000_000u64);
+            if k < best[i as usize] {
+                assert!(heap.push_or_decrease(i, k));
+                best[i as usize] = k;
+            } else {
+                assert!(!heap.push_or_decrease(i, k));
+            }
+        }
+        let mut last = 0;
+        while let Some((i, k)) = heap.pop_min() {
+            assert_eq!(k, best[i as usize]);
+            assert!(k >= last);
+            last = k;
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Join-based treap: the ordered set with `split` / `union` / `difference`
+//! that Algorithm 2 keeps its fringe in.
+//!
+//! §3.3 of the paper stores tentative distances in two balanced BSTs —
+//! `Q` keyed by `(δ(u), u)` and `R` keyed by `(δ(u) + r(u), u)` — and drives
+//! each step with an extract-min on `R`, a `split` of `Q` at the round
+//! distance, and batch `union`/`difference` against the relaxed vertices.
+//! This module provides those operations on a size-augmented treap whose
+//! priorities are a deterministic hash of the key, so equal sets always
+//! have equal shapes and bulk operations can recurse structurally.
+//! `union`/`difference` recurse in parallel (rayon) above a size threshold,
+//! matching the `O(p log q)` work / polylog depth bounds quoted in §2.
+
+use rayon::join;
+
+/// Set element: `(primary, id)` — distance paired with vertex id.
+pub type Key = (u64, u32);
+
+/// Subtree size threshold above which union/difference recurse in parallel.
+const PAR_THRESHOLD: u32 = 1 << 11;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic priority: a hash of the key, so the treap shape is a
+/// function of its contents.
+fn prio(key: Key) -> u64 {
+    splitmix64(key.0 ^ (key.1 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Key,
+    prio: u64,
+    size: u32,
+    left: Link,
+    right: Link,
+}
+
+type Link = Option<Box<Node>>;
+
+fn size(t: &Link) -> u32 {
+    t.as_ref().map_or(0, |n| n.size)
+}
+
+fn rebuild(mut n: Box<Node>, left: Link, right: Link) -> Link {
+    n.size = 1 + size(&left) + size(&right);
+    n.left = left;
+    n.right = right;
+    Some(n)
+}
+
+/// Splits into `(keys < key, key present?, keys > key)`.
+fn split3(t: Link, key: Key) -> (Link, bool, Link) {
+    match t {
+        None => (None, false, None),
+        Some(mut n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let left = n.left.take();
+                let (ll, found, lr) = split3(left, key);
+                let right = n.right.take();
+                (ll, found, rebuild(n, lr, right))
+            }
+            std::cmp::Ordering::Greater => {
+                let right = n.right.take();
+                let (rl, found, rr) = split3(right, key);
+                let left = n.left.take();
+                (rebuild(n, left, rl), found, rr)
+            }
+            std::cmp::Ordering::Equal => (n.left.take(), true, n.right.take()),
+        },
+    }
+}
+
+/// Joins two treaps where every key in `l` precedes every key in `r`.
+fn join2(l: Link, r: Link) -> Link {
+    match (l, r) {
+        (None, t) | (t, None) => t,
+        (Some(mut l), Some(mut r)) => {
+            if l.prio >= r.prio {
+                let lr = l.right.take();
+                let joined = join2(lr, Some(r));
+                let ll = l.left.take();
+                rebuild(l, ll, joined)
+            } else {
+                let rl = r.left.take();
+                let joined = join2(Some(l), rl);
+                let rr = r.right.take();
+                rebuild(r, joined, rr)
+            }
+        }
+    }
+}
+
+fn union_links(a: Link, b: Link) -> Link {
+    match (a, b) {
+        (None, t) | (t, None) => t,
+        (Some(a), Some(b)) => {
+            // Root the union at the higher-priority node; ties cannot occur
+            // between distinct keys in a way that matters for correctness.
+            let (mut top, other) = if a.prio >= b.prio { (a, Some(b)) } else { (b, Some(a)) };
+            let (ol, _dup, or) = split3(other, top.key);
+            let tl = top.left.take();
+            let tr = top.right.take();
+            let (l, r) = if size(&tl).max(size(&ol)) > PAR_THRESHOLD
+                && size(&tr).max(size(&or)) > PAR_THRESHOLD
+            {
+                join(|| union_links(tl, ol), || union_links(tr, or))
+            } else {
+                (union_links(tl, ol), union_links(tr, or))
+            };
+            rebuild(top, l, r)
+        }
+    }
+}
+
+/// `a \ b`.
+fn difference_links(a: Link, b: Link) -> Link {
+    match (a, b) {
+        (None, _) => None,
+        (t, None) => t,
+        (Some(mut a), b) => {
+            let (bl, found, br) = split3(b, a.key);
+            let al = a.left.take();
+            let ar = a.right.take();
+            let (l, r) = if size(&al).max(size(&bl)) > PAR_THRESHOLD
+                && size(&ar).max(size(&br)) > PAR_THRESHOLD
+            {
+                join(|| difference_links(al, bl), || difference_links(ar, br))
+            } else {
+                (difference_links(al, bl), difference_links(ar, br))
+            };
+            if found {
+                join2(l, r)
+            } else {
+                rebuild(a, l, r)
+            }
+        }
+    }
+}
+
+/// Ordered set of [`Key`]s as a join-based treap.
+#[derive(Debug, Clone, Default)]
+pub struct Treap {
+    root: Link,
+}
+
+impl Treap {
+    /// The empty set.
+    pub fn new() -> Self {
+        Treap { root: None }
+    }
+
+    /// Builds from a strictly ascending key sequence in `O(n)` via the
+    /// right-spine stack construction.
+    pub fn from_sorted(keys: &[Key]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+        let mut spine: Vec<Box<Node>> = Vec::new();
+        for &key in keys {
+            let mut carried: Link = None;
+            while let Some(top) = spine.last() {
+                if top.prio < prio(key) {
+                    let mut popped = spine.pop().unwrap();
+                    let left = carried.take();
+                    // popped keeps its own left; carried attaches as right.
+                    popped.right = left;
+                    popped.size = 1 + size(&popped.left) + size(&popped.right);
+                    carried = Some(popped);
+                } else {
+                    break;
+                }
+            }
+            let node = Box::new(Node {
+                key,
+                prio: prio(key),
+                size: 1 + carried.as_ref().map_or(0, |c| c.size),
+                left: carried,
+                right: None,
+            });
+            spine.push(node);
+        }
+        // Collapse the spine right-to-left.
+        let mut carried: Link = None;
+        while let Some(mut popped) = spine.pop() {
+            popped.right = carried.take();
+            popped.size = 1 + size(&popped.left) + size(&popped.right);
+            carried = Some(popped);
+        }
+        Treap { root: carried }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        size(&self.root) as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Inserts `key`; returns `true` iff it was absent.
+    pub fn insert(&mut self, key: Key) -> bool {
+        let (l, found, r) = split3(self.root.take(), key);
+        if found {
+            // Rebuild unchanged (the key was already present).
+            let node = Box::new(Node { key, prio: prio(key), size: 1, left: None, right: None });
+            self.root = join2(join2(l, Some(node)), r);
+            false
+        } else {
+            let node = Box::new(Node { key, prio: prio(key), size: 1, left: None, right: None });
+            self.root = join2(join2(l, Some(node)), r);
+            true
+        }
+    }
+
+    /// Removes `key`; returns `true` iff it was present.
+    pub fn remove(&mut self, key: Key) -> bool {
+        let (l, found, r) = split3(self.root.take(), key);
+        self.root = join2(l, r);
+        found
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: Key) -> bool {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => cur = &n.left,
+                std::cmp::Ordering::Greater => cur = &n.right,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<Key> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(l) = cur.left.as_ref() {
+            cur = l;
+        }
+        Some(cur.key)
+    }
+
+    /// Removes and returns the smallest element.
+    pub fn extract_min(&mut self) -> Option<Key> {
+        let key = self.min()?;
+        self.remove(key);
+        Some(key)
+    }
+
+    /// Splits into `(elements with primary ≤ d, the rest)` — the paper's
+    /// `Q.split(d_i)` selecting the step's active set.
+    pub fn split_at_most(&mut self, d: u64) -> Treap {
+        if d == u64::MAX {
+            return Treap { root: self.root.take() };
+        }
+        let (l, found, r) = split3(self.root.take(), (d + 1, 0));
+        self.root = if found {
+            // A real element (d+1, 0) matched the split key; it belongs on
+            // the "greater than d" side.
+            let node = Box::new(Node {
+                key: (d + 1, 0),
+                prio: prio((d + 1, 0)),
+                size: 1,
+                left: None,
+                right: None,
+            });
+            join2(Some(node), r)
+        } else {
+            r
+        };
+        Treap { root: l }
+    }
+
+    /// Set union (consumes both operands' structure).
+    pub fn union(a: Treap, b: Treap) -> Treap {
+        Treap { root: union_links(a.root, b.root) }
+    }
+
+    /// Set difference `a \ b`.
+    pub fn difference(a: Treap, b: Treap) -> Treap {
+        Treap { root: difference_links(a.root, b.root) }
+    }
+
+    /// In-order contents.
+    pub fn to_vec(&self) -> Vec<Key> {
+        fn walk(t: &Link, out: &mut Vec<Key>) {
+            if let Some(n) = t {
+                walk(&n.left, out);
+                out.push(n.key);
+                walk(&n.right, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len());
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Verifies BST order, heap priority and size augmentation; test aid.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk(t: &Link, lo: Option<Key>, hi: Option<Key>) -> Result<u32, String> {
+            match t {
+                None => Ok(0),
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        if n.key <= lo {
+                            return Err(format!("BST order violated at {:?}", n.key));
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if n.key >= hi {
+                            return Err(format!("BST order violated at {:?}", n.key));
+                        }
+                    }
+                    if n.prio != prio(n.key) {
+                        return Err("priority not hash of key".into());
+                    }
+                    for c in [&n.left, &n.right].into_iter().flatten() {
+                        if c.prio > n.prio {
+                            return Err("heap property violated".into());
+                        }
+                    }
+                    let ls = walk(&n.left, lo, Some(n.key))?;
+                    let rs = walk(&n.right, Some(n.key), hi)?;
+                    if n.size != 1 + ls + rs {
+                        return Err(format!("size wrong at {:?}", n.key));
+                    }
+                    Ok(n.size)
+                }
+            }
+        }
+        walk(&self.root, None, None).map(|_| ())
+    }
+}
+
+impl FromIterator<Key> for Treap {
+    fn from_iter<I: IntoIterator<Item = Key>>(iter: I) -> Self {
+        let mut keys: Vec<Key> = iter.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Treap::from_sorted(&keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(xs: &[(u64, u32)]) -> Vec<Key> {
+        xs.to_vec()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut t = Treap::new();
+        assert!(t.insert((5, 0)));
+        assert!(t.insert((3, 1)));
+        assert!(!t.insert((5, 0)), "duplicate insert");
+        assert_eq!(t.len(), 2);
+        assert!(t.contains((3, 1)));
+        assert!(!t.contains((3, 2)));
+        assert!(t.remove((3, 1)));
+        assert!(!t.remove((3, 1)));
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn min_and_extract() {
+        let mut t: Treap = [(9, 1), (2, 5), (2, 3), (7, 0)].into_iter().collect();
+        assert_eq!(t.min(), Some((2, 3)), "ties broken by id");
+        assert_eq!(t.extract_min(), Some((2, 3)));
+        assert_eq!(t.extract_min(), Some((2, 5)));
+        assert_eq!(t.extract_min(), Some((7, 0)));
+        assert_eq!(t.extract_min(), Some((9, 1)));
+        assert_eq!(t.extract_min(), None);
+    }
+
+    #[test]
+    fn from_sorted_matches_inserts() {
+        let ks: Vec<Key> = (0..500u32).map(|i| ((i as u64 * 37) % 1000, i)).collect();
+        let mut sorted = ks.clone();
+        sorted.sort_unstable();
+        let bulk = Treap::from_sorted(&sorted);
+        bulk.check_invariants().unwrap();
+        let mut incremental = Treap::new();
+        for &k in &ks {
+            incremental.insert(k);
+        }
+        incremental.check_invariants().unwrap();
+        assert_eq!(bulk.to_vec(), incremental.to_vec());
+        assert_eq!(bulk.len(), 500);
+    }
+
+    #[test]
+    fn split_at_most_partitions_by_distance() {
+        let t: Treap = keys(&[(1, 0), (3, 1), (3, 9), (5, 2), (8, 3)]).into_iter().collect();
+        let mut rest = t;
+        let low = rest.split_at_most(3);
+        assert_eq!(low.to_vec(), vec![(1, 0), (3, 1), (3, 9)]);
+        assert_eq!(rest.to_vec(), vec![(5, 2), (8, 3)]);
+        low.check_invariants().unwrap();
+        rest.check_invariants().unwrap();
+        // Split at MAX takes everything.
+        let mut rest2 = low;
+        let all = rest2.split_at_most(u64::MAX);
+        assert!(rest2.is_empty());
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn split_at_most_with_element_at_sentinel_key() {
+        // An element whose key equals the internal sentinel (d+1, 0) must
+        // land on the "greater" side.
+        let mut t: Treap = keys(&[(3, 0), (4, 0), (5, 0)]).into_iter().collect();
+        let low = t.split_at_most(3);
+        assert_eq!(low.to_vec(), vec![(3, 0)]);
+        assert_eq!(t.to_vec(), vec![(4, 0), (5, 0)]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let a: Treap = keys(&[(1, 1), (2, 2), (3, 3)]).into_iter().collect();
+        let b: Treap = keys(&[(2, 2), (4, 4)]).into_iter().collect();
+        let u = Treap::union(a, b);
+        assert_eq!(u.to_vec(), vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
+        u.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn difference_removes_intersection() {
+        let a: Treap = keys(&[(1, 1), (2, 2), (3, 3), (4, 4)]).into_iter().collect();
+        let b: Treap = keys(&[(2, 2), (4, 4), (9, 9)]).into_iter().collect();
+        let d = Treap::difference(a, b);
+        assert_eq!(d.to_vec(), vec![(1, 1), (3, 3)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_union_exercises_parallel_path() {
+        let a: Treap = (0..20_000u32).map(|i| (i as u64 * 2, i)).collect();
+        let b: Treap = (0..20_000u32).map(|i| (i as u64 * 2 + 1, i)).collect();
+        let u = Treap::union(a, b);
+        assert_eq!(u.len(), 40_000);
+        u.check_invariants().unwrap();
+        let v = u.to_vec();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn large_difference_exercises_parallel_path() {
+        let a: Treap = (0..20_000u32).map(|i| (i as u64, i)).collect();
+        let b: Treap = (0..20_000u32).filter(|i| i % 2 == 0).map(|i| (i as u64, i)).collect();
+        let d = Treap::difference(a, b);
+        assert_eq!(d.len(), 10_000);
+        assert!(d.to_vec().iter().all(|&(k, _)| k % 2 == 1));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shape_is_content_deterministic() {
+        // Same contents via different op orders -> same in-order vec and
+        // same invariant-checked shape (priorities are content hashes).
+        let mut a = Treap::new();
+        for i in (0..100u32).rev() {
+            a.insert((i as u64, i));
+        }
+        let b: Treap = (0..100u32).map(|i| (i as u64, i)).collect();
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn arb_keys() -> impl Strategy<Value = Vec<Key>> {
+        proptest::collection::vec((0u64..50, 0u32..10), 0..120)
+    }
+
+    proptest! {
+        #[test]
+        fn treap_matches_btreeset(ops in arb_keys(), removes in arb_keys()) {
+            let mut t = Treap::new();
+            let mut model: BTreeSet<Key> = BTreeSet::new();
+            for k in ops {
+                prop_assert_eq!(t.insert(k), model.insert(k));
+            }
+            for k in removes {
+                prop_assert_eq!(t.remove(k), model.remove(&k));
+            }
+            prop_assert_eq!(t.to_vec(), model.iter().copied().collect::<Vec<_>>());
+            prop_assert!(t.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn union_difference_are_set_ops(xs in arb_keys(), ys in arb_keys()) {
+            let sx: BTreeSet<Key> = xs.iter().copied().collect();
+            let sy: BTreeSet<Key> = ys.iter().copied().collect();
+            let tx: Treap = sx.iter().copied().collect();
+            let ty: Treap = sy.iter().copied().collect();
+            let u = Treap::union(tx.clone(), ty.clone());
+            prop_assert_eq!(u.to_vec(), sx.union(&sy).copied().collect::<Vec<_>>());
+            prop_assert!(u.check_invariants().is_ok());
+            let d = Treap::difference(tx, ty);
+            prop_assert_eq!(d.to_vec(), sx.difference(&sy).copied().collect::<Vec<_>>());
+            prop_assert!(d.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn split_partitions(xs in arb_keys(), d in 0u64..60) {
+            let set: BTreeSet<Key> = xs.iter().copied().collect();
+            let mut t: Treap = set.iter().copied().collect();
+            let low = t.split_at_most(d);
+            prop_assert!(low.to_vec().iter().all(|&(p, _)| p <= d));
+            prop_assert!(t.to_vec().iter().all(|&(p, _)| p > d));
+            prop_assert_eq!(low.len() + t.len(), set.len());
+            prop_assert!(low.check_invariants().is_ok());
+            prop_assert!(t.check_invariants().is_ok());
+        }
+    }
+}

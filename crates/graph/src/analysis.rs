@@ -1,0 +1,213 @@
+//! Structural analysis: connectivity, component extraction, degree and
+//! eccentricity statistics.
+//!
+//! The paper assumes connected inputs (§2); [`largest_component`] is the
+//! normalisation step the experiment harness applies to every generated
+//! graph before preprocessing.
+
+use std::collections::VecDeque;
+
+use crate::builder::build_symmetric;
+use crate::{CsrGraph, Edge, VertexId};
+
+/// Component label (root id) for every vertex, via BFS.
+pub fn connected_components(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = s as u32;
+        queue.push_back(s as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = s as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// True when the graph has exactly one connected component (and ≥ 1 vertex).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let labels = connected_components(g);
+    !labels.is_empty() && labels.iter().all(|&l| l == labels[0])
+}
+
+/// Extracts the largest connected component, relabelling vertices densely.
+///
+/// Returns the component graph and the mapping `new id -> old id`.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let labels = connected_components(g);
+    let n = g.num_vertices();
+    if n == 0 {
+        return (CsrGraph::empty(0), Vec::new());
+    }
+    // Find the most frequent label.
+    let mut counts = std::collections::HashMap::new();
+    for &l in &labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    let (&best, _) = counts.iter().max_by_key(|&(&l, &c)| (c, std::cmp::Reverse(l))).unwrap();
+    let mut old_of_new = Vec::new();
+    let mut new_of_old = vec![u32::MAX; n];
+    for v in 0..n {
+        if labels[v] == best {
+            new_of_old[v] = old_of_new.len() as u32;
+            old_of_new.push(v as VertexId);
+        }
+    }
+    let mut edges: Vec<Edge> = Vec::new();
+    for (u, v, w) in g.all_arcs() {
+        if u < v && labels[u as usize] == best && labels[v as usize] == best {
+            edges.push((new_of_old[u as usize], new_of_old[v as usize], w));
+        }
+    }
+    (build_symmetric(old_of_new.len(), &edges), old_of_new)
+}
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub median: usize,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 };
+    }
+    let mut degs: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: g.num_arcs() as f64 / n as f64,
+        median: degs[n / 2],
+    }
+}
+
+/// Unweighted (hop) eccentricity of `s`: BFS depth, ignoring weights.
+pub fn hop_eccentricity(g: &CsrGraph, s: VertexId) -> usize {
+    let n = g.num_vertices();
+    let mut depth = vec![usize::MAX; n];
+    depth[s as usize] = 0;
+    let mut queue = VecDeque::from([s]);
+    let mut max_d = 0;
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if depth[v as usize] == usize::MAX {
+                depth[v as usize] = depth[u as usize] + 1;
+                max_d = max_d.max(depth[v as usize]);
+                queue.push_back(v);
+            }
+        }
+    }
+    max_d
+}
+
+/// Double-sweep lower bound on the hop diameter: BFS from `s`, then BFS from
+/// the farthest vertex found. Exact on trees, a good estimate elsewhere.
+pub fn diameter_estimate(g: &CsrGraph, s: VertexId) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let far = {
+        let mut depth = vec![usize::MAX; n];
+        depth[s as usize] = 0;
+        let mut queue = VecDeque::from([s]);
+        let mut far = s;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == usize::MAX {
+                    depth[v as usize] = depth[u as usize] + 1;
+                    if depth[v as usize] > depth[far as usize] {
+                        far = v;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        far
+    };
+    hop_eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, EdgeListBuilder};
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = EdgeListBuilder::new(7);
+        // Component A: 0-1-2-3 (larger). Component B: 4-5. Vertex 6 isolated.
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (4, 5)] {
+            b.add_edge(u, v, 2);
+        }
+        let g = b.build();
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc.num_vertices(), 4);
+        assert_eq!(lcc.num_edges(), 3);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert!(is_connected(&lcc));
+        lcc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity() {
+        let g = gen::grid2d(5, 5);
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc, g);
+        assert_eq!(map, (0..25).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&gen::star(11));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 20.0 / 11.0).abs() < 1e-9);
+        assert_eq!(s.median, 1);
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = gen::path(10);
+        assert_eq!(hop_eccentricity(&g, 0), 9);
+        assert_eq!(hop_eccentricity(&g, 5), 5);
+        assert_eq!(diameter_estimate(&g, 5), 9, "double sweep finds path ends");
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = gen::grid2d(4, 6);
+        assert_eq!(diameter_estimate(&g, 0), 3 + 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge-list builder producing canonical CSR graphs.
+//!
+//! All graphs in the workspace are built through this path so the engine
+//! code can rely on: symmetric arcs, no self-loops, no duplicate targets
+//! (parallel edges keep the minimum weight — exactly how the paper merges
+//! shortcut edges into the original graph), and target-sorted adjacency.
+
+use rayon::prelude::*;
+
+use crate::{CsrGraph, Edge, VertexId, Weight};
+
+/// Accumulates undirected edges and builds a [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct EdgeListBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeListBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex ids are u32");
+        EdgeListBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Self-loops are silently dropped; duplicates are collapsed (minimum
+    /// weight wins) at build time. Zero weights are rejected because the
+    /// paper normalises the lightest weight to 1.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        assert!(w > 0, "edge weights must be positive (paper normalises min weight to 1)");
+        if u != v {
+            self.edges.push((u, v, w));
+        }
+    }
+
+    /// Bulk-adds edges.
+    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = Edge>) {
+        for (u, v, w) in edges {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Number of (pre-dedup) undirected edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds the canonical CSR graph.
+    pub fn build(&self) -> CsrGraph {
+        build_symmetric(self.n, &self.edges)
+    }
+}
+
+/// Builds a canonical symmetric CSR from an undirected edge list.
+pub fn build_symmetric(n: usize, edges: &[Edge]) -> CsrGraph {
+    // Materialise both arc directions, sort by (src, dst, w), keep the
+    // minimum-weight copy of each (src, dst).
+    let mut arcs: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(edges.len() * 2);
+    for &(u, v, w) in edges {
+        if u != v {
+            arcs.push((u, v, w));
+            arcs.push((v, u, w));
+        }
+    }
+    arcs.par_sort_unstable();
+    arcs.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1)); // keeps first = min weight
+
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _, _) in &arcs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets: Vec<VertexId> = arcs.par_iter().map(|a| a.1).collect();
+    let weights: Vec<Weight> = arcs.par_iter().map(|a| a.2).collect();
+    CsrGraph::from_parts(offsets, targets, weights)
+}
+
+/// Merges extra undirected edges (e.g. the paper's shortcut edges) into an
+/// existing graph, collapsing duplicates to the minimum weight.
+pub fn merge_edges(g: &CsrGraph, extra: &[Edge]) -> CsrGraph {
+    let mut edges: Vec<Edge> = Vec::with_capacity(g.num_edges() + extra.len());
+    for (u, v, w) in g.all_arcs() {
+        if u < v {
+            edges.push((u, v, w));
+        }
+    }
+    edges.extend_from_slice(extra);
+    build_symmetric(g.num_vertices(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 0, 3); // same undirected edge, lighter
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.arc_weight(0, 1), Some(3));
+        assert_eq!(g.arc_weight(1, 0), Some(3));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = EdgeListBuilder::new(3);
+        b.add_edge(1, 1, 4);
+        b.add_edge(0, 2, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn adjacency_sorted_and_symmetric() {
+        let mut b = EdgeListBuilder::new(5);
+        for (u, v) in [(4, 0), (2, 0), (3, 0), (1, 0), (4, 2)] {
+            b.add_edge(u, v, (u + v + 1) as Weight);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_edges_adds_shortcuts_min_weight() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        let g = b.build();
+        // Shortcut 0-2 with the true distance 4, plus a worse duplicate 0-1.
+        let g2 = merge_edges(&g, &[(0, 2, 4), (0, 1, 10)]);
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.arc_weight(0, 2), Some(4));
+        assert_eq!(g2.arc_weight(0, 1), Some(2), "existing lighter edge wins");
+        g2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut b = EdgeListBuilder::new(50);
+        for i in 0..49u32 {
+            b.add_edge(i, i + 1, i % 7 + 1);
+            b.add_edge(i, (i * 13) % 50, i % 5 + 1);
+        }
+        assert_eq!(b.build(), b.build());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_edges(n: u32) -> impl Strategy<Value = Vec<Edge>> {
+        proptest::collection::vec((0..n, 0..n, 1u32..100), 0..200)
+    }
+
+    proptest! {
+        #[test]
+        fn built_graph_invariants(edges in arb_edges(20)) {
+            let g = build_symmetric(20, &edges);
+            prop_assert!(g.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn arc_weight_is_min_of_duplicates(edges in arb_edges(10)) {
+            let g = build_symmetric(10, &edges);
+            for u in 0..10u32 {
+                for v in 0..10u32 {
+                    let expect = edges
+                        .iter()
+                        .filter(|&&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+                        .filter(|&&(a, b, _)| a != b)
+                        .map(|&(_, _, w)| w)
+                        .min();
+                    prop_assert_eq!(g.arc_weight(u, v), expect);
+                }
+            }
+        }
+    }
+}

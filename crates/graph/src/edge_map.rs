@@ -1,0 +1,188 @@
+//! Ligra-style `edge_map` with sparse/dense direction switching.
+//!
+//! `edge_map(g, frontier, update, cond)` applies `update(u, v, w)` to every
+//! arc `(u, v, w)` with `u` in the frontier and `cond(v)` true, returning the
+//! set of `v` for which some call returned `true`. `update` must be safe to
+//! call concurrently (in the engines it is an atomic priority-write).
+//!
+//! The sparse path scatters from frontier vertices and deduplicates output
+//! with an atomic bitset; the dense path gathers at each destination, which
+//! needs no atomics for the output flags. The crossover follows Ligra's
+//! `|F| + deg(F) > n / 20` rule.
+
+use rayon::prelude::*;
+
+use rs_par::{AtomicBitset, VertexSubset};
+
+use crate::{CsrGraph, VertexId, Weight};
+
+/// Result of an [`edge_map`]: the newly activated vertex subset.
+pub type EdgeMapResult = VertexSubset;
+
+/// Parallel frontier expansion; see module docs.
+pub fn edge_map<U, C>(g: &CsrGraph, frontier: &VertexSubset, update: U, cond: C) -> EdgeMapResult
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    match frontier {
+        VertexSubset::Sparse { ids, .. } => {
+            let deg_sum: usize = ids.iter().map(|&u| g.degree(u)).sum();
+            if frontier.should_densify(deg_sum) {
+                edge_map_dense(g, &frontier.to_dense(), update, cond)
+            } else {
+                edge_map_sparse(g, n, ids, update, cond)
+            }
+        }
+        VertexSubset::Dense { .. } => edge_map_dense(g, frontier, update, cond),
+    }
+}
+
+/// Sparse (scatter) direction: parallel over frontier vertices.
+pub fn edge_map_sparse<U, C>(
+    g: &CsrGraph,
+    n: usize,
+    frontier_ids: &[VertexId],
+    update: U,
+    cond: C,
+) -> EdgeMapResult
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+{
+    let claimed = AtomicBitset::new(n);
+    let next: Vec<VertexId> = frontier_ids
+        .par_iter()
+        .fold(Vec::new, |mut acc: Vec<VertexId>, &u| {
+            for (v, w) in g.edges(u) {
+                if cond(v) && update(u, v, w) && claimed.set(v as usize) {
+                    acc.push(v);
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    VertexSubset::from_ids(n, next)
+}
+
+/// Dense (gather) direction: parallel over all destinations, scanning
+/// in-arcs (identical to out-arcs on these symmetric graphs).
+pub fn edge_map_dense<U, C>(g: &CsrGraph, frontier: &VertexSubset, update: U, cond: C) -> EdgeMapResult
+where
+    U: Fn(VertexId, VertexId, Weight) -> bool + Sync,
+    C: Fn(VertexId) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    let dense = frontier.to_dense();
+    let in_frontier = |u: VertexId| dense.contains(u);
+    let flags: Vec<bool> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            if !cond(v) {
+                return false;
+            }
+            let mut hit = false;
+            for (u, w) in g.edges(v) {
+                if in_frontier(u) && update(u, v, w) {
+                    hit = true;
+                }
+            }
+            hit
+        })
+        .collect();
+    VertexSubset::from_flags(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rs_par::AtomicMinU64;
+
+    /// One BFS level via edge_map: unvisited neighbors of the frontier.
+    fn bfs_level(g: &CsrGraph, frontier: &VertexSubset, visited: &AtomicBitset) -> VertexSubset {
+        edge_map(
+            g,
+            frontier,
+            |_, v, _| visited.set(v as usize),
+            |v| !visited.get(v as usize),
+        )
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = gen::path(6);
+        let visited = AtomicBitset::new(6);
+        visited.set(0);
+        let mut frontier = VertexSubset::single(6, 0);
+        let mut levels = vec![vec![0u32]];
+        while !frontier.is_empty() {
+            frontier = bfs_level(&g, &frontier, &visited);
+            if !frontier.is_empty() {
+                levels.push(frontier.to_ids());
+            }
+        }
+        assert_eq!(levels, vec![vec![0], vec![1], vec![2], vec![3], vec![4], vec![5]]);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let g = gen::grid2d(15, 17);
+        let n = g.num_vertices();
+        let frontier = VertexSubset::from_ids(n, (0..40).map(|i| i * 3).collect());
+        // Relax distances from an all-INF state; both directions must
+        // produce the same activation set and the same distance array.
+        let run = |dense: bool| {
+            let dist: Vec<AtomicMinU64> = (0..n).map(|_| AtomicMinU64::new(u64::MAX)).collect();
+            for v in frontier.to_ids() {
+                dist[v as usize].store(0);
+            }
+            let update = |u: VertexId, v: VertexId, w: Weight| {
+                let cand = dist[u as usize].load().saturating_add(w as u64);
+                dist[v as usize].write_min(cand)
+            };
+            let cond = |_v: VertexId| true;
+            let out = if dense {
+                edge_map_dense(&g, &frontier, update, cond)
+            } else {
+                edge_map_sparse(&g, n, &frontier.to_ids(), update, cond)
+            };
+            let d: Vec<u64> = dist.iter().map(|a| a.load()).collect();
+            (out.to_ids(), d)
+        };
+        let (sparse_ids, sparse_d) = run(false);
+        let (dense_ids, dense_d) = run(true);
+        assert_eq!(sparse_ids, dense_ids);
+        assert_eq!(sparse_d, dense_d);
+        assert!(!sparse_ids.is_empty());
+    }
+
+    #[test]
+    fn cond_filters_targets() {
+        let g = gen::star(10);
+        let frontier = VertexSubset::single(10, 0);
+        let out = edge_map(&g, &frontier, |_, _, _| true, |v| v % 2 == 0);
+        assert_eq!(out.to_ids(), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn output_deduplicated() {
+        // Both endpoints of an edge in the frontier targeting the same third
+        // vertex: the result must contain it once.
+        let g = gen::complete(4);
+        let frontier = VertexSubset::from_ids(4, vec![0, 1, 2]);
+        let out = edge_map(&g, &frontier, |_, _, _| true, |v| v == 3);
+        assert_eq!(out.to_ids(), vec![3]);
+    }
+
+    #[test]
+    fn empty_frontier_empty_result() {
+        let g = gen::cycle(5);
+        let out = edge_map(&g, &VertexSubset::empty(5), |_, _, _| true, |_| true);
+        assert!(out.is_empty());
+    }
+}

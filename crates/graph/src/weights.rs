@@ -1,0 +1,105 @@
+//! Edge-weight models from the paper's experimental setup (§5.1).
+//!
+//! "In our experiments, if a graph does not come equipped with weights, we
+//! assign to every edge a random integer between 1 and 10,000." Weights are
+//! assigned per *undirected* edge so both arcs agree, then the graph is
+//! rebuilt through the canonical builder.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::build_symmetric;
+use crate::{CsrGraph, Edge, Weight};
+
+/// The weight distribution the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightModel {
+    /// Every edge has weight 1 (the "unweighted"/BFS setting; `L = 1`).
+    Unit,
+    /// Independent uniform integers in `[lo, hi]` (paper: `[1, 10_000]`).
+    UniformInt { lo: Weight, hi: Weight },
+}
+
+impl WeightModel {
+    /// The paper's weighted setting: uniform integers in `[1, 10^4]`.
+    pub fn paper_weighted() -> Self {
+        WeightModel::UniformInt { lo: 1, hi: 10_000 }
+    }
+
+    /// Largest weight this model can produce (the paper's `L`).
+    pub fn max_weight(&self) -> Weight {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::UniformInt { hi, .. } => hi,
+        }
+    }
+}
+
+/// Returns a copy of `g` reweighted under `model`, deterministically in
+/// `seed`. Topology is unchanged.
+pub fn reweight(g: &CsrGraph, model: WeightModel, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity(g.num_edges());
+    for (u, v, _) in g.all_arcs() {
+        if u < v {
+            let w = match model {
+                WeightModel::Unit => 1,
+                WeightModel::UniformInt { lo, hi } => {
+                    assert!(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+                    rng.random_range(lo..=hi)
+                }
+            };
+            edges.push((u, v, w));
+        }
+    }
+    build_symmetric(g.num_vertices(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeListBuilder;
+
+    fn sample_graph() -> CsrGraph {
+        let mut b = EdgeListBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        b.add_edge(0, 5, 1);
+        b.build()
+    }
+
+    #[test]
+    fn unit_reweight_is_identity_topology() {
+        let g = sample_graph();
+        let w = reweight(&g, WeightModel::Unit, 1);
+        assert_eq!(g, w);
+    }
+
+    #[test]
+    fn uniform_weights_in_range_and_symmetric() {
+        let g = sample_graph();
+        let w = reweight(&g, WeightModel::UniformInt { lo: 5, hi: 9 }, 42);
+        assert_eq!(w.num_edges(), g.num_edges());
+        for (u, v, wt) in w.all_arcs() {
+            assert!((5..=9).contains(&wt));
+            assert_eq!(w.arc_weight(v, u), Some(wt));
+        }
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = sample_graph();
+        let model = WeightModel::paper_weighted();
+        assert_eq!(reweight(&g, model, 7), reweight(&g, model, 7));
+        // Different seeds give different weights with overwhelming probability.
+        assert_ne!(reweight(&g, model, 7), reweight(&g, model, 8));
+    }
+
+    #[test]
+    fn paper_model_range() {
+        let m = WeightModel::paper_weighted();
+        assert_eq!(m.max_weight(), 10_000);
+    }
+}

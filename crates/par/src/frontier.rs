@@ -1,0 +1,145 @@
+//! Ligra-style vertex subsets with sparse/dense duality.
+//!
+//! Frontier-driven traversals (BFS, Bellman–Ford substeps, the active sets
+//! `A_i` of radius stepping) switch between a *sparse* representation (a
+//! packed list of vertex ids) when the frontier is small and a *dense*
+//! bitmap when it covers a large fraction of the graph. Edge-map operators
+//! in `rs_graph` consume either form.
+
+use crate::pack::pack_indices;
+
+/// A subset of the vertices `0..n`, stored sparsely or densely.
+#[derive(Debug, Clone)]
+pub enum VertexSubset {
+    /// Sorted (or at least duplicate-free) list of member ids.
+    Sparse { n: usize, ids: Vec<u32> },
+    /// Bitmap over all `n` vertices plus a cached member count.
+    Dense { flags: Vec<bool>, count: usize },
+}
+
+impl VertexSubset {
+    /// The empty subset of a universe of `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset::Sparse { n, ids: Vec::new() }
+    }
+
+    /// Singleton subset `{v}`.
+    pub fn single(n: usize, v: u32) -> Self {
+        debug_assert!((v as usize) < n);
+        VertexSubset::Sparse { n, ids: vec![v] }
+    }
+
+    /// Builds a sparse subset from member ids (must be duplicate-free).
+    pub fn from_ids(n: usize, ids: Vec<u32>) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < n));
+        VertexSubset::Sparse { n, ids }
+    }
+
+    /// Builds a dense subset from a bitmap.
+    pub fn from_flags(flags: Vec<bool>) -> Self {
+        let count = flags.iter().filter(|&&f| f).count();
+        VertexSubset::Dense { flags, count }
+    }
+
+    /// Size of the universe.
+    pub fn universe(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { n, .. } => *n,
+            VertexSubset::Dense { flags, .. } => flags.len(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { ids, .. } => ids.len(),
+            VertexSubset::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True when the subset has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test (`O(1)` dense, `O(len)` sparse).
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            VertexSubset::Sparse { ids, .. } => ids.contains(&v),
+            VertexSubset::Dense { flags, .. } => flags[v as usize],
+        }
+    }
+
+    /// Members as a packed, ascending id list (converts if dense).
+    pub fn to_ids(&self) -> Vec<u32> {
+        match self {
+            VertexSubset::Sparse { ids, .. } => {
+                let mut ids = ids.clone();
+                ids.sort_unstable();
+                ids
+            }
+            VertexSubset::Dense { flags, .. } => pack_indices(flags.len(), |i| flags[i]),
+        }
+    }
+
+    /// Converts to the dense bitmap form.
+    pub fn to_dense(&self) -> VertexSubset {
+        match self {
+            VertexSubset::Dense { .. } => self.clone(),
+            VertexSubset::Sparse { n, ids } => {
+                let mut flags = vec![false; *n];
+                for &v in ids {
+                    flags[v as usize] = true;
+                }
+                VertexSubset::Dense { flags, count: ids.len() }
+            }
+        }
+    }
+
+    /// Ligra's representation rule: go dense when the frontier (plus its
+    /// out-degree, if known) exceeds `universe / 20`.
+    pub fn should_densify(&self, out_degree_sum: usize) -> bool {
+        self.len() + out_degree_sum > self.universe() / 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let e = VertexSubset::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.universe(), 10);
+        let s = VertexSubset::single(10, 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let s = VertexSubset::from_ids(100, vec![5, 1, 99]);
+        let d = s.to_dense();
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(1) && d.contains(5) && d.contains(99));
+        assert_eq!(d.to_ids(), vec![1, 5, 99]);
+        assert_eq!(s.to_ids(), vec![1, 5, 99], "to_ids sorts sparse form");
+    }
+
+    #[test]
+    fn from_flags_counts() {
+        let d = VertexSubset::from_flags(vec![true, false, true, true]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.universe(), 4);
+        assert_eq!(d.to_ids(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn densify_heuristic() {
+        let s = VertexSubset::from_ids(1000, (0..10).collect());
+        assert!(!s.should_densify(0));
+        assert!(s.should_densify(100));
+    }
+}

@@ -1,0 +1,96 @@
+//! Parallel primitives used across the radius-stepping workspace.
+//!
+//! The paper analyses its algorithms in the work/depth (PRAM) model; this
+//! crate provides the small set of primitives that model relies on, mapped
+//! onto [rayon]'s fork-join pool:
+//!
+//! * [`scan`] — sequential and blocked-parallel prefix sums, the backbone of
+//!   parallel packing and CSR construction (`O(n)` work, `O(log n)` depth).
+//! * [`pack`] — parallel filter/pack of indices or values by a predicate.
+//! * [`atomic`] — the paper's *priority-write* (`WriteMin`) on `u64`
+//!   distances, plus an atomic bitset for concurrent membership flags.
+//! * [`reduce`] — parallel min/argmin reductions used to select the round
+//!   distance `d_i = min(δ(v) + r(v))`.
+//! * [`frontier`] — Ligra-style vertex subsets with sparse/dense duality.
+//!
+//! All primitives are deterministic given deterministic input (the atomics
+//! resolve races to the same fixed point regardless of scheduling).
+
+pub mod atomic;
+pub mod frontier;
+pub mod pack;
+pub mod reduce;
+pub mod scan;
+
+pub use atomic::{atomic_vec, AtomicBitset, AtomicMinU64};
+pub use frontier::VertexSubset;
+pub use pack::{pack_indices, pack_values};
+pub use reduce::{par_min, par_min_by_key};
+pub use scan::{exclusive_scan, exclusive_scan_in_place};
+
+/// Sequential-fallback threshold: below this many items the parallel
+/// primitives run sequentially to avoid fork-join overhead.
+pub const SEQ_THRESHOLD: usize = 1 << 12;
+
+/// Returns the number of rayon worker threads in the current pool.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Splits `n` items into roughly `pieces` contiguous ranges.
+///
+/// Guarantees every range is non-empty and the ranges exactly cover `0..n`.
+/// Returns an empty vector when `n == 0`.
+pub fn chunk_ranges(n: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, n);
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 100, 1001] {
+            for pieces in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(n, pieces);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "no empty ranges");
+                    expect = r.end;
+                }
+                assert_eq!(expect, n, "ranges must cover 0..n");
+                if n > 0 {
+                    assert!(ranges.len() <= pieces.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_balanced() {
+        let ranges = chunk_ranges(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Prefix sums (scans).
+//!
+//! The classic two-pass blocked scan: split into per-thread blocks, sum each
+//! block in parallel, scan the block sums sequentially (there are only
+//! `O(P)` of them), then offset each block in parallel. `O(n)` work,
+//! `O(n/P + P)` span — the standard PRAM scan mapped to a fixed pool.
+
+use rayon::prelude::*;
+
+use crate::{chunk_ranges, SEQ_THRESHOLD};
+
+/// Exclusive prefix sum of `input`, plus the grand total.
+///
+/// `output[i] = input[0] + … + input[i-1]`, `output[0] = 0`.
+pub fn exclusive_scan(input: &[u64]) -> (Vec<u64>, u64) {
+    let mut out = input.to_vec();
+    let total = exclusive_scan_in_place(&mut out);
+    (out, total)
+}
+
+/// In-place exclusive prefix sum; returns the grand total.
+pub fn exclusive_scan_in_place(data: &mut [u64]) -> u64 {
+    if data.len() < SEQ_THRESHOLD {
+        return seq_exclusive(data);
+    }
+    let ranges = chunk_ranges(data.len(), rayon::current_num_threads() * 4);
+    // Pass 1: per-block sums.
+    let mut block_sums: Vec<u64> = {
+        // Split `data` into disjoint mutable chunks matching `ranges`.
+        let mut sums = vec![0u64; ranges.len()];
+        let mut rest = &*data;
+        for (i, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at(r.len());
+            sums[i] = head.iter().sum();
+            rest = tail;
+        }
+        sums
+    };
+    // Pass 2: scan block sums (few of them).
+    let total = seq_exclusive(&mut block_sums);
+    // Pass 3: offset each block in parallel.
+    let mut chunks: Vec<&mut [u64]> = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks
+        .into_par_iter()
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut acc = offset;
+            for x in chunk {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        });
+    total
+}
+
+fn seq_exclusive(data: &mut [u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in data {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Exclusive prefix sum over `usize` counts (common for CSR offsets).
+pub fn exclusive_scan_usize(input: &[usize]) -> (Vec<usize>, usize) {
+    let as64: Vec<u64> = input.iter().map(|&x| x as u64).collect();
+    let (scanned, total) = exclusive_scan(&as64);
+    (scanned.into_iter().map(|x| x as usize).collect(), total as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(input: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0u64;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (v, t) = exclusive_scan(&[]);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+        let (v, t) = exclusive_scan(&[7]);
+        assert_eq!(v, vec![0]);
+        assert_eq!(t, 7);
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let input: Vec<u64> = (0..100).map(|i| (i * 37 + 11) % 13).collect();
+        assert_eq!(exclusive_scan(&input), reference(&input));
+    }
+
+    #[test]
+    fn matches_reference_large_parallel_path() {
+        let input: Vec<u64> = (0..(SEQ_THRESHOLD * 3 + 17) as u64)
+            .map(|i| (i * 2654435761) % 97)
+            .collect();
+        assert_eq!(exclusive_scan(&input), reference(&input));
+    }
+
+    #[test]
+    fn usize_variant() {
+        let (v, t) = exclusive_scan_usize(&[3, 0, 2, 5]);
+        assert_eq!(v, vec![0, 3, 3, 5]);
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn in_place_matches() {
+        let input: Vec<u64> = (0..5000).map(|i| i % 7).collect();
+        let (expect, expect_total) = reference(&input);
+        let mut data = input;
+        let total = exclusive_scan_in_place(&mut data);
+        assert_eq!(data, expect);
+        assert_eq!(total, expect_total);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn scan_total_equals_sum(input in proptest::collection::vec(0u64..1000, 0..2000)) {
+            let (_, total) = exclusive_scan(&input);
+            prop_assert_eq!(total, input.iter().sum::<u64>());
+        }
+
+        #[test]
+        fn scan_is_monotone_and_consistent(input in proptest::collection::vec(0u64..1000, 1..2000)) {
+            let (out, total) = exclusive_scan(&input);
+            prop_assert_eq!(out[0], 0);
+            for i in 1..out.len() {
+                prop_assert_eq!(out[i], out[i - 1] + input[i - 1]);
+            }
+            prop_assert_eq!(total, out[out.len() - 1] + input[input.len() - 1]);
+        }
+    }
+}

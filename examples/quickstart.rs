@@ -1,0 +1,45 @@
+//! Quickstart: preprocess a weighted graph once, then answer
+//! shortest-path queries from any source with radius stepping.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use radius_stepping::prelude::*;
+
+fn main() {
+    // A 200×200 grid with the paper's weight model (uniform ints in
+    // [1, 10^4]); think of it as a synthetic street network.
+    let topology = graph::gen::grid2d(200, 200);
+    let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 42);
+    println!("graph: n = {}, m = {} undirected edges", g.num_vertices(), g.num_edges());
+
+    // One-time preprocessing: (k = 1, ρ = 64)-graph. Higher ρ ⇒ fewer,
+    // bigger steps (more parallelism); higher k ⇒ fewer shortcut edges but
+    // more substeps. §5.4 recommends k ∈ {3, 4}, ρ ∈ [50, 100] in practice.
+    let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 64));
+    println!(
+        "preprocessing: +{} shortcut edges ({:.2}x of m), radii like r(0) = {}",
+        pre.stats.effective_new_edges,
+        pre.stats.added_edge_factor(),
+        pre.radii[0]
+    );
+
+    // Solve from a corner.
+    let source = 0;
+    let out = pre.sssp(source);
+    let far = (g.num_vertices() - 1) as u32;
+    println!(
+        "sssp from {source}: dist to opposite corner = {}, {} steps, ≤ {} substeps/step",
+        out.dist[far as usize], out.stats.steps, out.stats.max_substeps_in_step
+    );
+
+    // Reconstruct one route.
+    let path = out.path_to(&pre.graph, far).expect("grid is connected");
+    println!("route to {far}: {} hops (first 6: {:?} ...)", path.len() - 1, &path[..6.min(path.len())]);
+
+    // Cross-check against the sequential baseline.
+    let reference = baselines::dijkstra_default(&g, source);
+    assert_eq!(out.dist, reference, "radius stepping must match Dijkstra exactly");
+    println!("verified: distances identical to Dijkstra");
+}

@@ -1,0 +1,51 @@
+//! # radius-stepping
+//!
+//! A complete implementation of **"Parallel Shortest-Paths Using Radius
+//! Stepping"** (Blelloch, Gu, Sun, Tangwongsan; SPAA 2016): the
+//! radius-stepping SSSP algorithm, its (k, ρ)-graph preprocessing, every
+//! substrate it depends on, and the baselines it is evaluated against.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`core`] (`rs_core`) — the paper's contribution: radius-stepping
+//!   engines and preprocessing.
+//! * [`graph`] (`rs_graph`) — CSR graphs, generators, weight models, I/O.
+//! * [`baselines`] (`rs_baselines`) — Dijkstra, BFS, Bellman–Ford,
+//!   ∆-stepping.
+//! * [`ds`] (`rs_ds`) — decrease-key heaps, bucket queue, join-based treap.
+//! * [`par`] (`rs_par`) — parallel primitives (scan, pack, write-min,
+//!   frontiers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use radius_stepping::prelude::*;
+//!
+//! // A weighted graph (here: a 2D grid with the paper's weight model).
+//! let topology = graph::gen::grid2d(40, 40);
+//! let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 1);
+//!
+//! // One-time preprocessing: build a (k=1, rho=32)-graph + vertex radii.
+//! let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 32));
+//!
+//! // Per-source solve.
+//! let result = pre.sssp(0);
+//! assert_eq!(result.dist[0], 0);
+//!
+//! // Same answer as Dijkstra.
+//! assert_eq!(result.dist, baselines::dijkstra_default(&g, 0));
+//! ```
+
+pub use rs_baselines as baselines;
+pub use rs_core as core;
+pub use rs_ds as ds;
+pub use rs_graph as graph;
+pub use rs_par as par;
+
+/// Convenience imports for applications.
+pub mod prelude {
+    pub use crate::{baselines, core, ds, graph, par};
+    pub use rs_core::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
+    pub use rs_core::{radius_stepping, RadiiSpec, SsspResult, StepStats};
+    pub use rs_graph::{CsrGraph, Dist, EdgeListBuilder, VertexId, Weight, WeightModel, INF};
+}

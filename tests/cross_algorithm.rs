@@ -1,0 +1,96 @@
+//! Every shortest-path implementation in the workspace must agree exactly
+//! on every graph family, across its whole parameter range.
+
+use radius_stepping::prelude::*;
+use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
+
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    let w = |g: &CsrGraph, s| graph::weights::reweight(g, WeightModel::paper_weighted(), s);
+    vec![
+        ("grid2d", w(&graph::gen::grid2d(13, 17), 1)),
+        ("grid3d", w(&graph::gen::grid3d(5, 6, 7), 2)),
+        ("road", w(&graph::gen::road_network(15, 3), 3)),
+        ("web", w(&graph::gen::scale_free(300, 4, 4), 4)),
+        ("erdos_renyi", w(&graph::gen::erdos_renyi(150, 500, 5), 5)),
+        ("path", w(&graph::gen::path(40), 6)),
+        ("star", w(&graph::gen::star(40), 7)),
+        ("complete", w(&graph::gen::complete(30), 8)),
+        ("cycle", w(&graph::gen::cycle(50), 9)),
+        ("fig2_gadget", w(&graph::gen::fig2_gadget(8, 4), 10)),
+    ]
+}
+
+#[test]
+fn all_weighted_solvers_agree() {
+    for (name, g) in graphs() {
+        let source = (g.num_vertices() / 2) as u32;
+        let reference = baselines::dijkstra::<DaryHeap>(&g, source);
+        assert_eq!(baselines::dijkstra::<PairingHeap>(&g, source), reference, "{name}: pairing");
+        assert_eq!(baselines::dijkstra::<FibonacciHeap>(&g, source), reference, "{name}: fibonacci");
+        assert_eq!(baselines::bellman_ford(&g, source).0, reference, "{name}: bellman-ford");
+        for delta in [1u64, 777, 10_000, 1 << 20] {
+            assert_eq!(
+                baselines::delta_stepping(&g, source, delta).dist,
+                reference,
+                "{name}: delta-stepping d={delta}"
+            );
+        }
+        for radii in [RadiiSpec::Zero, RadiiSpec::Infinite, RadiiSpec::Constant(5_000)] {
+            assert_eq!(
+                core::radius_stepping(&g, &radii, source).dist,
+                reference,
+                "{name}: radius stepping {radii:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unweighted_solvers_agree_with_bfs() {
+    for (name, g) in [
+        ("grid2d", graph::gen::grid2d(20, 21)),
+        ("web", graph::gen::scale_free(400, 3, 11)),
+        ("road", graph::gen::road_network(16, 12)),
+    ] {
+        let source = 1u32;
+        let bfs = baselines::bfs_seq(&g, source);
+        let (bfs_p, _) = baselines::bfs_par(&g, source);
+        assert_eq!(bfs_p, bfs, "{name}: parallel BFS");
+        assert_eq!(baselines::dijkstra_default(&g, source), bfs, "{name}: dijkstra on unit weights");
+        assert_eq!(
+            core::radius_stepping(&g, &RadiiSpec::Zero, source).dist,
+            bfs,
+            "{name}: radius stepping r=0"
+        );
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 10));
+        assert_eq!(pre.sssp(source).dist, bfs, "{name}: preprocessed radius stepping");
+    }
+}
+
+#[test]
+fn zero_radius_step_count_equals_distinct_distances() {
+    // With r ≡ 0, each step settles exactly one distance value (§5.3's
+    // ρ = 1 ≈ "Dijkstra extracting equal distances together").
+    for (name, g) in graphs() {
+        let source = 0u32;
+        let out = core::radius_stepping(&g, &RadiiSpec::Zero, source);
+        let mut finite: Vec<Dist> = out.dist.iter().copied().filter(|&d| d != INF && d > 0).collect();
+        finite.sort_unstable();
+        finite.dedup();
+        assert_eq!(out.stats.steps, finite.len(), "{name}");
+    }
+}
+
+#[test]
+fn bellman_ford_and_infinite_radius_have_same_depth_structure() {
+    // r ≡ ∞ makes radius stepping one step of Bellman–Ford substeps. The
+    // baseline's first round relaxes the source itself (which radius
+    // stepping does during initialisation), so substeps = BF rounds − 1.
+    for (name, g) in graphs() {
+        let (bf_dist, bf_rounds) = baselines::bellman_ford(&g, 2);
+        let out = core::radius_stepping(&g, &RadiiSpec::Infinite, 2);
+        assert_eq!(out.dist, bf_dist, "{name}");
+        assert_eq!(out.stats.steps, 1, "{name}");
+        assert_eq!(out.stats.substeps, bf_rounds - 1, "{name}: substeps vs BF rounds");
+    }
+}

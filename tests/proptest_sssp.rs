@@ -1,0 +1,108 @@
+//! Property-based integration tests: random graphs, random weights, random
+//! radii — radius stepping must always equal Dijkstra, and preprocessing
+//! must always establish the paper's preconditions.
+
+use proptest::prelude::*;
+
+use radius_stepping::prelude::*;
+use rs_core::preprocess::ShortcutHeuristic;
+use rs_core::verify::{check_k_rho_graph, step_bound, substep_bound};
+use rs_core::{radius_stepping_with, EngineConfig, EngineKind};
+
+/// Random connected weighted graph: a random spanning tree plus extra
+/// random edges.
+fn arb_connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (3usize..40, proptest::collection::vec((0u32..1000, 0u32..1000, 1u32..50), 0..120), 1u32..50)
+        .prop_map(|(n, extra, tree_w)| {
+            let mut b = EdgeListBuilder::new(n);
+            for v in 1..n as u32 {
+                // Deterministic "random" parent keeps the tree connected.
+                let parent = (v.wrapping_mul(2654435761) >> 7) % v;
+                b.add_edge(v, parent, (v % tree_w) + 1);
+            }
+            for (u, v, w) in extra {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radius_stepping_equals_dijkstra_for_any_radii(
+        g in arb_connected_graph(),
+        radii_seed in proptest::collection::vec(0u64..100_000, 40),
+        source in 0u32..3,
+    ) {
+        // §3: "The algorithm is correct for any radii r(·)."
+        let n = g.num_vertices();
+        let radii: Vec<Dist> = (0..n).map(|i| radii_seed[i % radii_seed.len()]).collect();
+        let reference = baselines::dijkstra_default(&g, source);
+        for kind in [EngineKind::Frontier, EngineKind::Bst] {
+            let out = radius_stepping_with(
+                &g, &RadiiSpec::PerVertex(&radii), source, kind, EngineConfig::default());
+            prop_assert_eq!(&out.dist, &reference, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn engines_step_sequences_identical(
+        g in arb_connected_graph(),
+        r in 0u64..10_000,
+    ) {
+        let f = radius_stepping_with(
+            &g, &RadiiSpec::Constant(r), 0, EngineKind::Frontier, EngineConfig::with_trace());
+        let b = radius_stepping_with(
+            &g, &RadiiSpec::Constant(r), 0, EngineKind::Bst, EngineConfig::with_trace());
+        prop_assert_eq!(f.stats.steps, b.stats.steps);
+        prop_assert_eq!(f.stats.substeps, b.stats.substeps);
+        let fd: Vec<Dist> = f.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
+        let bd: Vec<Dist> = b.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
+        prop_assert_eq!(fd, bd);
+    }
+
+    #[test]
+    fn preprocessing_establishes_preconditions(
+        g in arb_connected_graph(),
+        k in 1u32..4,
+        rho_frac in 2usize..6,
+        h_pick in 0usize..3,
+    ) {
+        let n = g.num_vertices();
+        let rho = (n / rho_frac).max(1);
+        let h = [ShortcutHeuristic::Full, ShortcutHeuristic::Greedy, ShortcutHeuristic::Dp][h_pick];
+        let pre = Preprocessed::build(&g, &PreprocessConfig { k, rho, heuristic: h });
+        prop_assert!(pre.graph.check_invariants().is_ok());
+        // Lemma 4.1 preconditions, brute-force checked.
+        if let Err((v, msg)) = check_k_rho_graph(&pre.graph, &pre.radii, k, rho) {
+            return Err(TestCaseError::fail(format!("{h:?} k={k} rho={rho}: {msg} at {v}")));
+        }
+        // And the theorems' conclusions.
+        let out = pre.sssp_with(0, EngineKind::Frontier, EngineConfig::with_trace());
+        prop_assert!(out.stats.max_substeps_in_step <= substep_bound(k));
+        prop_assert!(out.stats.steps <= step_bound(n, rho, pre.graph.max_weight() as u64));
+        prop_assert_eq!(out.dist, baselines::dijkstra_default(&g, 0));
+    }
+
+    #[test]
+    fn shortcuts_never_change_distances(g in arb_connected_graph(), rho_frac in 2usize..5) {
+        let rho = (g.num_vertices() / rho_frac).max(1);
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, rho));
+        prop_assert_eq!(
+            baselines::dijkstra_default(&pre.graph, 1),
+            baselines::dijkstra_default(&g, 1)
+        );
+    }
+
+    #[test]
+    fn delta_stepping_and_bf_agree_on_random_graphs(g in arb_connected_graph(), delta in 1u64..200) {
+        let reference = baselines::dijkstra_default(&g, 0);
+        prop_assert_eq!(baselines::delta_stepping(&g, 0, delta).dist, reference.clone());
+        prop_assert_eq!(baselines::bellman_ford(&g, 0).0, reference);
+    }
+}
