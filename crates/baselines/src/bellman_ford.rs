@@ -5,13 +5,18 @@
 //! Each round relaxes all edges out of the vertices whose distance changed
 //! in the previous round; rounds until fixpoint equal the maximum hop
 //! length of a shortest path.
+//!
+//! Returns the workspace-uniform [`SsspResult`]: mirroring the paper's
+//! framing, the whole run is one *step* whose rounds are recorded as
+//! *substeps* (`stats.steps = 1`, `stats.substeps = rounds`).
 
+use rs_core::stats::{SsspResult, StepStats};
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
 use rs_par::{atomic_vec, VertexSubset};
 
-/// Parallel Bellman–Ford; returns distances and the number of relaxation
-/// rounds until fixpoint.
-pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
+/// Parallel Bellman–Ford. Rounds until fixpoint land in
+/// `stats.substeps` (and `stats.max_substeps_in_step`); `stats.steps = 1`.
+pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> SsspResult {
     let n = g.num_vertices();
     let dist = atomic_vec(n, INF);
     dist[s as usize].store(0);
@@ -20,10 +25,12 @@ pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
     // (Jacobi) so the round count is schedule-independent.
     let mut snapshot: Vec<Dist> = vec![INF; n];
     let mut rounds = 0;
+    let mut relaxations = 0u64;
     while !frontier.is_empty() {
         rounds += 1;
         for u in frontier.to_ids() {
             snapshot[u as usize] = dist[u as usize].load();
+            relaxations += g.degree(u) as u64;
         }
         let snap = &snapshot;
         frontier = edge_map(
@@ -37,7 +44,17 @@ pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
         );
         debug_assert!(rounds <= n, "negative cycle impossible with positive weights");
     }
-    (dist.iter().map(|d| d.load()).collect(), rounds)
+    let dist: Vec<Dist> = dist.iter().map(|d| d.load()).collect();
+    let settled = dist.iter().filter(|&&d| d != INF).count();
+    let stats = StepStats {
+        steps: 1,
+        substeps: rounds,
+        max_substeps_in_step: rounds,
+        relaxations,
+        settled,
+        trace: None,
+    };
+    SsspResult::new(dist, stats)
 }
 
 #[cfg(test)]
@@ -49,25 +66,27 @@ mod tests {
     #[test]
     fn agrees_with_dijkstra() {
         let g = weights::reweight(&gen::grid2d(10, 10), WeightModel::paper_weighted(), 3);
-        let (bf, _) = bellman_ford(&g, 42);
-        assert_eq!(bf, dijkstra_default(&g, 42));
+        let out = bellman_ford(&g, 42);
+        assert_eq!(out.dist, dijkstra_default(&g, 42));
+        assert_eq!(out.stats.settled, 100);
     }
 
     #[test]
     fn rounds_bounded_by_hop_depth() {
         let g = gen::path(20);
-        let (dist, rounds) = bellman_ford(&g, 0);
-        assert_eq!(dist[19], 19);
-        // 19 productive rounds + 1 empty-detection round.
-        assert_eq!(rounds, 20);
+        let out = bellman_ford(&g, 0);
+        assert_eq!(out.dist[19], 19);
+        // 19 productive rounds + 1 empty-detection round, one paper-step.
+        assert_eq!(out.stats.substeps, 20);
+        assert_eq!(out.stats.steps, 1);
     }
 
     #[test]
     fn single_vertex() {
         let g = CsrGraph::empty(1);
-        let (dist, rounds) = bellman_ford(&g, 0);
-        assert_eq!(dist, vec![0]);
+        let out = bellman_ford(&g, 0);
+        assert_eq!(out.dist, vec![0]);
         // One round processes the source's (empty) edge list.
-        assert_eq!(rounds, 1);
+        assert_eq!(out.stats.substeps, 1);
     }
 }

@@ -4,9 +4,14 @@
 //! conventional BFS implementation"; [`bfs_par`] is the level-synchronous
 //! parallel BFS (one round per level, via `edge_map`), [`bfs_seq`] the
 //! queue-based sequential reference.
+//!
+//! [`bfs_par`] returns the workspace-uniform [`SsspResult`]: each level is
+//! one *step* of one substep (`stats.steps` = rounds = the "BFS rounds"
+//! denominator of Table 5).
 
 use std::collections::VecDeque;
 
+use rs_core::stats::{SsspResult, StepStats};
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
 use rs_par::{AtomicBitset, VertexSubset};
 
@@ -27,9 +32,9 @@ pub fn bfs_seq(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
     dist
 }
 
-/// Level-synchronous parallel BFS; returns hop distances and the number of
-/// rounds (levels processed), the "BFS rounds" denominator of Table 5.
-pub fn bfs_par(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
+/// Level-synchronous parallel BFS, optionally stopping once `goal` has its
+/// level assigned (levels settle in order, so the value is final).
+pub fn bfs_par_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
     let n = g.num_vertices();
     let visited = AtomicBitset::new(n);
     visited.set(s as usize);
@@ -38,20 +43,39 @@ pub fn bfs_par(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, usize) {
     let mut frontier = VertexSubset::single(n, s);
     let mut level: Dist = 0;
     let mut rounds = 0;
+    let mut relaxations = 0u64;
     while !frontier.is_empty() {
+        if goal.is_some_and(|t| dist[t as usize] != INF) {
+            break;
+        }
         rounds += 1;
         level += 1;
-        frontier = edge_map(
-            g,
-            &frontier,
-            |_, v, _| visited.set(v as usize),
-            |v| !visited.get(v as usize),
-        );
+        for u in frontier.to_ids() {
+            relaxations += g.degree(u) as u64;
+        }
+        frontier =
+            edge_map(g, &frontier, |_, v, _| visited.set(v as usize), |v| !visited.get(v as usize));
         for v in frontier.to_ids() {
             dist[v as usize] = level;
         }
     }
-    (dist, rounds)
+    let settled = dist.iter().filter(|&&d| d != INF).count();
+    let stats = StepStats {
+        steps: rounds,
+        substeps: rounds,
+        max_substeps_in_step: rounds.min(1),
+        relaxations,
+        settled,
+        trace: None,
+    };
+    SsspResult::new(dist, stats)
+}
+
+/// Level-synchronous parallel BFS; hop distances plus the number of rounds
+/// (levels processed, the "BFS rounds" denominator of Table 5) in
+/// `stats.steps`.
+pub fn bfs_par(g: &CsrGraph, s: VertexId) -> SsspResult {
+    bfs_par_to_goal(g, s, None)
 }
 
 #[cfg(test)]
@@ -63,8 +87,8 @@ mod tests {
     fn seq_and_par_agree_on_suite() {
         for g in [gen::grid2d(9, 11), gen::scale_free(400, 3, 7), gen::path(30)] {
             let a = bfs_seq(&g, 0);
-            let (b, _) = bfs_par(&g, 0);
-            assert_eq!(a, b);
+            let b = bfs_par(&g, 0);
+            assert_eq!(a, b.dist);
         }
     }
 
@@ -72,9 +96,19 @@ mod tests {
     fn rounds_equal_eccentricity_plus_one() {
         // The last round discovers nothing, so rounds = eccentricity + 1.
         let g = gen::path(10);
-        let (dist, rounds) = bfs_par(&g, 0);
-        assert_eq!(dist[9], 9);
-        assert_eq!(rounds, 10);
+        let out = bfs_par(&g, 0);
+        assert_eq!(out.dist[9], 9);
+        assert_eq!(out.stats.steps, 10);
+    }
+
+    #[test]
+    fn goal_bounded_stops_early_with_exact_goal() {
+        let g = gen::path(30);
+        let full = bfs_par(&g, 0);
+        let bounded = bfs_par_to_goal(&g, 0, Some(5));
+        assert_eq!(bounded.dist[5], full.dist[5]);
+        assert!(bounded.stats.steps < full.stats.steps);
+        assert_eq!(bounded.dist[29], INF, "tail never reached");
     }
 
     #[test]

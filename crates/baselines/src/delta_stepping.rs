@@ -28,12 +28,28 @@ pub struct DeltaSteppingResult {
     pub buckets: usize,
     /// Light phases executed (the analogue of "substeps").
     pub phases: usize,
+    /// Largest number of light phases any single bucket needed — the
+    /// quantity radius stepping's `k + 2` bound improves on.
+    pub max_phases_in_bucket: usize,
     /// Edge relaxations attempted.
     pub relaxations: u64,
 }
 
 /// Runs ∆-stepping from `source` with bucket width `delta`.
 pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaSteppingResult {
+    delta_stepping_to_goal(g, source, delta, None)
+}
+
+/// [`delta_stepping`], optionally stopping once `goal` is settled: when the
+/// scan reaches a bucket strictly beyond `goal`'s tentative distance, that
+/// distance is final (every remaining tentative value is at least the
+/// bucket's lower bound).
+pub fn delta_stepping_to_goal(
+    g: &CsrGraph,
+    source: VertexId,
+    delta: Dist,
+    goal: Option<VertexId>,
+) -> DeltaSteppingResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
     let dist = atomic_vec(n, INF);
@@ -41,6 +57,7 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaStepp
     let mut queue = BucketQueue::new(n, delta, g.max_weight() as u64);
     let mut buckets = 0;
     let mut phases = 0;
+    let mut max_phases = 0;
     let mut relaxations = 0u64;
 
     dist[source as usize].store(0);
@@ -49,15 +66,23 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaStepp
     let light = |w: Weight| (w as Dist) <= delta;
 
     while let Some(b) = queue.next_nonempty_bucket() {
+        if goal.is_some_and(|t| {
+            let dt = dist[t as usize].load();
+            dt != INF && queue.bucket_of(dt) < b
+        }) {
+            break;
+        }
         buckets += 1;
         // Light phases: drain bucket b until it stays empty.
         let mut settled_here: Vec<VertexId> = Vec::new();
+        let mut phases_here = 0;
         loop {
             let frontier = queue.take_bucket(b);
             if frontier.is_empty() {
                 break;
             }
             phases += 1;
+            phases_here += 1;
             relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
             let updated = relax_edges(g, &dist, &frontier, light);
             settled_here.extend_from_slice(&frontier);
@@ -68,11 +93,10 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaStepp
                 }
             }
         }
+        max_phases = max_phases.max(phases_here);
         // Heavy phase: relax heavy edges of everything settled in bucket b.
-        let heavy_sources: Vec<VertexId> = settled_here
-            .into_iter()
-            .filter(|&v| settled_heavy.set(v as usize))
-            .collect();
+        let heavy_sources: Vec<VertexId> =
+            settled_here.into_iter().filter(|&v| settled_heavy.set(v as usize)).collect();
         relaxations += heavy_sources.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
         let updated = relax_edges(g, &dist, &heavy_sources, |w| !light(w));
         for (v, d) in updated {
@@ -84,6 +108,7 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaStepp
         dist: dist.iter().map(|d| d.load()).collect(),
         buckets,
         phases,
+        max_phases_in_bucket: max_phases,
         relaxations,
     }
 }
@@ -129,10 +154,7 @@ where
                 a
             })
     };
-    touched
-        .into_iter()
-        .map(|v| (v, dist[v as usize].load()))
-        .collect()
+    touched.into_iter().map(|v| (v, dist[v as usize].load())).collect()
 }
 
 #[cfg(test)]

@@ -8,16 +8,29 @@
 use rs_ds::{DaryHeap, DecreaseKeyHeap};
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-/// Single-source shortest paths with heap `H`; `dist[v] = INF` if
-/// unreachable.
-pub fn dijkstra<H: DecreaseKeyHeap>(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+/// The one relaxation loop behind every public variant (the same
+/// worker-plus-wrappers shape as `bfs_par_to_goal` and
+/// `delta_stepping_to_goal`): optionally stops once `goal` is popped, and
+/// reports the pops (settled count) and attempted edge relaxations.
+pub fn dijkstra_with_goal<H: DecreaseKeyHeap>(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: Option<VertexId>,
+) -> (Vec<Dist>, usize, u64) {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut heap = H::with_capacity(n);
+    let mut settled = 0;
+    let mut relaxations = 0u64;
     dist[s as usize] = 0;
     heap.push_or_decrease(s, 0);
     while let Some((u, du)) = heap.pop_min() {
         debug_assert_eq!(du, dist[u as usize]);
+        settled += 1;
+        if goal == Some(u) {
+            break;
+        }
+        relaxations += g.degree(u) as u64;
         for (v, w) in g.edges(u) {
             let cand = du + w as Dist;
             if cand < dist[v as usize] {
@@ -26,12 +39,30 @@ pub fn dijkstra<H: DecreaseKeyHeap>(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
             }
         }
     }
-    dist
+    (dist, settled, relaxations)
+}
+
+/// Single-source shortest paths with heap `H`; `dist[v] = INF` if
+/// unreachable.
+pub fn dijkstra<H: DecreaseKeyHeap>(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+    dijkstra_with_goal::<H>(g, s, None).0
 }
 
 /// [`dijkstra`] with the default 4-ary heap.
 pub fn dijkstra_default(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
     dijkstra::<DaryHeap>(g, s)
+}
+
+/// [`dijkstra`] stopping as soon as `goal` is popped (its distance is then
+/// final); also returns the number of pops (the settled count). Remaining
+/// entries are tentative upper bounds or [`INF`].
+pub fn dijkstra_to_goal<H: DecreaseKeyHeap>(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: VertexId,
+) -> (Vec<Dist>, usize) {
+    let (dist, settled, _) = dijkstra_with_goal::<H>(g, s, Some(goal));
+    (dist, settled)
 }
 
 /// Dijkstra that also returns the shortest-path tree: `parent[v]` is the
@@ -59,21 +90,9 @@ pub fn dijkstra_with_parents(g: &CsrGraph, s: VertexId) -> (Vec<Dist>, Vec<Verte
 }
 
 /// Reconstructs the shortest path `s → t` from a parent array, or `None`
-/// if `t` is unreachable.
-pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
-    if parent[t as usize] == u32::MAX {
-        return None;
-    }
-    let mut path = vec![t];
-    let mut cur = t;
-    while parent[cur as usize] != cur {
-        cur = parent[cur as usize];
-        path.push(cur);
-        debug_assert!(path.len() <= parent.len(), "parent cycle");
-    }
-    path.reverse();
-    Some(path)
-}
+/// if `t` is unreachable (the workspace-wide helper, re-exported here for
+/// continuity with `dijkstra_with_parents`).
+pub use rs_core::stats::extract_path;
 
 #[cfg(test)]
 mod tests {

@@ -12,14 +12,22 @@
 //!   edge split, the algorithm radius stepping refines.
 //!
 //! Every solver returns exact distances (tested against each other), plus
-//! the step/phase counters used in the experiment harness.
+//! the step/phase counters used in the experiment harness. All four are
+//! also available behind the unified [`rs_core::solver::SsspSolver`] trait
+//! through the adapters in [`solver`], which additionally supplies the
+//! [`solver::BuildSolver`] extension completing `rs_core`'s
+//! `SolverBuilder`.
 
 pub mod bellman_ford;
 pub mod bfs;
 pub mod delta_stepping;
 pub mod dijkstra;
+pub mod solver;
 
 pub use bellman_ford::bellman_ford;
-pub use bfs::{bfs_par, bfs_seq};
-pub use delta_stepping::{delta_stepping, DeltaSteppingResult};
-pub use dijkstra::{dijkstra, dijkstra_default, dijkstra_with_parents};
+pub use bfs::{bfs_par, bfs_par_to_goal, bfs_seq};
+pub use delta_stepping::{delta_stepping, delta_stepping_to_goal, DeltaSteppingResult};
+pub use dijkstra::{
+    dijkstra, dijkstra_default, dijkstra_to_goal, dijkstra_with_goal, dijkstra_with_parents,
+};
+pub use solver::{BellmanFordSolver, BfsSolver, BuildSolver, DeltaSteppingSolver, DijkstraSolver};

@@ -1,0 +1,307 @@
+//! [`SsspSolver`] adapters for the four baselines, plus the
+//! [`BuildSolver`] extension that completes `rs_core::solver`'s builder.
+//!
+//! `rs_core` defines the trait, the [`Algorithm`] selector and the
+//! [`SolverBuilder`]; this crate sits above it in the dependency graph, so
+//! the adapters for its own algorithms — and therefore the `build()` that
+//! can construct *every* algorithm — live here. The facade prelude
+//! re-exports [`BuildSolver`], making `SolverBuilder::new(&g).build()` the
+//! one entry point applications see.
+//!
+//! Counter mapping into [`rs_core::StepStats`]:
+//!
+//! | baseline       | `steps`            | `substeps`        |
+//! |----------------|--------------------|-------------------|
+//! | Dijkstra       | settled vertices   | = steps           |
+//! | ∆-stepping     | nonempty buckets   | light phases      |
+//! | Bellman–Ford   | 1 (paper framing)  | relaxation rounds |
+//! | BFS            | levels             | = steps           |
+
+use rs_core::solver::{
+    Algorithm, HeapKind, RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
+};
+use rs_core::stats::{SsspResult, StepStats};
+use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+use crate::bellman_ford::bellman_ford;
+use crate::bfs::bfs_par_to_goal;
+use crate::delta_stepping::{delta_stepping_to_goal, DeltaSteppingResult};
+use crate::dijkstra::dijkstra_with_goal;
+
+/// Completes [`SolverBuilder`] with a `build()` covering every
+/// [`Algorithm`] variant (the baseline adapters are defined here, above
+/// `rs_core` in the dependency graph).
+pub trait BuildSolver<'g> {
+    /// Builds the configured solver, running any attached preprocessing.
+    fn build(self) -> Box<dyn SsspSolver + 'g>;
+}
+
+impl<'g> BuildSolver<'g> for SolverBuilder<'g> {
+    fn build(self) -> Box<dyn SsspSolver + 'g> {
+        let parts = self.into_parts();
+        match parts.algorithm {
+            Algorithm::RadiusStepping { engine, radii } => {
+                Box::new(RadiusSteppingSolver::from_parts(
+                    parts.graph,
+                    engine,
+                    radii,
+                    parts.preprocess,
+                    parts.config,
+                ))
+            }
+            ref algorithm => {
+                // Baselines run on the (possibly shortcut-augmented) graph;
+                // shortcuts preserve distances, so they stay exact.
+                let config = parts.config;
+                let graph = parts.resolve_graph();
+                match *algorithm {
+                    Algorithm::Dijkstra { heap } => {
+                        Box::new(DijkstraSolver { graph, heap, config })
+                    }
+                    Algorithm::DeltaStepping { delta } => {
+                        Box::new(DeltaSteppingSolver { graph, delta, config })
+                    }
+                    Algorithm::BellmanFord => Box::new(BellmanFordSolver { graph, config }),
+                    Algorithm::Bfs => Box::new(BfsSolver::new(graph, config)),
+                    Algorithm::RadiusStepping { .. } => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// Sequential Dijkstra behind the solver interface.
+pub struct DijkstraSolver<'g> {
+    pub graph: SolverGraph<'g>,
+    pub heap: HeapKind,
+    pub config: SolverConfig,
+}
+
+impl DijkstraSolver<'_> {
+    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
+        let (dist, settled, relaxations) = match self.heap {
+            HeapKind::Dary => dijkstra_with_goal::<DaryHeap>(&self.graph, source, goal),
+            HeapKind::Pairing => dijkstra_with_goal::<PairingHeap>(&self.graph, source, goal),
+            HeapKind::Fibonacci => dijkstra_with_goal::<FibonacciHeap>(&self.graph, source, goal),
+        };
+        // Dijkstra settles one vertex per extraction: steps = settled.
+        let stats = StepStats {
+            steps: settled,
+            substeps: settled,
+            max_substeps_in_step: settled.min(1),
+            relaxations,
+            settled,
+            trace: None,
+        };
+        self.config.finish(&self.graph, SsspResult::new(dist, stats))
+    }
+}
+
+impl SsspSolver for DijkstraSolver<'_> {
+    fn name(&self) -> String {
+        format!("dijkstra/{:?}", self.heap).to_lowercase()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.run(source, None)
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.run(source, Some(goal))
+    }
+}
+
+/// Meyer–Sanders ∆-stepping behind the solver interface.
+pub struct DeltaSteppingSolver<'g> {
+    pub graph: SolverGraph<'g>,
+    pub delta: Dist,
+    pub config: SolverConfig,
+}
+
+impl DeltaSteppingSolver<'_> {
+    fn finish(&self, out: DeltaSteppingResult) -> SsspResult {
+        let settled = out.dist.iter().filter(|&&d| d != INF).count();
+        let stats = StepStats {
+            steps: out.buckets,
+            substeps: out.phases,
+            max_substeps_in_step: out.max_phases_in_bucket,
+            relaxations: out.relaxations,
+            settled,
+            trace: None,
+        };
+        self.config.finish(&self.graph, SsspResult::new(out.dist, stats))
+    }
+}
+
+impl SsspSolver for DeltaSteppingSolver<'_> {
+    fn name(&self) -> String {
+        format!("delta-stepping/{}", self.delta)
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.finish(delta_stepping_to_goal(&self.graph, source, self.delta, None))
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.finish(delta_stepping_to_goal(&self.graph, source, self.delta, Some(goal)))
+    }
+}
+
+/// Round-synchronous parallel Bellman–Ford behind the solver interface.
+/// (No sound early exit exists — a later round can still lower any
+/// distance — so `solve_to_goal` inherits the full-solve default.)
+pub struct BellmanFordSolver<'g> {
+    pub graph: SolverGraph<'g>,
+    pub config: SolverConfig,
+}
+
+impl SsspSolver for BellmanFordSolver<'_> {
+    fn name(&self) -> String {
+        "bellman-ford".into()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.config.finish(&self.graph, bellman_ford(&self.graph, source))
+    }
+}
+
+/// Level-synchronous parallel BFS behind the solver interface.
+pub struct BfsSolver<'g> {
+    graph: SolverGraph<'g>,
+    config: SolverConfig,
+}
+
+impl<'g> BfsSolver<'g> {
+    /// BFS distances are hop counts, so the graph must be unit-weighted
+    /// (checked here rather than per solve). Note (k, ρ)-preprocessing
+    /// introduces weighted shortcut edges — attach it to radius stepping,
+    /// not to BFS.
+    pub fn new(graph: SolverGraph<'g>, config: SolverConfig) -> Self {
+        assert!(
+            graph.is_unit_weighted(),
+            "Algorithm::Bfs requires a unit-weighted graph (and no preprocessing)"
+        );
+        BfsSolver { graph, config }
+    }
+}
+
+impl SsspSolver for BfsSolver<'_> {
+    fn name(&self) -> String {
+        "bfs".into()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.config.finish(&self.graph, bfs_par_to_goal(&self.graph, source, None))
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.config.finish(&self.graph, bfs_par_to_goal(&self.graph, source, Some(goal)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra_default;
+    use rs_core::solver::Radii;
+    use rs_core::{EngineKind, PreprocessConfig};
+    use rs_graph::{gen, weights, WeightModel};
+
+    fn weighted() -> CsrGraph {
+        weights::reweight(&gen::grid2d(8, 9), WeightModel::paper_weighted(), 2)
+    }
+
+    #[test]
+    fn every_algorithm_buildable_and_exact() {
+        let g = weighted();
+        let reference = dijkstra_default(&g, 5);
+        let algorithms = [
+            Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero },
+            Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Constant(900) },
+            Algorithm::Dijkstra { heap: HeapKind::Pairing },
+            Algorithm::DeltaStepping { delta: 2_000 },
+            Algorithm::BellmanFord,
+        ];
+        for algorithm in algorithms {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm.clone()).build();
+            assert_eq!(solver.solve(5).dist, reference, "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn bfs_solver_unit_graphs_only() {
+        let g = gen::grid2d(6, 6);
+        let solver = SolverBuilder::new(&g).algorithm(Algorithm::Bfs).build();
+        assert_eq!(solver.solve(0).dist, crate::bfs_seq(&g, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-weighted")]
+    fn bfs_solver_rejects_weighted() {
+        let g = weighted();
+        let _ = SolverBuilder::new(&g).algorithm(Algorithm::Bfs).build();
+    }
+
+    #[test]
+    fn preprocessing_composes_with_baselines() {
+        let g = weighted();
+        let reference = dijkstra_default(&g, 0);
+        let solver = SolverBuilder::new(&g)
+            .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
+            .preprocess(PreprocessConfig::new(1, 8))
+            .build();
+        assert!(solver.graph().num_edges() >= g.num_edges());
+        assert_eq!(solver.solve(0).dist, reference, "shortcuts preserve distances");
+    }
+
+    #[test]
+    fn goal_bounded_baselines_settle_goal() {
+        let g = weighted();
+        let reference = dijkstra_default(&g, 0);
+        for algorithm in [
+            Algorithm::Dijkstra { heap: HeapKind::Dary },
+            Algorithm::DeltaStepping { delta: 1_500 },
+            Algorithm::BellmanFord,
+        ] {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+            let out = solver.solve_to_goal(0, 71);
+            assert_eq!(out.dist[71], reference[71], "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn parents_recorded_across_algorithms() {
+        let g = weighted();
+        for algorithm in [
+            Algorithm::Dijkstra { heap: HeapKind::Fibonacci },
+            Algorithm::DeltaStepping { delta: 3_000 },
+            Algorithm::BellmanFord,
+        ] {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm).record_parents(true).build();
+            let out = solver.solve(0);
+            let path = out.extract_path(70).expect("connected grid");
+            let mut acc = 0u64;
+            for w in path.windows(2) {
+                acc += solver.graph().arc_weight(w[0], w[1]).expect("edge") as u64;
+            }
+            assert_eq!(acc, out.dist[70], "{}: path telescopes", solver.name());
+        }
+    }
+}

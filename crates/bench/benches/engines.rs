@@ -13,7 +13,10 @@ use rs_graph::{gen, weights, WeightModel};
 fn engines(c: &mut Criterion) {
     let graphs = vec![
         ("grid2d_3600", weights::reweight(&gen::grid2d(60, 60), WeightModel::paper_weighted(), 2)),
-        ("scale_free_4k", weights::reweight(&gen::scale_free(4000, 5, 8), WeightModel::paper_weighted(), 6)),
+        (
+            "scale_free_4k",
+            weights::reweight(&gen::scale_free(4000, 5, 8), WeightModel::paper_weighted(), 6),
+        ),
     ];
     for (name, g) in graphs {
         let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 16));
@@ -21,7 +24,9 @@ fn engines(c: &mut Criterion) {
         group.sample_size(10);
         group.bench_function(BenchmarkId::from_parameter("frontier"), |b| {
             b.iter(|| {
-                black_box(pre.sssp_with(0, EngineKind::Frontier, EngineConfig::default()).stats.steps)
+                black_box(
+                    pre.sssp_with(0, EngineKind::Frontier, EngineConfig::default()).stats.steps,
+                )
             })
         });
         group.bench_function(BenchmarkId::from_parameter("bst"), |b| {

@@ -51,7 +51,9 @@ fn heaps(c: &mut Criterion) {
     let mut group = c.benchmark_group("heap_storm");
     group.sample_size(10);
     group.bench_function("dary", |b| b.iter(|| black_box(storm::<DaryHeap>(10_000, 100_000, 1))));
-    group.bench_function("pairing", |b| b.iter(|| black_box(storm::<PairingHeap>(10_000, 100_000, 1))));
+    group.bench_function("pairing", |b| {
+        b.iter(|| black_box(storm::<PairingHeap>(10_000, 100_000, 1)))
+    });
     group.bench_function("fibonacci", |b| {
         b.iter(|| black_box(storm::<FibonacciHeap>(10_000, 100_000, 1)))
     });

@@ -13,7 +13,11 @@ fn preprocess(c: &mut Criterion) {
     group.sample_size(10);
     for rho in [8usize, 32] {
         group.bench_with_input(BenchmarkId::new("full_k1", rho), &rho, |b, &rho| {
-            b.iter(|| black_box(Preprocessed::build(&g, &PreprocessConfig::new(1, rho)).stats.raw_shortcuts))
+            b.iter(|| {
+                black_box(
+                    Preprocessed::build(&g, &PreprocessConfig::new(1, rho)).stats.raw_shortcuts,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("dp_k3", rho), &rho, |b, &rho| {
             b.iter(|| {

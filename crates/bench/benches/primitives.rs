@@ -15,12 +15,9 @@ fn primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives");
     group.sample_size(10);
     group.bench_function("scan_1M", |b| b.iter(|| black_box(exclusive_scan(&data).1)));
-    group.bench_function("pack_1M", |b| {
-        b.iter(|| black_box(pack_indices(n, |i| i % 3 == 0).len()))
-    });
-    group.bench_function("par_min_1M", |b| {
-        b.iter(|| black_box(par_min(n, |i| data[i])))
-    });
+    group
+        .bench_function("pack_1M", |b| b.iter(|| black_box(pack_indices(n, |i| i % 3 == 0).len())));
+    group.bench_function("par_min_1M", |b| b.iter(|| black_box(par_min(n, |i| data[i]))));
     group.bench_function("write_min_1M", |b| {
         let cells = atomic_vec(n, u64::MAX);
         b.iter(|| {
@@ -55,15 +52,19 @@ fn primitives(c: &mut Criterion) {
     group.bench_function("sparse", |b| {
         b.iter(|| {
             black_box(
-                edge_map_sparse(&g, g.num_vertices(), &frontier_ids, |_, _, _| true, |v| v % 2 == 0)
-                    .len(),
+                edge_map_sparse(
+                    &g,
+                    g.num_vertices(),
+                    &frontier_ids,
+                    |_, _, _| true,
+                    |v| v % 2 == 0,
+                )
+                .len(),
             )
         })
     });
     group.bench_function("dense", |b| {
-        b.iter(|| {
-            black_box(edge_map_dense(&g, &frontier, |_, _, _| true, |v| v % 2 == 0).len())
-        })
+        b.iter(|| black_box(edge_map_dense(&g, &frontier, |_, _, _| true, |v| v % 2 == 0).len()))
     });
     group.finish();
 }

@@ -11,9 +11,18 @@ use rs_graph::{gen, weights, WeightModel};
 
 fn sssp_compare(c: &mut Criterion) {
     let graphs = vec![
-        ("grid2d_100x100", weights::reweight(&gen::grid2d(100, 100), WeightModel::paper_weighted(), 1)),
-        ("scale_free_10k", weights::reweight(&gen::scale_free(10_000, 5, 2), WeightModel::paper_weighted(), 3)),
-        ("road_10k", weights::reweight(&gen::road_network(100, 4), WeightModel::paper_weighted(), 5)),
+        (
+            "grid2d_100x100",
+            weights::reweight(&gen::grid2d(100, 100), WeightModel::paper_weighted(), 1),
+        ),
+        (
+            "scale_free_10k",
+            weights::reweight(&gen::scale_free(10_000, 5, 2), WeightModel::paper_weighted(), 3),
+        ),
+        (
+            "road_10k",
+            weights::reweight(&gen::road_network(100, 4), WeightModel::paper_weighted(), 5),
+        ),
     ];
     for (name, g) in graphs {
         let mut group = c.benchmark_group(format!("sssp/{name}"));
@@ -29,7 +38,7 @@ fn sssp_compare(c: &mut Criterion) {
             b.iter(|| black_box(delta_stepping(&g, 0, 2_000).dist[g.num_vertices() - 1]))
         });
         group.bench_function(BenchmarkId::from_parameter("bellman_ford"), |b| {
-            b.iter(|| black_box(bellman_ford(&g, 0).0[g.num_vertices() - 1]))
+            b.iter(|| black_box(bellman_ford(&g, 0).dist[g.num_vertices() - 1]))
         });
         group.finish();
     }

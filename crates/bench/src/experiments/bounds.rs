@@ -28,7 +28,10 @@ pub fn run(cfg: &ExpConfig) -> Table {
     );
     let graphs: Vec<(&str, rs_graph::CsrGraph)> = vec![
         ("grid2d", weights::reweight(&gen::grid2d(18, 18), WeightModel::paper_weighted(), 3)),
-        ("scale_free", weights::reweight(&gen::scale_free(320, 3, 9), WeightModel::paper_weighted(), 4)),
+        (
+            "scale_free",
+            weights::reweight(&gen::scale_free(320, 3, 9), WeightModel::paper_weighted(), 4),
+        ),
         ("road", weights::reweight(&gen::road_network(18, 5), WeightModel::paper_weighted(), 5)),
     ];
     for (name, g) in &graphs {
@@ -54,7 +57,11 @@ pub fn run(cfg: &ExpConfig) -> Table {
             }
             assert!(valid, "{name} k={k} rho={rho}: preprocessing must yield a (k,rho)-graph");
             assert!(worst_steps <= bound, "{name}: steps {worst_steps} > bound {bound}");
-            assert!(worst_sub <= substep_bound(k), "{name}: substeps {worst_sub} > {}", substep_bound(k));
+            assert!(
+                worst_sub <= substep_bound(k),
+                "{name}: substeps {worst_sub} > {}",
+                substep_bound(k)
+            );
             assert!(all_correct, "{name}: distance mismatch vs dijkstra");
             t.push_row(vec![
                 name.to_string(),

@@ -15,7 +15,8 @@ use super::ExpConfig;
 
 /// Runs the Figure-2 experiment for a geometric ladder of gadget sizes.
 pub fn run(cfg: &ExpConfig) -> Table {
-    let sizes: &[usize] = if cfg.scale_denom >= 256 { &[8, 16, 32] } else { &[16, 32, 64, 128, 256] };
+    let sizes: &[usize] =
+        if cfg.scale_denom >= 256 { &[8, 16, 32] } else { &[16, 32, 64, 128, 256] };
     let mut t = Table::new(
         "Figure 2: ball search must explore Θ(d²) edges to reach 3d vertices",
         &["d", "n=3d", "rho", "explored edges", "explored / d^2"],

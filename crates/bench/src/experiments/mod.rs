@@ -25,12 +25,7 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig {
-            scale_denom: 32,
-            sources: 5,
-            out_dir: PathBuf::from("results"),
-            seed: 0x5eed,
-        }
+        ExpConfig { scale_denom: 32, sources: 5, out_dir: PathBuf::from("results"), seed: 0x5eed }
     }
 }
 

@@ -46,7 +46,8 @@ pub fn shortcut_counts_and_radii(
             |scratch, v| {
                 let ball = ball_search(&ws, v, rho, rho, scratch);
                 let greedy: Vec<u64> = ks.iter().map(|&k| greedy_count(&ball, k) as u64).collect();
-                let dp: Vec<u64> = ks.iter().map(|&k| dp_shortcuts(&ball, k).len() as u64).collect();
+                let dp: Vec<u64> =
+                    ks.iter().map(|&k| dp_shortcuts(&ball, k).len() as u64).collect();
                 (greedy, dp, ball.radius)
             },
         )
@@ -92,16 +93,15 @@ pub fn run(cfg: &ExpConfig) -> ShortcutReport {
         header.push("red. rounds".into());
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         let title = |which: &str| {
-            format!(
-                "{which} factors of additional edges — {name} (n={n}, |E|={})",
-                g.num_edges()
-            )
+            format!("{which} factors of additional edges — {name} (n={n}, |E|={})", g.num_edges())
         };
         let mut t2 = Table::new(format!("Table 2 (Greedy): {}", title("greedy")), &header_refs);
         let mut t3 = Table::new(format!("Table 3 (DP): {}", title("DP")), &header_refs);
         let mut f3 = Table::new(
-            format!("Figure 3 ({}): {name} — added-edge factor at k=3 (ours | paper)",
-                ["a", "b", "c"][panel]),
+            format!(
+                "Figure 3 ({}): {name} — added-edge factor at k=3 (ours | paper)",
+                ["a", "b", "c"][panel]
+            ),
             &["rho", "Greedy ours", "Greedy paper", "DP ours", "DP paper"],
         );
 

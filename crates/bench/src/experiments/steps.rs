@@ -14,8 +14,10 @@
 //! (unweighted) or a Dijkstra that extracts equal distances together
 //! (weighted).
 
+use rs_baselines::solver::BuildSolver;
 use rs_core::preprocess::compute_radii;
-use rs_core::{radius_stepping, RadiiSpec};
+use rs_core::solver::{Algorithm, Radii, SolverBuilder};
+use rs_core::EngineKind;
 use rs_graph::{CsrGraph, VertexId};
 
 use crate::paper::{self, RHO_UNWEIGHTED, RHO_WEIGHTED};
@@ -25,21 +27,21 @@ use crate::{mean, sample_sources};
 
 use super::ExpConfig;
 
-/// Mean number of steps over `sources`, with `r(v) = r_ρ(v)`.
+/// Mean number of steps over `sources`, with `r(v) = r_ρ(v)`: one solver
+/// built per (graph, ρ), sources fanned out with `solve_batch`.
 pub fn mean_steps(g: &CsrGraph, rho: usize, sources: &[VertexId]) -> f64 {
-    let radii_vec;
     let radii = if rho == 1 {
         // r_1(v) = 0 for every v (the source itself is its closest vertex):
         // exactly Dijkstra-with-batched-ties / standard BFS.
-        RadiiSpec::Zero
+        Radii::Zero
     } else {
-        radii_vec = compute_radii(g, rho);
-        RadiiSpec::PerVertex(&radii_vec)
+        Radii::PerVertex(compute_radii(g, rho))
     };
-    let counts: Vec<f64> = sources
-        .iter()
-        .map(|&s| radius_stepping(g, &radii, s).stats.steps as f64)
-        .collect();
+    let solver = SolverBuilder::new(g)
+        .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii })
+        .build();
+    let counts: Vec<f64> =
+        solver.solve_batch(sources).iter().map(|out| out.stats.steps as f64).collect();
     mean(&counts)
 }
 
@@ -67,8 +69,11 @@ pub struct StepsReport {
 /// Runs the experiment over the whole suite.
 pub fn run(cfg: &ExpConfig, weighted: bool) -> StepsReport {
     let rhos: &[usize] = if weighted { &RHO_WEIGHTED } else { &RHO_UNWEIGHTED };
-    let (fig, tab_rounds, tab_red) =
-        if weighted { ("Figure 5", "Table 6", "Table 7") } else { ("Figure 4", "Table 4", "Table 5") };
+    let (fig, tab_rounds, tab_red) = if weighted {
+        ("Figure 5", "Table 6", "Table 7")
+    } else {
+        ("Figure 4", "Table 4", "Table 5")
+    };
     let suite = full_suite(cfg.scale_denom);
 
     let columns: Vec<(String, Vec<Option<f64>>)> = suite
@@ -85,8 +90,12 @@ pub fn run(cfg: &ExpConfig, weighted: bool) -> StepsReport {
         header.push(name);
     }
     let mut rounds = Table::new(
-        format!("{tab_rounds}: avg rounds, {} graphs (scale 1/{}, {} sources)",
-            if weighted { "weighted" } else { "unweighted" }, cfg.scale_denom, cfg.sources),
+        format!(
+            "{tab_rounds}: avg rounds, {} graphs (scale 1/{}, {} sources)",
+            if weighted { "weighted" } else { "unweighted" },
+            cfg.scale_denom,
+            cfg.sources
+        ),
         &header,
     );
     for (i, &rho) in rhos.iter().enumerate() {
@@ -173,10 +182,7 @@ mod tests {
         let sources = sample_sources(576, 3, 2);
         let s1 = mean_steps(&g, 1, &sources);
         let s10 = mean_steps(&g, 10, &sources);
-        assert!(
-            s1 / s10 > 5.0,
-            "weighted reduction at rho=10 should be large, got {s1}/{s10}"
-        );
+        assert!(s1 / s10 > 5.0, "weighted reduction at rho=10 should be large, got {s1}/{s10}");
     }
 
     #[test]

@@ -25,12 +25,22 @@ pub fn bounds_table() -> Table {
         ["unweighted", "standard BFS", "O(m+n)", "O(n)"],
         ["unweighted", "Ullman & Yannakakis", "~O(m√n + nm/t + n³/t⁴)", "~O(t)"],
         ["unweighted", "Spencer", "O(m log ρ + nρ² log² ρ)", "O((n/ρ) log² ρ)"],
-        ["unweighted", "this work", "O(m + nρ)  [preproc O(nρ²)]", "O((n/ρ) log ρ log* ρ)  [preproc O(ρ log* ρ)]"],
+        [
+            "unweighted",
+            "this work",
+            "O(m + nρ)  [preproc O(nρ²)]",
+            "O((n/ρ) log ρ log* ρ)  [preproc O(ρ log* ρ)]",
+        ],
         ["weighted", "parallel Dijkstra (Paige-Kruskal)", "O(m + n log n)", "O(n log n)"],
         ["weighted", "Klein & Subramanian", "O(m√n log K log n)", "O(√n log K log n)"],
         ["weighted", "Spencer", "O((nρ² log ρ + m) log(nρL))", "O((n/ρ) log n log(ρL))"],
         ["weighted", "Cohen", "O(n² + n³/ρ²)", "O(ρ · polylog(n))"],
-        ["weighted", "this work", "O((m + nρ) log n)  [preproc O(m log n + nρ²)]", "O((n/ρ) log n log ρL)  [preproc O(ρ²)]"],
+        [
+            "weighted",
+            "this work",
+            "O((m + nρ) log n)  [preproc O(m log n + nρ²)]",
+            "O((n/ρ) log n log ρL)  [preproc O(ρ²)]",
+        ],
     ];
     for r in rows {
         t.push_row(r.iter().map(|s| s.to_string()).collect());
@@ -47,8 +57,13 @@ pub fn measured_table(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         format!("Table 1 (empirical): work/depth proxies on 2D grid (n={n}, m={m})"),
         &[
-            "rho", "preproc edges explored", "n*rho^2 bound", "relaxations", "(m+n*rho)log n bound",
-            "steps*substeps", "(n/rho)log n log(rhoL) bound",
+            "rho",
+            "preproc edges explored",
+            "n*rho^2 bound",
+            "relaxations",
+            "(m+n*rho)log n bound",
+            "steps*substeps",
+            "(n/rho)log n log(rhoL) bound",
         ],
     );
     for rho in [4usize, 16, 64] {

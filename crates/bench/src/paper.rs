@@ -21,12 +21,42 @@ pub const K_SHORTCUT: [u32; 4] = [2, 3, 4, 5];
 
 /// Table 4: average rounds, unweighted, per suite graph (paper scale).
 pub const TABLE4: [(&str, [f64; 13]); 6] = [
-    ("Penn", [619.12, 309.32, 308.47, 206.30, 165.73, 123.01, 101.41, 78.61, 58.44, 45.95, 35.66, 24.95, 18.54]),
-    ("Texas", [761.06, 380.31, 379.34, 253.71, 196.30, 151.13, 124.07, 96.92, 70.75, 55.39, 42.58, 29.17, 21.33]),
-    ("NotreDame", [28.09, 13.77, 13.44, 13.32, 13.17, 12.38, 9.78, 8.47, 6.63, 5.69, 5.27, 4.14, 3.83]),
-    ("Stanford", [108.92, 54.23, 43.27, 31.29, 21.67, 14.13, 10.63, 8.56, 7.30, 7.18, 6.72, 5.84, 5.76]),
-    ("2D", [1504.0, 751.76, 751.74, 501.14, 375.62, 250.32, 187.46, 136.24, 87.86, 64.88, 44.82, 28.82, 20.18]),
-    ("3D", [223.50, 111.50, 111.50, 74.50, 74.48, 55.48, 44.08, 36.48, 27.36, 21.74, 17.94, 12.50, 10.00]),
+    (
+        "Penn",
+        [
+            619.12, 309.32, 308.47, 206.30, 165.73, 123.01, 101.41, 78.61, 58.44, 45.95, 35.66,
+            24.95, 18.54,
+        ],
+    ),
+    (
+        "Texas",
+        [
+            761.06, 380.31, 379.34, 253.71, 196.30, 151.13, 124.07, 96.92, 70.75, 55.39, 42.58,
+            29.17, 21.33,
+        ],
+    ),
+    (
+        "NotreDame",
+        [28.09, 13.77, 13.44, 13.32, 13.17, 12.38, 9.78, 8.47, 6.63, 5.69, 5.27, 4.14, 3.83],
+    ),
+    (
+        "Stanford",
+        [108.92, 54.23, 43.27, 31.29, 21.67, 14.13, 10.63, 8.56, 7.30, 7.18, 6.72, 5.84, 5.76],
+    ),
+    (
+        "2D",
+        [
+            1504.0, 751.76, 751.74, 501.14, 375.62, 250.32, 187.46, 136.24, 87.86, 64.88, 44.82,
+            28.82, 20.18,
+        ],
+    ),
+    (
+        "3D",
+        [
+            223.50, 111.50, 111.50, 74.50, 74.48, 55.48, 44.08, 36.48, 27.36, 21.74, 17.94, 12.50,
+            10.00,
+        ],
+    ),
 ];
 
 /// Table 6: average rounds, weighted (paper scale).
@@ -42,64 +72,82 @@ pub const TABLE6: [(&str, [f64; 10]); 6] = [
 /// Table 2: factors of additional edges, Greedy heuristic. Rows are the
 /// [`RHO_SHORTCUT`] grid; columns the [`K_SHORTCUT`] grid.
 pub const TABLE2_GREEDY: [(&str, [[f64; 4]; 7]); 3] = [
-    ("Penn", [
-        [1.67, 0.41, 0.05, 0.01],
-        [3.79, 2.38, 0.84, 0.23],
-        [10.34, 6.05, 5.65, 3.71],
-        [20.33, 13.64, 8.85, 8.16],
-        [39.92, 26.35, 20.15, 14.51],
-        [97.58, 64.72, 48.49, 37.64],
-        [192.00, 127.45, 95.55, 75.84],
-    ]),
-    ("Stanford", [
-        [3.11, 0.02, 0.01, 0.00],
-        [9.91, 3.06, 0.09, 0.01],
-        [47.57, 10.74, 3.40, 0.13],
-        [109.98, 39.99, 20.96, 8.73],
-        [188.92, 67.25, 45.54, 17.96],
-        [337.34, 141.58, 119.03, 63.69],
-        [529.14, 208.66, 219.21, 149.20],
-    ]),
-    ("2D", [
-        [0.36, 0.00, 0.00, 0.00],
-        [5.75, 0.46, 0.00, 0.00],
-        [16.05, 8.40, 9.54, 0.67],
-        [29.59, 22.02, 10.52, 11.43],
-        [48.40, 41.34, 28.03, 12.73],
-        [126.09, 99.22, 55.62, 64.75],
-        [243.12, 181.50, 129.26, 108.37],
-    ]),
+    (
+        "Penn",
+        [
+            [1.67, 0.41, 0.05, 0.01],
+            [3.79, 2.38, 0.84, 0.23],
+            [10.34, 6.05, 5.65, 3.71],
+            [20.33, 13.64, 8.85, 8.16],
+            [39.92, 26.35, 20.15, 14.51],
+            [97.58, 64.72, 48.49, 37.64],
+            [192.00, 127.45, 95.55, 75.84],
+        ],
+    ),
+    (
+        "Stanford",
+        [
+            [3.11, 0.02, 0.01, 0.00],
+            [9.91, 3.06, 0.09, 0.01],
+            [47.57, 10.74, 3.40, 0.13],
+            [109.98, 39.99, 20.96, 8.73],
+            [188.92, 67.25, 45.54, 17.96],
+            [337.34, 141.58, 119.03, 63.69],
+            [529.14, 208.66, 219.21, 149.20],
+        ],
+    ),
+    (
+        "2D",
+        [
+            [0.36, 0.00, 0.00, 0.00],
+            [5.75, 0.46, 0.00, 0.00],
+            [16.05, 8.40, 9.54, 0.67],
+            [29.59, 22.02, 10.52, 11.43],
+            [48.40, 41.34, 28.03, 12.73],
+            [126.09, 99.22, 55.62, 64.75],
+            [243.12, 181.50, 129.26, 108.37],
+        ],
+    ),
 ];
 
 /// Table 3: factors of additional edges, DP heuristic (same grids).
 pub const TABLE3_DP: [(&str, [[f64; 4]; 7]); 3] = [
-    ("Penn", [
-        [0.95, 0.12, 0.01, 0.00],
-        [2.70, 0.90, 0.18, 0.04],
-        [7.78, 3.59, 1.89, 0.72],
-        [16.09, 8.09, 4.40, 2.58],
-        [32.60, 17.04, 9.89, 6.03],
-        [81.75, 44.14, 26.65, 17.11],
-        [162.91, 89.30, 54.82, 35.95],
-    ]),
-    ("Stanford", [
-        [0.02, 0.01, 0.01, 0.00],
-        [0.05, 0.02, 0.01, 0.01],
-        [0.20, 0.06, 0.04, 0.03],
-        [0.51, 0.13, 0.08, 0.06],
-        [0.99, 0.25, 0.15, 0.11],
-        [2.18, 0.50, 0.30, 0.22],
-        [3.92, 0.66, 0.34, 0.24],
-    ]),
-    ("2D", [
-        [0.25, 0.00, 0.00, 0.00],
-        [3.95, 0.25, 0.00, 0.00],
-        [12.16, 6.21, 4.06, 0.36],
-        [24.22, 14.27, 8.32, 6.06],
-        [48.35, 30.23, 20.28, 12.45],
-        [125.96, 80.09, 54.44, 42.26],
-        [241.30, 154.97, 110.87, 84.87],
-    ]),
+    (
+        "Penn",
+        [
+            [0.95, 0.12, 0.01, 0.00],
+            [2.70, 0.90, 0.18, 0.04],
+            [7.78, 3.59, 1.89, 0.72],
+            [16.09, 8.09, 4.40, 2.58],
+            [32.60, 17.04, 9.89, 6.03],
+            [81.75, 44.14, 26.65, 17.11],
+            [162.91, 89.30, 54.82, 35.95],
+        ],
+    ),
+    (
+        "Stanford",
+        [
+            [0.02, 0.01, 0.01, 0.00],
+            [0.05, 0.02, 0.01, 0.01],
+            [0.20, 0.06, 0.04, 0.03],
+            [0.51, 0.13, 0.08, 0.06],
+            [0.99, 0.25, 0.15, 0.11],
+            [2.18, 0.50, 0.30, 0.22],
+            [3.92, 0.66, 0.34, 0.24],
+        ],
+    ),
+    (
+        "2D",
+        [
+            [0.25, 0.00, 0.00, 0.00],
+            [3.95, 0.25, 0.00, 0.00],
+            [12.16, 6.21, 4.06, 0.36],
+            [24.22, 14.27, 8.32, 6.06],
+            [48.35, 30.23, 20.28, 12.45],
+            [125.96, 80.09, 54.44, 42.26],
+            [241.30, 154.97, 110.87, 84.87],
+        ],
+    ),
 ];
 
 /// Paper value lookup for Table 4 by graph name and ρ.

@@ -34,9 +34,7 @@ impl SuiteGraph {
 }
 
 fn name_seed(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1_0000_01b3)
-    })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1_0000_01b3))
 }
 
 /// Builds one suite graph by paper name at the given scale divisor.
@@ -49,16 +47,12 @@ pub fn build_graph(name: &str, scale_denom: usize) -> SuiteGraph {
         // Webgraph parameters are calibrated to the SNAP originals' average
         // degree and BFS depth (Table 4's ρ=1 column: ~28 rounds on
         // NotreDame, ~109 on Stanford); see gen::webgraph.
-        "NotreDame" => (
-            "NotreDame",
-            "web",
-            gen::webgraph((325_000 / d).max(64), 4, 0.30, 25, 0x0d0d),
-        ),
-        "Stanford" => (
-            "Stanford",
-            "web",
-            gen::webgraph((281_000 / d).max(128), 10, 0.35, 100, 0x57a2),
-        ),
+        "NotreDame" => {
+            ("NotreDame", "web", gen::webgraph((325_000 / d).max(64), 4, 0.30, 25, 0x0d0d))
+        }
+        "Stanford" => {
+            ("Stanford", "web", gen::webgraph((281_000 / d).max(128), 10, 0.35, 100, 0x57a2))
+        }
         "2D" => {
             let s = side(1_000_000);
             ("2D", "grid", gen::grid2d(s, s))
@@ -71,11 +65,8 @@ pub fn build_graph(name: &str, scale_denom: usize) -> SuiteGraph {
     };
     // §2 assumes connected inputs; generators already guarantee it, but
     // normalise defensively (scale-free/road are connected by construction).
-    let graph = if analysis::is_connected(&graph) {
-        graph
-    } else {
-        analysis::largest_component(&graph).0
-    };
+    let graph =
+        if analysis::is_connected(&graph) { graph } else { analysis::largest_component(&graph).0 };
     SuiteGraph { name, group, graph }
 }
 

@@ -26,7 +26,12 @@ use crate::EngineConfig;
 
 const SEQ_SUBSTEP: usize = 2048;
 
-pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+pub(crate) fn run(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+) -> SsspResult {
     let n = g.num_vertices();
     let dist = atomic_vec(n, INF);
     let settled = AtomicBitset::new(n);
@@ -36,10 +41,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
     let in_q = AtomicBitset::new(n);
     let mut qkey: Vec<Dist> = vec![INF; n];
 
-    let mut stats = StepStats {
-        trace: config.trace.then(Vec::new),
-        ..Default::default()
-    };
+    let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
 
     // Lines 1–4: settle the source; Q/R seeded with its neighbours.
     dist[source as usize].store(0);
@@ -63,6 +65,10 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
 
     while !q.is_empty() {
         debug_assert_eq!(q.len(), r.len(), "Q and R must stay in lockstep");
+        // Early exit for goal-bounded solves (settled distances are final).
+        if config.goal.is_some_and(|g| settled.get(g as usize)) {
+            break;
+        }
         // Line 6: d_i from R's minimum (the lead vertex attains it).
         let di = r.min().expect("Q nonempty implies R nonempty").0;
 
@@ -70,10 +76,8 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
         let a_i = q.split_at_most(di);
         let mut active: Vec<VertexId> = a_i.to_vec().iter().map(|&(_, v)| v).collect();
         // Line 8: remove A_i's entries from R (batched difference).
-        let mut r_removals: Vec<(Dist, VertexId)> = active
-            .iter()
-            .map(|&v| (radii.key(v, qkey[v as usize]), v))
-            .collect();
+        let mut r_removals: Vec<(Dist, VertexId)> =
+            active.iter().map(|&v| (radii.key(v, qkey[v as usize]), v)).collect();
         r_removals.sort_unstable();
         r = Treap::difference(r, Treap::from_sorted(&r_removals));
         for &v in &active {
@@ -164,10 +168,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
         }));
     }
 
-    SsspResult {
-        dist: dist.iter().map(|d| d.load()).collect(),
-        stats,
-    }
+    SsspResult::new(dist.iter().map(|d| d.load()).collect(), stats)
 }
 
 /// Parallel relaxation of `dirty`'s out-edges; returns the set of vertices

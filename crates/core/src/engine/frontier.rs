@@ -23,7 +23,7 @@
 use rayon::prelude::*;
 
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
-use rs_par::{atomic_vec, AtomicBitset, par_min};
+use rs_par::{atomic_vec, par_min, AtomicBitset};
 
 use crate::radii::RadiiSpec;
 use crate::stats::{SsspResult, StepStats, StepTrace};
@@ -33,7 +33,12 @@ use crate::EngineConfig;
 /// sequentially (fork-join overhead dominates tiny frontiers).
 const SEQ_SUBSTEP: usize = 2048;
 
-pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+pub(crate) fn run(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+) -> SsspResult {
     let n = g.num_vertices();
     let dist = atomic_vec(n, INF);
     let settled = AtomicBitset::new(n);
@@ -41,10 +46,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
     let in_active = AtomicBitset::new(n);
     let dirty_mark = AtomicBitset::new(n);
 
-    let mut stats = StepStats {
-        trace: config.trace.then(Vec::new),
-        ..Default::default()
-    };
+    let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
 
     // Line 1–2: settle the source, relax its neighbours into the fringe.
     dist[source as usize].store(0);
@@ -61,24 +63,23 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
 
     let mut prev_di: Dist = 0;
     while !fringe.is_empty() {
+        // Early exit for goal-bounded solves: once the goal is settled its
+        // distance is final (Theorem 3.1's invariant).
+        if config.goal.is_some_and(|g| settled.get(g as usize)) {
+            break;
+        }
         // Line 4: d_i = min over the fringe of δ(v) + r(v).
         let di = par_min(fringe.len(), |i| {
             let v = fringe[i];
             radii.key(v, dist[v as usize].load())
         });
-        debug_assert!(
-            stats.steps == 0 || di > prev_di,
-            "round distances must strictly increase"
-        );
+        debug_assert!(stats.steps == 0 || di > prev_di, "round distances must strictly increase");
         prev_di = di;
 
         // Active set: fringe vertices with δ ≤ d_i (non-empty: the argmin
         // vertex has δ ≤ δ + r = d_i).
-        let mut active: Vec<VertexId> = fringe
-            .iter()
-            .copied()
-            .filter(|&v| dist[v as usize].load() <= di)
-            .collect();
+        let mut active: Vec<VertexId> =
+            fringe.iter().copied().filter(|&v| dist[v as usize].load() <= di).collect();
         for &v in &active {
             in_active.set(v as usize);
         }
@@ -129,10 +130,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
         }));
     }
 
-    SsspResult {
-        dist: dist.iter().map(|d| d.load()).collect(),
-        stats,
-    }
+    SsspResult::new(dist.iter().map(|d| d.load()).collect(), stats)
 }
 
 /// One substep: relax all out-edges of `dirty` (given as `(vertex, δ)`

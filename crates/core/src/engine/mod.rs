@@ -39,12 +39,26 @@ pub enum EngineKind {
 pub struct EngineConfig {
     /// Record a per-step trace in the result (costs one record per step).
     pub trace: bool,
+    /// Stop as soon as this vertex is settled (its distance is then exact;
+    /// other vertices may hold tentative upper bounds or `INF`).
+    pub goal: Option<VertexId>,
 }
 
 impl EngineConfig {
     /// Config with tracing enabled.
     pub fn with_trace() -> Self {
-        EngineConfig { trace: true }
+        EngineConfig { trace: true, ..Default::default() }
+    }
+
+    /// Config stopping once `goal` is settled.
+    pub fn with_goal(goal: VertexId) -> Self {
+        EngineConfig { goal: Some(goal), ..Default::default() }
+    }
+
+    /// Sets the early-termination goal.
+    pub fn goal(mut self, goal: VertexId) -> Self {
+        self.goal = Some(goal);
+        self
     }
 }
 
@@ -87,7 +101,8 @@ mod tests {
             EngineKind::Frontier,
             EngineConfig::default(),
         );
-        let b = radius_stepping_with(&g, &RadiiSpec::Zero, 0, EngineKind::Bst, EngineConfig::default());
+        let b =
+            radius_stepping_with(&g, &RadiiSpec::Zero, 0, EngineKind::Bst, EngineConfig::default());
         assert_eq!(a.dist, b.dist);
         assert!(a.dist.iter().all(|&d| d != INF));
     }

@@ -19,7 +19,12 @@ use crate::radii::RadiiSpec;
 use crate::stats::{SsspResult, StepStats, StepTrace};
 use crate::EngineConfig;
 
-pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: EngineConfig) -> SsspResult {
+pub(crate) fn run(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+) -> SsspResult {
     assert!(
         g.is_unit_weighted(),
         "the unweighted engine requires unit weights; use the frontier engine instead"
@@ -27,10 +32,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
     let n = g.num_vertices();
     let visited = AtomicBitset::new(n);
     let mut dist = vec![INF; n];
-    let mut stats = StepStats {
-        trace: config.trace.then(Vec::new),
-        ..Default::default()
-    };
+    let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
 
     visited.set(source as usize);
     dist[source as usize] = 0;
@@ -45,6 +47,11 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
     let mut level: Dist = 1;
 
     while !frontier.is_empty() {
+        // Early exit for goal-bounded solves: a vertex's distance is final
+        // as soon as it is assigned (levels settle in order).
+        if config.goal.is_some_and(|g| dist[g as usize] != INF) {
+            break;
+        }
         // d_i = ℓ + min r(v) over the frontier (line 4 specialised).
         let di = par_min(frontier.len(), |i| radii.key(frontier[i], 0)).saturating_add(level);
         let mut substeps = 0;
@@ -77,7 +84,7 @@ pub(crate) fn run(g: &CsrGraph, radii: &RadiiSpec, source: VertexId, config: Eng
         }));
     }
 
-    SsspResult { dist, stats }
+    SsspResult::new(dist, stats)
 }
 
 #[cfg(test)]

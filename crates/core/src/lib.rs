@@ -33,9 +33,12 @@
 pub mod engine;
 pub mod preprocess;
 pub mod radii;
+pub mod solver;
 pub mod stats;
 pub mod verify;
 
 pub use engine::{radius_stepping, radius_stepping_with, EngineConfig, EngineKind};
+pub use preprocess::{PreprocessConfig, Preprocessed};
 pub use radii::RadiiSpec;
-pub use stats::{SsspResult, StepStats, StepTrace};
+pub use solver::{Algorithm, HeapKind, Radii, SolverBuilder, SolverConfig, SsspSolver};
+pub use stats::{derive_parents, extract_path, SsspResult, StepStats, StepTrace};

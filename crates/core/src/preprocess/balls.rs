@@ -181,16 +181,13 @@ mod tests {
 
     #[test]
     fn radius_matches_brute_force_weighted() {
-        let g = weights::reweight(&gen::grid2d(7, 9), WeightModel::paper_weighted(), 3).weight_sorted();
+        let g =
+            weights::reweight(&gen::grid2d(7, 9), WeightModel::paper_weighted(), 3).weight_sorted();
         let mut scratch = BallScratch::new(g.num_vertices());
         for rho in [1usize, 2, 5, 16, 40] {
             for v in [0u32, 5, 31, 62] {
                 let ball = ball_search(&g, v, rho, rho, &mut scratch);
-                assert_eq!(
-                    ball.radius,
-                    brute_radius(&g, v, rho),
-                    "r_{rho}({v}) mismatch"
-                );
+                assert_eq!(ball.radius, brute_radius(&g, v, rho), "r_{rho}({v}) mismatch");
             }
         }
     }
@@ -238,15 +235,15 @@ mod tests {
     fn members_complete_below_radius() {
         // Every vertex strictly inside the radius must be a member even
         // with the ρ-lightest-edges cap.
-        let g = weights::reweight(&gen::grid2d(6, 6), WeightModel::paper_weighted(), 9).weight_sorted();
+        let g =
+            weights::reweight(&gen::grid2d(6, 6), WeightModel::paper_weighted(), 9).weight_sorted();
         let mut scratch = BallScratch::new(36);
         for v in 0..36u32 {
             let rho = 10;
             let ball = ball_search(&g, v, rho, rho, &mut scratch);
             let exact = dijkstra_default(&g, v);
             let inside = exact.iter().filter(|&&d| d < ball.radius).count();
-            let member_inside =
-                ball.members.iter().filter(|m| m.dist < ball.radius).count();
+            let member_inside = ball.members.iter().filter(|m| m.dist < ball.radius).count();
             assert_eq!(member_inside, inside, "missing strict-interior member of ball({v})");
             assert!(ball.members.len() >= rho.min(36));
         }

@@ -32,12 +32,8 @@ pub fn dp_shortcuts(ball: &Ball, k: u32) -> Vec<Edge> {
     let k = k as usize;
 
     // Tree structure over member indices.
-    let idx_of: HashMap<VertexId, u32> = ball
-        .members
-        .iter()
-        .enumerate()
-        .map(|(i, m)| (m.v, i as u32))
-        .collect();
+    let idx_of: HashMap<VertexId, u32> =
+        ball.members.iter().enumerate().map(|(i, m)| (m.v, i as u32)).collect();
     let mut child_off = vec![0u32; b + 1];
     for m in ball.members.iter().skip(1) {
         child_off[idx_of[&m.parent] as usize + 1] += 1;
@@ -121,12 +117,7 @@ mod tests {
             members.push(BallMember { v: i, dist: i as u64, hops: i, parent: i - 1 });
         }
         for j in 0..leaves {
-            members.push(BallMember {
-                v: k + 1 + j,
-                dist: (k + 1) as u64,
-                hops: k + 1,
-                parent: k,
-            });
+            members.push(BallMember { v: k + 1 + j, dist: (k + 1) as u64, hops: k + 1, parent: k });
         }
         Ball { source: 0, members, radius: (k + 1) as u64, explored_edges: 0 }
     }
@@ -176,8 +167,7 @@ mod tests {
                 let g = gen::road_network(10, 8);
                 let ball = ball_of(&g, src, 25);
                 let dp = dp_shortcuts(&ball, k);
-                let hops =
-                    hops_with_shortcuts(&ball, &dp.iter().map(|e| e.1).collect::<Vec<_>>());
+                let hops = hops_with_shortcuts(&ball, &dp.iter().map(|e| e.1).collect::<Vec<_>>());
                 assert!(hops.iter().all(|&h| h <= k), "DP k={k} infeasible");
             }
         }

@@ -27,10 +27,7 @@ pub fn greedy_shortcuts(ball: &Ball, k: u32) -> Vec<Edge> {
 /// them (the Figure 3 / Table 2 measurement).
 pub fn greedy_count(ball: &Ball, k: u32) -> usize {
     assert!(k >= 1);
-    ball.members
-        .iter()
-        .filter(|m| m.hops > k && (m.hops - 1) % k == 0)
-        .count()
+    ball.members.iter().filter(|m| m.hops > k && (m.hops - 1) % k == 0).count()
 }
 
 /// The (1, ρ) construction: a direct shortcut to every ball member (§4.1).
@@ -54,12 +51,8 @@ pub(crate) fn dist_as_weight(d: u64) -> Weight {
 /// pop order, so parents precede children.
 pub fn hops_with_shortcuts(ball: &Ball, shortcut_targets: &[rs_graph::VertexId]) -> Vec<u32> {
     use std::collections::HashMap;
-    let idx_of: HashMap<u32, u32> = ball
-        .members
-        .iter()
-        .enumerate()
-        .map(|(i, m)| (m.v, i as u32))
-        .collect();
+    let idx_of: HashMap<u32, u32> =
+        ball.members.iter().enumerate().map(|(i, m)| (m.v, i as u32)).collect();
     let shortcut: std::collections::HashSet<u32> = shortcut_targets.iter().copied().collect();
     let mut hops = vec![u32::MAX; ball.members.len()];
     hops[0] = 0;

@@ -133,7 +133,12 @@ impl Preprocessed {
     }
 
     /// Solves SSSP with an explicit engine/config.
-    pub fn sssp_with(&self, source: VertexId, kind: EngineKind, config: EngineConfig) -> SsspResult {
+    pub fn sssp_with(
+        &self,
+        source: VertexId,
+        kind: EngineKind,
+        config: EngineConfig,
+    ) -> SsspResult {
         radius_stepping_with(&self.graph, &RadiiSpec::PerVertex(&self.radii), source, kind, config)
     }
 
@@ -226,7 +231,10 @@ impl Preprocessed {
 
 /// Shared worker: balls → (radii, shortcut list, stats) without building
 /// the merged graph (exposed for experiments that only need counts).
-pub fn preprocess_edges(g: &CsrGraph, cfg: &PreprocessConfig) -> (Vec<Dist>, Vec<Edge>, PreprocessStats) {
+pub fn preprocess_edges(
+    g: &CsrGraph,
+    cfg: &PreprocessConfig,
+) -> (Vec<Dist>, Vec<Edge>, PreprocessStats) {
     let ws = g.weight_sorted();
     let n = g.num_vertices();
     let per_source: Vec<(Dist, Vec<Edge>, u64, u64)> = (0..n as VertexId)
@@ -355,7 +363,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let g = weighted_grid();
-        let pre = Preprocessed::build(&g, &PreprocessConfig::new(2, 12).with_heuristic(ShortcutHeuristic::Dp));
+        let pre = Preprocessed::build(
+            &g,
+            &PreprocessConfig::new(2, 12).with_heuristic(ShortcutHeuristic::Dp),
+        );
         let path = std::env::temp_dir().join(format!("rs_pre_{}.bin", std::process::id()));
         pre.save(&path).unwrap();
         let loaded = Preprocessed::load(&path).unwrap();

@@ -1,0 +1,504 @@
+//! The unified SSSP solver API.
+//!
+//! The paper frames Dijkstra, Bellman–Ford, ∆-stepping and radius stepping
+//! as points on one spectrum — radii `Zero` / `Infinite` / `Constant(∆)`
+//! recover each baseline (§3) — and this module gives the code the same
+//! shape: every algorithm is an [`SsspSolver`] producing a
+//! [`crate::SsspResult`], constructed through one fluent [`SolverBuilder`].
+//!
+//! * [`SsspSolver`] — `solve`, goal-bounded `solve_to_goal`, and
+//!   rayon-parallel multi-source [`SsspSolver::solve_batch`].
+//! * [`Algorithm`] — the algorithm selector (`RadiusStepping { engine,
+//!   radii }`, `Dijkstra { heap }`, `DeltaStepping { delta }`,
+//!   `BellmanFord`, `Bfs`).
+//! * [`SolverBuilder`] — picks the algorithm, optionally attaches
+//!   (k, ρ)-preprocessing, and toggles tracing / parent recording.
+//!
+//! This module defines the trait, the configuration types, and the
+//! radius-stepping solvers. The baseline adapters live in
+//! `rs_baselines::solver` (which also supplies the builder's `build()`
+//! through its `BuildSolver` extension trait, since the baseline
+//! implementations sit above this crate in the dependency graph); the
+//! `radius_stepping` facade's prelude re-exports the whole surface.
+//!
+//! ```
+//! use rs_core::solver::{Radii, SolverBuilder, SsspSolver};
+//! use rs_graph::{gen, weights, WeightModel};
+//!
+//! let g = weights::reweight(&gen::grid2d(12, 12), WeightModel::paper_weighted(), 1);
+//! let solver = SolverBuilder::new(&g)
+//!     .record_parents(true)
+//!     .radius_stepping_solver(Default::default(), Radii::Constant(2_000));
+//! let out = solver.solve(0);
+//! assert_eq!(out.dist[0], 0);
+//! assert!(out.extract_path(143).is_some(), "parents recorded uniformly");
+//! ```
+
+use rayon::prelude::*;
+
+use rs_graph::{CsrGraph, Dist, VertexId};
+
+use crate::engine::{radius_stepping_with, EngineConfig, EngineKind};
+use crate::preprocess::{PreprocessConfig, Preprocessed};
+use crate::radii::RadiiSpec;
+use crate::stats::SsspResult;
+
+/// A single-source shortest-path solver bound to one graph.
+///
+/// Implementations are interchangeable: on the same graph every solver
+/// produces identical `dist` arrays (asserted by the cross-algorithm
+/// conformance tests). They differ only in their counters and costs.
+pub trait SsspSolver: Sync {
+    /// Human-readable algorithm name (for reports and error messages).
+    fn name(&self) -> String;
+
+    /// The graph distances refer to. For preprocessed solvers this is the
+    /// shortcut-augmented (k, ρ)-graph — distances are identical to the
+    /// input graph's by construction.
+    fn graph(&self) -> &CsrGraph;
+
+    /// Exact distances from `source` to every vertex.
+    fn solve(&self, source: VertexId) -> SsspResult;
+
+    /// Distances from `source`, stopping early once `goal` is settled.
+    ///
+    /// `dist[goal]` is exact; every other finite entry is a valid upper
+    /// bound (settled vertices are exact, unsettled ones tentative or
+    /// `INF`). The default implementation runs a full solve, which
+    /// trivially satisfies the contract; algorithms with a cheap settled
+    /// test override it.
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        let _ = goal;
+        self.solve(source)
+    }
+
+    /// Solves from every source, fanning out across the rayon pool — the
+    /// paper's motivating workload (§5.4: preprocessing is paid once, then
+    /// "Sssp will be run from multiple sources"). Each item is a whole
+    /// solve, so parallelism pays from two sources up (`with_min_len(1)`).
+    fn solve_batch(&self, sources: &[VertexId]) -> Vec<SsspResult> {
+        (0..sources.len()).into_par_iter().with_min_len(1).map(|i| self.solve(sources[i])).collect()
+    }
+}
+
+/// Owned radius assignment (the builder cannot borrow like
+/// [`RadiiSpec`] does).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Radii {
+    /// `r ≡ 0`: Dijkstra-like (one distance level per step).
+    #[default]
+    Zero,
+    /// `r ≡ ∞`: Bellman–Ford-like (one step, substeps to fixpoint).
+    Infinite,
+    /// `r ≡ ∆`: ∆-stepping-like.
+    Constant(Dist),
+    /// Per-vertex radii, e.g. `r_ρ(v)` from preprocessing.
+    PerVertex(Vec<Dist>),
+}
+
+impl Radii {
+    /// Borrowing view for the engines.
+    pub fn as_spec(&self) -> RadiiSpec<'_> {
+        match self {
+            Radii::Zero => RadiiSpec::Zero,
+            Radii::Infinite => RadiiSpec::Infinite,
+            Radii::Constant(d) => RadiiSpec::Constant(*d),
+            Radii::PerVertex(r) => RadiiSpec::PerVertex(r),
+        }
+    }
+}
+
+/// Decrease-key heap selector for the Dijkstra baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapKind {
+    /// 4-ary array heap (usually fastest in practice).
+    #[default]
+    Dary,
+    /// Pairing heap.
+    Pairing,
+    /// Fibonacci heap (the Lemma 4.2 choice).
+    Fibonacci,
+}
+
+/// Algorithm selector: the five families of the paper's evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Radius stepping (Algorithm 1/2) with an engine and radii. Attach
+    /// [`SolverBuilder::preprocess`] to derive `r_ρ(v)` radii and shortcut
+    /// edges instead of passing radii here.
+    RadiusStepping { engine: EngineKind, radii: Radii },
+    /// Sequential Dijkstra, generic over the decrease-key heap.
+    Dijkstra { heap: HeapKind },
+    /// Meyer–Sanders ∆-stepping with bucket width ∆.
+    DeltaStepping { delta: Dist },
+    /// Round-synchronous parallel Bellman–Ford.
+    BellmanFord,
+    /// Level-synchronous parallel BFS (unit-weight graphs only).
+    Bfs,
+}
+
+impl Default for Algorithm {
+    fn default() -> Self {
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero }
+    }
+}
+
+/// Cross-algorithm output options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Record a per-step trace where the algorithm supports it.
+    pub trace: bool,
+    /// Attach the shortest-path tree (`SsspResult::parent`) to results.
+    pub record_parents: bool,
+}
+
+impl SolverConfig {
+    /// Engine options for one solve.
+    pub fn engine_config(&self, goal: Option<VertexId>) -> EngineConfig {
+        EngineConfig { trace: self.trace, goal }
+    }
+
+    /// Applies the post-solve options (currently: parent derivation).
+    pub fn finish(&self, g: &CsrGraph, result: SsspResult) -> SsspResult {
+        if self.record_parents {
+            result.with_parents(g)
+        } else {
+            result
+        }
+    }
+}
+
+/// The graph a solver runs on: borrowed from the caller, or owned when
+/// preprocessing replaced it with the shortcut-augmented (k, ρ)-graph.
+#[derive(Debug, Clone)]
+pub enum SolverGraph<'g> {
+    Borrowed(&'g CsrGraph),
+    Owned(CsrGraph),
+}
+
+impl std::ops::Deref for SolverGraph<'_> {
+    type Target = CsrGraph;
+
+    fn deref(&self) -> &CsrGraph {
+        match self {
+            SolverGraph::Borrowed(g) => g,
+            SolverGraph::Owned(g) => g,
+        }
+    }
+}
+
+/// Fluent construction of any [`SsspSolver`].
+///
+/// ```
+/// use rs_core::solver::{Algorithm, Radii, SolverBuilder, SsspSolver};
+/// use rs_core::{EngineKind, PreprocessConfig};
+/// use rs_graph::{gen, weights, WeightModel};
+///
+/// let g = weights::reweight(&gen::grid2d(10, 10), WeightModel::paper_weighted(), 7);
+/// let solver = SolverBuilder::new(&g)
+///     .algorithm(Algorithm::RadiusStepping {
+///         engine: EngineKind::Frontier,
+///         radii: Radii::Zero, // replaced by r_rho(v) below
+///     })
+///     .preprocess(PreprocessConfig::new(1, 16))
+///     .trace(true)
+///     .radius_stepping_solver_from_algorithm(); // or `.build()` via rs_baselines
+/// assert_eq!(solver.solve(0).dist[0], 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverBuilder<'g> {
+    graph: &'g CsrGraph,
+    algorithm: Algorithm,
+    preprocess: Option<PreprocessConfig>,
+    config: SolverConfig,
+}
+
+impl<'g> SolverBuilder<'g> {
+    /// Starts a builder for `graph` (default algorithm: frontier-engine
+    /// radius stepping with zero radii, i.e. batched Dijkstra).
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        SolverBuilder {
+            graph,
+            algorithm: Algorithm::default(),
+            preprocess: None,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Attaches (k, ρ)-preprocessing: at build time the graph is replaced
+    /// by the shortcut-augmented (k, ρ)-graph (distances unchanged) and —
+    /// for radius stepping — the radii by `r_ρ(v)`.
+    pub fn preprocess(mut self, cfg: PreprocessConfig) -> Self {
+        self.preprocess = Some(cfg);
+        self
+    }
+
+    /// Toggles per-step tracing (where the algorithm records one).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Toggles shortest-path-tree recording on every result.
+    pub fn record_parents(mut self, on: bool) -> Self {
+        self.config.record_parents = on;
+        self
+    }
+
+    /// Decomposes the builder (used by `rs_baselines::solver::BuildSolver`,
+    /// which constructs the baseline adapters this crate cannot name).
+    pub fn into_parts(self) -> BuilderParts<'g> {
+        BuilderParts {
+            graph: self.graph,
+            algorithm: self.algorithm,
+            preprocess: self.preprocess,
+            config: self.config,
+        }
+    }
+
+    /// Builds a radius-stepping solver directly (engine + radii given
+    /// explicitly; use `build()` from the facade for the general case).
+    pub fn radius_stepping_solver(
+        self,
+        engine: EngineKind,
+        radii: Radii,
+    ) -> RadiusSteppingSolver<'g> {
+        self.algorithm(Algorithm::RadiusStepping { engine, radii })
+            .radius_stepping_solver_from_algorithm()
+    }
+
+    /// Builds a radius-stepping solver from the current `algorithm`
+    /// selection, applying any attached preprocessing.
+    ///
+    /// Panics if the selected algorithm is not `RadiusStepping` — the
+    /// baseline variants are built by `rs_baselines::solver::BuildSolver`.
+    pub fn radius_stepping_solver_from_algorithm(self) -> RadiusSteppingSolver<'g> {
+        let parts = self.into_parts();
+        let Algorithm::RadiusStepping { engine, radii } = parts.algorithm else {
+            panic!(
+                "radius_stepping_solver_from_algorithm on {:?}; use BuildSolver::build",
+                parts.algorithm
+            )
+        };
+        RadiusSteppingSolver::from_parts(parts.graph, engine, radii, parts.preprocess, parts.config)
+    }
+}
+
+/// The builder's decomposed state (consumed by the `build()` extension).
+pub struct BuilderParts<'g> {
+    pub graph: &'g CsrGraph,
+    pub algorithm: Algorithm,
+    pub preprocess: Option<PreprocessConfig>,
+    pub config: SolverConfig,
+}
+
+impl<'g> BuilderParts<'g> {
+    /// Resolves the attached preprocessing: returns the graph baselines
+    /// should run on (augmented when preprocessing is attached — distances
+    /// are preserved, so every solver stays exact).
+    pub fn resolve_graph(&self) -> SolverGraph<'g> {
+        match &self.preprocess {
+            None => SolverGraph::Borrowed(self.graph),
+            Some(cfg) => SolverGraph::Owned(Preprocessed::build(self.graph, cfg).graph),
+        }
+    }
+}
+
+/// Radius stepping (either engine, any radii, optional preprocessing)
+/// behind the [`SsspSolver`] interface.
+pub struct RadiusSteppingSolver<'g> {
+    graph: SolverGraph<'g>,
+    radii: Radii,
+    engine: EngineKind,
+    config: SolverConfig,
+    preprocessed: bool,
+}
+
+impl<'g> RadiusSteppingSolver<'g> {
+    /// Direct construction without a builder.
+    pub fn new(graph: &'g CsrGraph, engine: EngineKind, radii: Radii) -> Self {
+        RadiusSteppingSolver {
+            graph: SolverGraph::Borrowed(graph),
+            radii,
+            engine,
+            config: SolverConfig::default(),
+            preprocessed: false,
+        }
+    }
+
+    /// Construction from builder state: preprocessing (when attached)
+    /// replaces both the graph and the radii.
+    pub fn from_parts(
+        graph: &'g CsrGraph,
+        engine: EngineKind,
+        radii: Radii,
+        preprocess: Option<PreprocessConfig>,
+        config: SolverConfig,
+    ) -> Self {
+        match preprocess {
+            None => RadiusSteppingSolver {
+                graph: SolverGraph::Borrowed(graph),
+                radii,
+                engine,
+                config,
+                preprocessed: false,
+            },
+            Some(cfg) => {
+                let pre = Preprocessed::build(graph, &cfg);
+                RadiusSteppingSolver {
+                    graph: SolverGraph::Owned(pre.graph),
+                    radii: Radii::PerVertex(pre.radii),
+                    engine,
+                    config,
+                    preprocessed: true,
+                }
+            }
+        }
+    }
+
+    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
+        let out = radius_stepping_with(
+            &self.graph,
+            &self.radii.as_spec(),
+            source,
+            self.engine,
+            self.config.engine_config(goal),
+        );
+        self.config.finish(&self.graph, out)
+    }
+}
+
+impl SsspSolver for RadiusSteppingSolver<'_> {
+    fn name(&self) -> String {
+        let engine = match self.engine {
+            EngineKind::Frontier => "frontier",
+            EngineKind::Bst => "bst",
+            EngineKind::Unweighted => "unweighted",
+        };
+        if self.preprocessed {
+            format!("radius-stepping/{engine} (preprocessed)")
+        } else {
+            format!("radius-stepping/{engine}")
+        }
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.run(source, None)
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.run(source, Some(goal))
+    }
+}
+
+/// [`Preprocessed`] is itself a solver: `solve` is `sssp` on the
+/// (k, ρ)-graph with the derived radii.
+impl SsspSolver for Preprocessed {
+    fn name(&self) -> String {
+        format!("radius-stepping (k={}, rho={})", self.config.k, self.config.rho)
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.sssp(source)
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        radius_stepping_with(
+            &self.graph,
+            &RadiiSpec::PerVertex(&self.radii),
+            source,
+            EngineKind::Frontier,
+            EngineConfig::with_goal(goal),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::{gen, weights, WeightModel, INF};
+
+    fn grid() -> CsrGraph {
+        weights::reweight(&gen::grid2d(9, 9), WeightModel::paper_weighted(), 4)
+    }
+
+    #[test]
+    fn builder_constructs_working_solver() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .trace(true)
+            .record_parents(true)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let out = solver.solve(0);
+        assert_eq!(out.dist[0], 0);
+        assert!(out.stats.trace.is_some(), "trace requested");
+        let path = out.extract_path(80).expect("connected grid");
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 80);
+    }
+
+    #[test]
+    fn preprocessing_replaces_radii_and_graph() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .preprocess(PreprocessConfig::new(1, 8))
+            .radius_stepping_solver_from_algorithm();
+        assert!(solver.name().contains("preprocessed"));
+        assert!(solver.graph().num_edges() >= g.num_edges(), "shortcuts added");
+        assert!(matches!(solver.radii, Radii::PerVertex(_)));
+        let direct =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Bst, Radii::Infinite);
+        assert_eq!(solver.solve(3).dist, direct.solve(3).dist);
+    }
+
+    #[test]
+    fn goal_solve_settles_goal_exactly() {
+        let g = grid();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let full = solver.solve(0);
+        let bounded = solver.solve_to_goal(0, 40);
+        assert_eq!(bounded.dist[40], full.dist[40]);
+        assert!(bounded.stats.steps <= full.stats.steps);
+        for (b, f) in bounded.dist.iter().zip(&full.dist) {
+            assert!(*b >= *f, "goal-bounded entries are upper bounds");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_source() {
+        let g = grid();
+        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 8));
+        let sources = [0u32, 11, 44, 80];
+        let batch = pre.solve_batch(&sources);
+        assert_eq!(batch.len(), sources.len());
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(batch[i].dist, pre.solve(s).dist);
+        }
+    }
+
+    #[test]
+    fn unreachable_goal_terminates() {
+        let mut b = rs_graph::EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        let g = b.build();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let out = solver.solve_to_goal(0, 3);
+        assert_eq!(out.dist[3], INF);
+    }
+}

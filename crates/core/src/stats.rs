@@ -5,19 +5,50 @@
 //! Theorem 3.2 (`k + 2` per step). Both are first-class outputs here, along
 //! with relaxation counts (a work proxy) and an optional per-step trace.
 
+use rayon::prelude::*;
+
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-/// Result of one single-source shortest-path computation.
+/// Result of one single-source shortest-path computation — the uniform
+/// output type every solver in the workspace returns (radius-stepping
+/// engines, preprocessed pipelines, and all four baselines through the
+/// [`crate::solver::SsspSolver`] trait).
 #[derive(Debug, Clone)]
 pub struct SsspResult {
     /// `dist[v]` = shortest-path distance from the source ([`rs_graph::INF`]
     /// if unreachable).
     pub dist: Vec<Dist>,
+    /// Shortest-path tree, when requested (e.g. via
+    /// `SolverBuilder::record_parents`): `parent[v]` is a predecessor of
+    /// `v` on a shortest path (`parent[source] = source`, `u32::MAX` if
+    /// unreachable or not yet settled by a goal-bounded solve).
+    pub parent: Option<Vec<VertexId>>,
     /// Execution counters.
     pub stats: StepStats,
 }
 
 impl SsspResult {
+    /// Wraps a distance array and counters (no parent tree).
+    pub fn new(dist: Vec<Dist>, stats: StepStats) -> SsspResult {
+        SsspResult { dist, parent: None, stats }
+    }
+
+    /// Derives and attaches the shortest-path tree from the distance array
+    /// (parallel over vertices; works for every algorithm because any
+    /// in-neighbor `u` with `dist[u] + w(u,v) = dist[v]` is a valid
+    /// predecessor on these symmetric graphs).
+    pub fn with_parents(mut self, g: &CsrGraph) -> SsspResult {
+        self.parent = Some(derive_parents(g, &self.dist));
+        self
+    }
+
+    /// Reconstructs the shortest path `source → t` from the recorded
+    /// parent array. Returns `None` when no parents were recorded, `t` is
+    /// unreachable, or `t` was not settled by a goal-bounded solve.
+    pub fn extract_path(&self, t: VertexId) -> Option<Vec<VertexId>> {
+        extract_path(self.parent.as_deref()?, t)
+    }
+
     /// Reconstructs a shortest path to `t` by walking the distance array
     /// backwards (`dist[u] + w(u,t) == dist[t]` picks a valid predecessor),
     /// so no parent pointers need to be stored during the solve. Returns
@@ -25,6 +56,48 @@ impl SsspResult {
     pub fn path_to(&self, g: &CsrGraph, t: VertexId) -> Option<Vec<VertexId>> {
         shortest_path_from_dist(g, &self.dist, t)
     }
+}
+
+/// `parent[v]` = a predecessor of `v` on a shortest path consistent with
+/// `dist` (`parent[v] = v` where `dist[v] = 0`; `u32::MAX` where `v` is
+/// unreachable or `dist[v]` is a tentative value no in-neighbor certifies).
+pub fn derive_parents(g: &CsrGraph, dist: &[Dist]) -> Vec<VertexId> {
+    (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let dv = dist[v as usize];
+            if dv == INF {
+                return u32::MAX;
+            }
+            if dv == 0 {
+                return v;
+            }
+            g.edges(v)
+                .find(|&(u, w)| dist[u as usize].saturating_add(w as Dist) == dv)
+                .map_or(u32::MAX, |(u, _)| u)
+        })
+        .collect()
+}
+
+/// Reconstructs the shortest path `source → t` from a parent array, or
+/// `None` if `t` is unreachable (`parent[t] = u32::MAX`) or the chain is
+/// broken (goal-bounded solves leave unsettled vertices parentless).
+pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
+    if parent.get(t as usize).is_none_or(|&p| p == u32::MAX) {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while parent[cur as usize] != cur {
+        cur = parent[cur as usize];
+        if cur == u32::MAX {
+            return None;
+        }
+        path.push(cur);
+        debug_assert!(path.len() <= parent.len(), "parent cycle");
+    }
+    path.reverse();
+    Some(path)
 }
 
 /// See [`SsspResult::path_to`].

@@ -36,11 +36,8 @@ impl PairingHeap {
     /// Melds two non-`NONE` roots; returns the new root.
     fn meld(&mut self, a: u32, b: u32) -> u32 {
         debug_assert!(a != NONE && b != NONE);
-        let (winner, loser) = if self.nodes[a as usize].key <= self.nodes[b as usize].key {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (winner, loser) =
+            if self.nodes[a as usize].key <= self.nodes[b as usize].key { (a, b) } else { (b, a) };
         // Attach loser as first child of winner.
         let old_child = self.nodes[winner as usize].child;
         self.nodes[loser as usize].sibling = old_child;

@@ -71,7 +71,12 @@ where
 
 /// Dense (gather) direction: parallel over all destinations, scanning
 /// in-arcs (identical to out-arcs on these symmetric graphs).
-pub fn edge_map_dense<U, C>(g: &CsrGraph, frontier: &VertexSubset, update: U, cond: C) -> EdgeMapResult
+pub fn edge_map_dense<U, C>(
+    g: &CsrGraph,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+) -> EdgeMapResult
 where
     U: Fn(VertexId, VertexId, Weight) -> bool + Sync,
     C: Fn(VertexId) -> bool + Sync,
@@ -105,12 +110,7 @@ mod tests {
 
     /// One BFS level via edge_map: unvisited neighbors of the frontier.
     fn bfs_level(g: &CsrGraph, frontier: &VertexSubset, visited: &AtomicBitset) -> VertexSubset {
-        edge_map(
-            g,
-            frontier,
-            |_, v, _| visited.set(v as usize),
-            |v| !visited.get(v as usize),
-        )
+        edge_map(g, frontier, |_, v, _| visited.set(v as usize), |v| !visited.get(v as usize))
     }
 
     #[test]

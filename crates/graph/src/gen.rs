@@ -72,13 +72,14 @@ pub fn road_network(side: usize, seed: u64) -> CsrGraph {
     let mut removed: Vec<Edge> = Vec::new();
     for x in 0..side {
         for y in 0..side {
-            let consider = |e: Edge, rng: &mut StdRng, kept: &mut Vec<Edge>, removed: &mut Vec<Edge>| {
-                if rng.random_range(0.0..1.0) < 0.70 {
-                    kept.push(e);
-                } else {
-                    removed.push(e);
-                }
-            };
+            let consider =
+                |e: Edge, rng: &mut StdRng, kept: &mut Vec<Edge>, removed: &mut Vec<Edge>| {
+                    if rng.random_range(0.0..1.0) < 0.70 {
+                        kept.push(e);
+                    } else {
+                        removed.push(e);
+                    }
+                };
             if x + 1 < side {
                 consider((id(x, y), id(x + 1, y), 1), &mut rng, &mut kept, &mut removed);
             }
@@ -169,7 +170,8 @@ pub fn webgraph(
     seed: u64,
 ) -> CsrGraph {
     assert!((0.0..1.0).contains(&whisker_frac) && whisker_max >= 1);
-    let n_whisker = ((n as f64 * whisker_frac) as usize).min(n.saturating_sub(core_edges_per_vertex + 2));
+    let n_whisker =
+        ((n as f64 * whisker_frac) as usize).min(n.saturating_sub(core_edges_per_vertex + 2));
     let n_core = n - n_whisker;
     let core = scale_free(n_core, core_edges_per_vertex, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x77AB_C0DE);
@@ -195,22 +197,15 @@ pub fn webgraph(
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let edges: Vec<Edge> = (0..m)
-        .map(|_| {
-            (
-                rng.random_range(0..n as VertexId),
-                rng.random_range(0..n as VertexId),
-                1,
-            )
-        })
+        .map(|_| (rng.random_range(0..n as VertexId), rng.random_range(0..n as VertexId), 1))
         .collect();
     build_symmetric(n, &edges)
 }
 
 /// Simple path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<Edge> = (0..n.saturating_sub(1))
-        .map(|i| (i as VertexId, i as VertexId + 1, 1))
-        .collect();
+    let edges: Vec<Edge> =
+        (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1, 1)).collect();
     build_symmetric(n, &edges)
 }
 
@@ -327,10 +322,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 1600);
         assert!(is_connected(&g), "reconnection pass must leave one component");
         let avg_deg = g.num_arcs() as f64 / g.num_vertices() as f64;
-        assert!(
-            (2.2..=3.6).contains(&avg_deg),
-            "road-like average degree, got {avg_deg}"
-        );
+        assert!((2.2..=3.6).contains(&avg_deg), "road-like average degree, got {avg_deg}");
         g.check_invariants().unwrap();
     }
 

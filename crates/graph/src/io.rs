@@ -51,7 +51,10 @@ pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
                 let v = next_num()? as VertexId;
                 let w = next_num()? as Weight;
                 if u == 0 || v == 0 {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "DIMACS ids are 1-based"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "DIMACS ids are 1-based",
+                    ));
                 }
                 edges.push((u - 1, v - 1, w.max(1)));
             }

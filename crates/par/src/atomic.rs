@@ -125,10 +125,7 @@ impl AtomicBitset {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
-            .sum()
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
     }
 
     /// Indices of all set bits, ascending.
@@ -177,10 +174,7 @@ mod tests {
         // Many threads writing the same value: none may observe a "strict
         // lowering" twice for the same value.
         let a = AtomicMinU64::new(100);
-        let wins: usize = (0..1000)
-            .into_par_iter()
-            .map(|_| usize::from(a.write_min(50)))
-            .sum();
+        let wins: usize = (0..1000).into_par_iter().map(|_| usize::from(a.write_min(50))).sum();
         assert_eq!(wins, 1, "exactly one writer strictly lowers 100 -> 50");
     }
 
@@ -201,10 +195,7 @@ mod tests {
     fn bitset_concurrent_set_unique_claims() {
         let b = AtomicBitset::new(64);
         // 1000 threads race to claim bit 7; exactly one wins.
-        let claims: usize = (0..1000)
-            .into_par_iter()
-            .map(|_| usize::from(b.set(7)))
-            .sum();
+        let claims: usize = (0..1000).into_par_iter().map(|_| usize::from(b.set(7))).sum();
         assert_eq!(claims, 1);
     }
 

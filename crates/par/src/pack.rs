@@ -18,38 +18,30 @@ where
         return (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
     }
     let ranges = chunk_ranges(n, rayon::current_num_threads() * 8);
-    let counts: Vec<usize> = ranges
-        .par_iter()
-        .map(|r| r.clone().filter(|&i| pred(i)).count())
-        .collect();
+    let counts: Vec<usize> =
+        ranges.par_iter().map(|r| r.clone().filter(|&i| pred(i)).count()).collect();
     let (offsets, total) = exclusive_scan_usize(&counts);
     let mut out = vec![0u32; total];
     // Scatter each block into its disjoint slice of the output.
     let mut slices: Vec<&mut [u32]> = Vec::with_capacity(ranges.len());
     let mut rest = out.as_mut_slice();
     for (i, _) in ranges.iter().enumerate() {
-        let take = if i + 1 < ranges.len() {
-            offsets[i + 1] - offsets[i]
-        } else {
-            total - offsets[i]
-        };
+        let take =
+            if i + 1 < ranges.len() { offsets[i + 1] - offsets[i] } else { total - offsets[i] };
         let (head, tail) = rest.split_at_mut(take);
         slices.push(head);
         rest = tail;
     }
-    ranges
-        .into_par_iter()
-        .zip(slices.into_par_iter())
-        .for_each(|(r, slice)| {
-            let mut j = 0;
-            for i in r {
-                if pred(i) {
-                    slice[j] = i as u32;
-                    j += 1;
-                }
+    ranges.into_par_iter().zip(slices.into_par_iter()).for_each(|(r, slice)| {
+        let mut j = 0;
+        for i in r {
+            if pred(i) {
+                slice[j] = i as u32;
+                j += 1;
             }
-            debug_assert_eq!(j, slice.len());
-        });
+        }
+        debug_assert_eq!(j, slice.len());
+    });
     out
 }
 

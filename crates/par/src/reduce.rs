@@ -46,10 +46,7 @@ where
     let best = if n < SEQ_THRESHOLD {
         (0..n).fold(None, fold)
     } else {
-        (0..n)
-            .into_par_iter()
-            .fold(|| None, fold)
-            .reduce(|| None, merge)
+        (0..n).into_par_iter().fold(|| None, fold).reduce(|| None, merge)
     };
     best.filter(|&(_, v)| v != u64::MAX)
 }

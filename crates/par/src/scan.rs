@@ -46,17 +46,14 @@ pub fn exclusive_scan_in_place(data: &mut [u64]) -> u64 {
         chunks.push(head);
         rest = tail;
     }
-    chunks
-        .into_par_iter()
-        .zip(block_sums.par_iter())
-        .for_each(|(chunk, &offset)| {
-            let mut acc = offset;
-            for x in chunk {
-                let v = *x;
-                *x = acc;
-                acc += v;
-            }
-        });
+    chunks.into_par_iter().zip(block_sums.par_iter()).for_each(|(chunk, &offset)| {
+        let mut acc = offset;
+        for x in chunk {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+    });
     total
 }
 
@@ -109,9 +106,8 @@ mod tests {
 
     #[test]
     fn matches_reference_large_parallel_path() {
-        let input: Vec<u64> = (0..(SEQ_THRESHOLD * 3 + 17) as u64)
-            .map(|i| (i * 2654435761) % 97)
-            .collect();
+        let input: Vec<u64> =
+            (0..(SEQ_THRESHOLD * 3 + 17) as u64).map(|i| (i * 2654435761) % 97).collect();
         assert_eq!(exclusive_scan(&input), reference(&input));
     }
 

@@ -1,6 +1,8 @@
-//! Runs every SSSP algorithm in the workspace on one graph, verifies they
-//! agree exactly, and prints their step/phase structure side by side —
-//! the paper's Table 1 in miniature, measured instead of asymptotic.
+//! Runs every SSSP algorithm in the workspace on one graph — all built
+//! through `SolverBuilder`, all used through the `SsspSolver` trait —
+//! verifies they agree exactly, and prints their step/substep structure
+//! side by side: the paper's Table 1 in miniature, measured instead of
+//! asymptotic.
 //!
 //! ```text
 //! cargo run --release --example compare_algorithms
@@ -9,8 +11,6 @@
 use std::time::Instant;
 
 use radius_stepping::prelude::*;
-use rs_core::{radius_stepping_with, EngineConfig, EngineKind};
-use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
 
 fn main() {
     let topology = graph::gen::grid2d(120, 120);
@@ -18,76 +18,76 @@ fn main() {
     let s = 0u32;
     println!("graph: 120x120 grid, weights U[1,10^4], source {s}\n");
 
-    let reference = baselines::dijkstra_default(&g, s);
+    // Every point on the paper's algorithm spectrum, one builder each.
+    // (§3: r=0 is Dijkstra-like, r=∞ Bellman-Ford-like, r=∆ almost
+    // ∆-stepping; preprocessed r_rho(v) gives the paper's bounds.)
+    let spectrum: Vec<(Algorithm, Option<PreprocessConfig>)> = vec![
+        (Algorithm::Dijkstra { heap: HeapKind::Dary }, None),
+        (Algorithm::Dijkstra { heap: HeapKind::Pairing }, None),
+        (Algorithm::Dijkstra { heap: HeapKind::Fibonacci }, None),
+        (Algorithm::BellmanFord, None),
+        (Algorithm::DeltaStepping { delta: 2_000 }, None),
+        (Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero }, None),
+        (Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Infinite }, None),
+        (
+            Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero },
+            Some(PreprocessConfig::new(1, 64)),
+        ),
+        (
+            Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Zero },
+            Some(PreprocessConfig::new(1, 64)),
+        ),
+    ];
 
-    let report = |name: &str, f: &mut dyn FnMut() -> (Vec<Dist>, String)| {
+    let reference = SolverBuilder::new(&g)
+        .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
+        .build()
+        .solve(s)
+        .dist;
+
+    println!("{:<42} {:>9}   shape", "solver", "time");
+    for (algorithm, preprocess) in spectrum {
+        let mut builder = SolverBuilder::new(&g).algorithm(algorithm);
+        if let Some(cfg) = preprocess {
+            builder = builder.preprocess(cfg);
+        }
+        let solver = builder.build();
         let t = Instant::now();
-        let (dist, shape) = f();
+        let out = solver.solve(s);
         let elapsed = t.elapsed().as_secs_f64() * 1000.0;
-        assert_eq!(dist, reference, "{name} disagrees with Dijkstra");
-        println!("{name:<34} {elapsed:>8.1} ms   {shape}");
-    };
+        assert_eq!(out.dist, reference, "{} disagrees with Dijkstra", solver.name());
+        println!(
+            "{:<42} {elapsed:>6.1} ms   {} steps, {} substeps (max {}/step)",
+            solver.name(),
+            out.stats.steps,
+            out.stats.substeps,
+            out.stats.max_substeps_in_step
+        );
+    }
 
-    report("dijkstra (4-ary heap)", &mut || {
-        (baselines::dijkstra::<DaryHeap>(&g, s), "sequential".into())
-    });
-    report("dijkstra (pairing heap)", &mut || {
-        (baselines::dijkstra::<PairingHeap>(&g, s), "sequential".into())
-    });
-    report("dijkstra (fibonacci heap)", &mut || {
-        (baselines::dijkstra::<FibonacciHeap>(&g, s), "sequential".into())
-    });
-    report("bellman-ford (parallel)", &mut || {
-        let (d, rounds) = baselines::bellman_ford(&g, s);
-        (d, format!("{rounds} rounds"))
-    });
-    report("delta-stepping (delta=2000)", &mut || {
-        let out = baselines::delta_stepping(&g, s, 2000);
-        (out.dist, format!("{} buckets, {} phases", out.buckets, out.phases))
-    });
-
-    // Radius stepping across its radii spectrum (§3: r=0 Dijkstra-like,
-    // r=∞ Bellman-Ford-like, preprocessed r_ρ in between).
-    report("radius stepping (r=0)", &mut || {
-        let out = radius_stepping(&g, &RadiiSpec::Zero, s);
-        (out.dist, format!("{} steps", out.stats.steps))
-    });
-    report("radius stepping (r=inf)", &mut || {
-        let out = radius_stepping(&g, &RadiiSpec::Infinite, s);
-        (out.dist, format!("{} steps, {} substeps", out.stats.steps, out.stats.substeps))
-    });
-
+    // The two radius-stepping engines produce identical step sequences —
+    // show it directly on the preprocessed graph.
     let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 64));
-    println!(
-        "\npreprocessed (k=1, rho=64): +{} edges ({:.2}x m)",
-        pre.stats.effective_new_edges,
-        pre.stats.added_edge_factor()
-    );
-    report("radius stepping (frontier engine)", &mut || {
-        let out = pre.sssp(s);
-        (out.dist, format!("{} steps, ≤{} substeps/step", out.stats.steps, out.stats.max_substeps_in_step))
-    });
-    report("radius stepping (BST engine)", &mut || {
-        let out = pre.sssp_with(s, EngineKind::Bst, EngineConfig::default());
-        (out.dist, format!("{} steps (identical by construction)", out.stats.steps))
-    });
-    // The engines' step sequences are equal — show it directly.
-    let f = radius_stepping_with(
-        &pre.graph,
-        &RadiiSpec::PerVertex(&pre.radii),
-        s,
-        EngineKind::Frontier,
-        EngineConfig::with_trace(),
-    );
-    let b = radius_stepping_with(
-        &pre.graph,
-        &RadiiSpec::PerVertex(&pre.radii),
-        s,
-        EngineKind::Bst,
-        EngineConfig::with_trace(),
-    );
-    let fd: Vec<Dist> = f.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
-    let bd: Vec<Dist> = b.stats.trace.unwrap().iter().map(|t| t.d_i).collect();
+    let trace_of = |engine| {
+        core::radius_stepping_with(
+            &pre.graph,
+            &RadiiSpec::PerVertex(&pre.radii),
+            s,
+            engine,
+            EngineConfig::with_trace(),
+        )
+        .stats
+        .trace
+        .unwrap()
+        .iter()
+        .map(|t| t.d_i)
+        .collect::<Vec<Dist>>()
+    };
+    let fd = trace_of(EngineKind::Frontier);
+    let bd = trace_of(EngineKind::Bst);
     assert_eq!(fd, bd);
-    println!("\nall algorithms agree; engines produce identical round-distance sequences ({} steps)", fd.len());
+    println!(
+        "\nall algorithms agree; engines produce identical round-distance sequences ({} steps)",
+        fd.len()
+    );
 }

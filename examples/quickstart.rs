@@ -1,5 +1,6 @@
-//! Quickstart: preprocess a weighted graph once, then answer
-//! shortest-path queries from any source with radius stepping.
+//! Quickstart: build one solver (preprocessing attached), then answer
+//! shortest-path queries from any source through the unified
+//! `SsspSolver` interface.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -14,32 +15,49 @@ fn main() {
     let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 42);
     println!("graph: n = {}, m = {} undirected edges", g.num_vertices(), g.num_edges());
 
-    // One-time preprocessing: (k = 1, ρ = 64)-graph. Higher ρ ⇒ fewer,
-    // bigger steps (more parallelism); higher k ⇒ fewer shortcut edges but
-    // more substeps. §5.4 recommends k ∈ {3, 4}, ρ ∈ [50, 100] in practice.
-    let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 64));
+    // One solver, one-time preprocessing: (k = 1, ρ = 64)-graph. Higher
+    // ρ ⇒ fewer, bigger steps (more parallelism); higher k ⇒ fewer
+    // shortcut edges but more substeps. §5.4 recommends k ∈ {3, 4},
+    // ρ ∈ [50, 100] in practice.
+    let solver = SolverBuilder::new(&g)
+        .preprocess(PreprocessConfig::new(1, 64))
+        .record_parents(true)
+        .build();
     println!(
-        "preprocessing: +{} shortcut edges ({:.2}x of m), radii like r(0) = {}",
-        pre.stats.effective_new_edges,
-        pre.stats.added_edge_factor(),
-        pre.radii[0]
+        "solver: {} (+{} shortcut edges over the input)",
+        solver.name(),
+        solver.graph().num_edges() - g.num_edges()
     );
 
     // Solve from a corner.
     let source = 0;
-    let out = pre.sssp(source);
+    let out = solver.solve(source);
     let far = (g.num_vertices() - 1) as u32;
     println!(
         "sssp from {source}: dist to opposite corner = {}, {} steps, ≤ {} substeps/step",
         out.dist[far as usize], out.stats.steps, out.stats.max_substeps_in_step
     );
 
-    // Reconstruct one route.
-    let path = out.path_to(&pre.graph, far).expect("grid is connected");
-    println!("route to {far}: {} hops (first 6: {:?} ...)", path.len() - 1, &path[..6.min(path.len())]);
+    // Reconstruct one route from the recorded shortest-path tree.
+    let path = out.extract_path(far).expect("grid is connected");
+    println!(
+        "route to {far}: {} hops (first 6: {:?} ...)",
+        path.len() - 1,
+        &path[..6.min(path.len())]
+    );
 
-    // Cross-check against the sequential baseline.
-    let reference = baselines::dijkstra_default(&g, source);
-    assert_eq!(out.dist, reference, "radius stepping must match Dijkstra exactly");
+    // Point-to-point query: early termination once the goal settles.
+    let mid = (g.num_vertices() / 2) as u32;
+    let bounded = solver.solve_to_goal(source, mid);
+    println!(
+        "goal-bounded solve to {mid}: {} steps (vs {} for the full solve)",
+        bounded.stats.steps, out.stats.steps
+    );
+    assert_eq!(bounded.dist[mid as usize], out.dist[mid as usize]);
+
+    // Cross-check against the sequential baseline, same interface.
+    let dijkstra =
+        SolverBuilder::new(&g).algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary }).build();
+    assert_eq!(out.dist, dijkstra.solve(source).dist, "must match Dijkstra exactly");
     println!("verified: distances identical to Dijkstra");
 }

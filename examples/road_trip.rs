@@ -1,7 +1,8 @@
 //! Road-network routing: the paper's motivating workload for multi-source
-//! use. Preprocessing is paid once; every subsequent source amortises it
-//! (§5.4: "since preprocessing is only run once, if Sssp will be run from
-//! multiple sources, we suggest increasing ρ").
+//! use. Preprocessing is paid once at `build()`; every subsequent source
+//! amortises it (§5.4: "since preprocessing is only run once, if Sssp will
+//! be run from multiple sources, we suggest increasing ρ"), and
+//! `solve_batch` fans the depots out across the thread pool.
 //!
 //! ```text
 //! cargo run --release --example road_trip
@@ -19,22 +20,27 @@ fn main() {
     let n = g.num_vertices();
     println!("road network: {} junctions, {} road segments", n, g.num_edges());
 
-    // Preprocess with a bigger ball since we'll query many sources.
+    // Build once with a bigger ball since we'll query many sources.
     let t = Instant::now();
-    let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 96));
+    let solver = SolverBuilder::new(&g)
+        .preprocess(PreprocessConfig::new(1, 96))
+        .record_parents(true)
+        .build();
     println!(
-        "preprocess (k=1, rho=96): {:.2}s, +{} edges ({:.2}x m)",
+        "build ({}): {:.2}s, +{} edges",
+        solver.name(),
         t.elapsed().as_secs_f64(),
-        pre.stats.effective_new_edges,
-        pre.stats.added_edge_factor()
+        solver.graph().num_edges() - g.num_edges()
     );
 
-    // A fleet of depots runs shortest paths to plan deliveries.
+    // A fleet of depots runs shortest paths to plan deliveries — one
+    // parallel batch over the shared preprocessed structure.
     let depots = [0u32, (n / 3) as u32, (n / 2) as u32, (n - 1) as u32];
-    let mut total_steps = 0;
     let t = Instant::now();
-    for &depot in &depots {
-        let out = pre.sssp(depot);
+    let results = solver.solve_batch(&depots);
+    let rs_time = t.elapsed().as_secs_f64();
+    let mut total_steps = 0;
+    for (out, &depot) in results.iter().zip(&depots) {
         total_steps += out.stats.steps;
         let reachable = out.dist.iter().filter(|&&d| d != INF).count();
         println!(
@@ -44,30 +50,33 @@ fn main() {
             out.dist.iter().filter(|&&d| d != INF).max().unwrap()
         );
     }
-    let rs_time = t.elapsed().as_secs_f64();
 
-    // Compare against per-source Dijkstra.
+    // Compare against per-source sequential Dijkstra via the same trait.
+    let dijkstra =
+        SolverBuilder::new(&g).algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary }).build();
     let t = Instant::now();
     for &depot in &depots {
-        let _ = baselines::dijkstra_default(&g, depot);
+        let _ = dijkstra.solve(depot);
     }
     let dj_time = t.elapsed().as_secs_f64();
     println!(
-        "\n{} sources: radius stepping {rs_time:.2}s ({} steps total) vs sequential Dijkstra {dj_time:.2}s",
+        "\n{} sources: radius stepping batch {rs_time:.2}s ({} steps total) vs sequential Dijkstra {dj_time:.2}s",
         depots.len(),
         total_steps
     );
     println!("(steps ≈ parallel depth: each step's relaxations all run concurrently)");
 
-    // Route between two specific junctions.
-    let out = pre.sssp(depots[0]);
-    if let Some(route) = out.path_to(&pre.graph, depots[3]) {
+    // Route between two specific junctions: goal-bounded solve + the
+    // recorded shortest-path tree.
+    let out = solver.solve_to_goal(depots[0], depots[3]);
+    if let Some(route) = out.extract_path(depots[3]) {
         println!(
-            "route depot {} -> {}: {} segments, travel time {}",
+            "route depot {} -> {}: {} segments, travel time {} ({} steps, early exit)",
             depots[0],
             depots[3],
             route.len() - 1,
-            out.dist[depots[3] as usize]
+            out.dist[depots[3] as usize],
+            out.stats.steps
         );
     }
 }

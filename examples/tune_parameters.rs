@@ -1,22 +1,18 @@
 //! Parameter tuning, reproducing §5.4's guidance: k and ρ trade added
 //! edges (space + work) against steps (depth). Prints the trade-off grid
-//! and the paper's recommendation.
+//! and the paper's recommendation. Uses `Preprocessed` directly (it is an
+//! `SsspSolver` too) because the edge-count statistics live there.
 //!
 //! ```text
 //! cargo run --release --example tune_parameters
 //! ```
 
 use radius_stepping::prelude::*;
-use rs_core::preprocess::ShortcutHeuristic;
 
 fn main() {
     let topology = graph::gen::road_network(90, 3);
     let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 4);
-    println!(
-        "tuning on a road network: n = {}, m = {}\n",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("tuning on a road network: n = {}, m = {}\n", g.num_vertices(), g.num_edges());
 
     println!("   k |  rho | heuristic |  +edges (xm) | steps | max substeps");
     println!("-----+------+-----------+--------------+-------+-------------");
@@ -29,7 +25,7 @@ fn main() {
                 }
                 let cfg = PreprocessConfig { k, rho, heuristic: h };
                 let pre = Preprocessed::build(&g, &cfg);
-                let out = pre.sssp(0);
+                let out = pre.solve(0);
                 let factor = pre.stats.added_edge_factor();
                 println!(
                     "{k:>4} | {rho:>4} | {h:>9?} | {factor:>12.2} | {:>5} | {:>12}",

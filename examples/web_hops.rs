@@ -2,9 +2,9 @@
 //! found radius stepping shines ("Radius-Stepping can reduce the number of
 //! steps by 15x by adding no more than m edges" on webgraphs).
 //!
-//! Shows BFS-mode radius stepping: hop distances over a
-//! Barabási–Albert graph, sweeping ρ to watch the step count (the depth
-//! proxy) collapse while work stays near-linear.
+//! Shows BFS-mode radius stepping through the unified solver API: hop
+//! distances over a Barabási–Albert graph, sweeping ρ to watch the step
+//! count (the depth proxy) collapse while work stays near-linear.
 //!
 //! ```text
 //! cargo run --release --example web_hops
@@ -25,21 +25,20 @@ fn main() {
     );
 
     let source = 0u32;
-    let (bfs_dist, bfs_rounds) = baselines::bfs_par(&g, source);
+    let bfs = SolverBuilder::new(&g).algorithm(Algorithm::Bfs).build();
+    let bfs_out = bfs.solve(source);
+    let bfs_rounds = bfs_out.stats.steps;
     println!("\nparallel BFS: {bfs_rounds} rounds (one per level)");
 
     println!("\n rho | steps | reduction vs BFS | relaxations");
     println!("-----+-------+------------------+------------");
     for rho in [1usize, 10, 100, 1000] {
-        let radii_vec;
-        let radii = if rho == 1 {
-            RadiiSpec::Zero
-        } else {
-            radii_vec = compute_radii(&g, rho);
-            RadiiSpec::PerVertex(&radii_vec)
-        };
-        let out = radius_stepping(&g, &radii, source);
-        assert_eq!(out.dist, bfs_dist, "hop distances must match BFS");
+        let radii = if rho == 1 { Radii::Zero } else { Radii::PerVertex(compute_radii(&g, rho)) };
+        let solver = SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii })
+            .build();
+        let out = solver.solve(source);
+        assert_eq!(out.dist, bfs_out.dist, "hop distances must match BFS");
         println!(
             "{rho:>4} | {:>5} | {:>16.2} | {:>10}",
             out.stats.steps,

@@ -3,20 +3,24 @@
 //! A complete implementation of **"Parallel Shortest-Paths Using Radius
 //! Stepping"** (Blelloch, Gu, Sun, Tangwongsan; SPAA 2016): the
 //! radius-stepping SSSP algorithm, its (k, ρ)-graph preprocessing, every
-//! substrate it depends on, and the baselines it is evaluated against.
+//! substrate it depends on, and the baselines it is evaluated against —
+//! all behind one unified [`SsspSolver`](prelude::SsspSolver) interface.
 //!
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! * [`core`] (`rs_core`) — the paper's contribution: radius-stepping
-//!   engines and preprocessing.
+//!   engines, preprocessing, and the solver trait + builder.
 //! * [`graph`] (`rs_graph`) — CSR graphs, generators, weight models, I/O.
 //! * [`baselines`] (`rs_baselines`) — Dijkstra, BFS, Bellman–Ford,
-//!   ∆-stepping.
+//!   ∆-stepping, and their solver adapters.
 //! * [`ds`] (`rs_ds`) — decrease-key heaps, bucket queue, join-based treap.
 //! * [`par`] (`rs_par`) — parallel primitives (scan, pack, write-min,
 //!   frontiers).
 //!
 //! ## Quickstart
+//!
+//! Every algorithm is constructed through [`SolverBuilder`](prelude::SolverBuilder)
+//! and used through the [`SsspSolver`](prelude::SsspSolver) trait:
 //!
 //! ```
 //! use radius_stepping::prelude::*;
@@ -25,15 +29,35 @@
 //! let topology = graph::gen::grid2d(40, 40);
 //! let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 1);
 //!
-//! // One-time preprocessing: build a (k=1, rho=32)-graph + vertex radii.
-//! let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 32));
+//! // Radius stepping with one-time (k = 1, rho = 32) preprocessing.
+//! let solver = SolverBuilder::new(&g)
+//!     .algorithm(Algorithm::RadiusStepping {
+//!         engine: EngineKind::Frontier,
+//!         radii: Radii::Zero, // replaced by r_rho(v) from preprocessing
+//!     })
+//!     .preprocess(PreprocessConfig::new(1, 32))
+//!     .record_parents(true)
+//!     .build();
 //!
-//! // Per-source solve.
-//! let result = pre.sssp(0);
+//! // Per-source solve, with uniform path reconstruction.
+//! let result = solver.solve(0);
 //! assert_eq!(result.dist[0], 0);
+//! let route = result.extract_path(1599).expect("grid is connected");
+//! assert_eq!(route[0], 0);
 //!
-//! // Same answer as Dijkstra.
-//! assert_eq!(result.dist, baselines::dijkstra_default(&g, 0));
+//! // Point-to-point query with early termination.
+//! let bounded = solver.solve_to_goal(0, 820);
+//! assert_eq!(bounded.dist[820], result.dist[820]);
+//!
+//! // Multi-source fan-out across the thread pool.
+//! let batch = solver.solve_batch(&[0, 40, 1599]);
+//! assert_eq!(batch[2].dist[0], result.dist[1599]);
+//!
+//! // Same answer as the sequential baseline, through the same interface.
+//! let dijkstra = SolverBuilder::new(&g)
+//!     .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
+//!     .build();
+//! assert_eq!(result.dist, dijkstra.solve(0).dist);
 //! ```
 
 pub use rs_baselines as baselines;
@@ -45,7 +69,13 @@ pub use rs_par as par;
 /// Convenience imports for applications.
 pub mod prelude {
     pub use crate::{baselines, core, ds, graph, par};
+    pub use rs_baselines::solver::BuildSolver;
     pub use rs_core::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
-    pub use rs_core::{radius_stepping, RadiiSpec, SsspResult, StepStats};
+    pub use rs_core::solver::{
+        Algorithm, HeapKind, Radii, SolverBuilder, SolverConfig, SsspSolver,
+    };
+    pub use rs_core::{
+        radius_stepping, EngineConfig, EngineKind, RadiiSpec, SsspResult, StepStats,
+    };
     pub use rs_graph::{CsrGraph, Dist, EdgeListBuilder, VertexId, Weight, WeightModel, INF};
 }

@@ -1,8 +1,8 @@
 //! Every shortest-path implementation in the workspace must agree exactly
-//! on every graph family, across its whole parameter range.
+//! on every graph family, across its whole parameter range — all built
+//! through `SolverBuilder` and used through the `SsspSolver` trait.
 
 use radius_stepping::prelude::*;
-use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
 
 fn graphs() -> Vec<(&'static str, CsrGraph)> {
     let w = |g: &CsrGraph, s| graph::weights::reweight(g, WeightModel::paper_weighted(), s);
@@ -20,27 +20,33 @@ fn graphs() -> Vec<(&'static str, CsrGraph)> {
     ]
 }
 
+/// Every weighted algorithm the builder can construct.
+fn weighted_algorithms() -> Vec<Algorithm> {
+    let mut algorithms = vec![
+        Algorithm::Dijkstra { heap: HeapKind::Dary },
+        Algorithm::Dijkstra { heap: HeapKind::Pairing },
+        Algorithm::Dijkstra { heap: HeapKind::Fibonacci },
+        Algorithm::BellmanFord,
+    ];
+    for delta in [1u64, 777, 10_000, 1 << 20] {
+        algorithms.push(Algorithm::DeltaStepping { delta });
+    }
+    for radii in [Radii::Zero, Radii::Infinite, Radii::Constant(5_000)] {
+        for engine in [EngineKind::Frontier, EngineKind::Bst] {
+            algorithms.push(Algorithm::RadiusStepping { engine, radii: radii.clone() });
+        }
+    }
+    algorithms
+}
+
 #[test]
 fn all_weighted_solvers_agree() {
     for (name, g) in graphs() {
         let source = (g.num_vertices() / 2) as u32;
-        let reference = baselines::dijkstra::<DaryHeap>(&g, source);
-        assert_eq!(baselines::dijkstra::<PairingHeap>(&g, source), reference, "{name}: pairing");
-        assert_eq!(baselines::dijkstra::<FibonacciHeap>(&g, source), reference, "{name}: fibonacci");
-        assert_eq!(baselines::bellman_ford(&g, source).0, reference, "{name}: bellman-ford");
-        for delta in [1u64, 777, 10_000, 1 << 20] {
-            assert_eq!(
-                baselines::delta_stepping(&g, source, delta).dist,
-                reference,
-                "{name}: delta-stepping d={delta}"
-            );
-        }
-        for radii in [RadiiSpec::Zero, RadiiSpec::Infinite, RadiiSpec::Constant(5_000)] {
-            assert_eq!(
-                core::radius_stepping(&g, &radii, source).dist,
-                reference,
-                "{name}: radius stepping {radii:?}"
-            );
+        let reference = baselines::dijkstra_default(&g, source);
+        for algorithm in weighted_algorithms() {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+            assert_eq!(solver.solve(source).dist, reference, "{name}: {}", solver.name());
         }
     }
 }
@@ -54,16 +60,17 @@ fn unweighted_solvers_agree_with_bfs() {
     ] {
         let source = 1u32;
         let bfs = baselines::bfs_seq(&g, source);
-        let (bfs_p, _) = baselines::bfs_par(&g, source);
-        assert_eq!(bfs_p, bfs, "{name}: parallel BFS");
-        assert_eq!(baselines::dijkstra_default(&g, source), bfs, "{name}: dijkstra on unit weights");
-        assert_eq!(
-            core::radius_stepping(&g, &RadiiSpec::Zero, source).dist,
-            bfs,
-            "{name}: radius stepping r=0"
-        );
-        let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 10));
-        assert_eq!(pre.sssp(source).dist, bfs, "{name}: preprocessed radius stepping");
+        for algorithm in [
+            Algorithm::Bfs,
+            Algorithm::Dijkstra { heap: HeapKind::Dary },
+            Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero },
+            Algorithm::RadiusStepping { engine: EngineKind::Unweighted, radii: Radii::Zero },
+        ] {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+            assert_eq!(solver.solve(source).dist, bfs, "{name}: {}", solver.name());
+        }
+        let pre = SolverBuilder::new(&g).preprocess(PreprocessConfig::new(1, 10)).build();
+        assert_eq!(pre.solve(source).dist, bfs, "{name}: preprocessed radius stepping");
     }
 }
 
@@ -74,7 +81,8 @@ fn zero_radius_step_count_equals_distinct_distances() {
     for (name, g) in graphs() {
         let source = 0u32;
         let out = core::radius_stepping(&g, &RadiiSpec::Zero, source);
-        let mut finite: Vec<Dist> = out.dist.iter().copied().filter(|&d| d != INF && d > 0).collect();
+        let mut finite: Vec<Dist> =
+            out.dist.iter().copied().filter(|&d| d != INF && d > 0).collect();
         finite.sort_unstable();
         finite.dedup();
         assert_eq!(out.stats.steps, finite.len(), "{name}");
@@ -87,10 +95,11 @@ fn bellman_ford_and_infinite_radius_have_same_depth_structure() {
     // baseline's first round relaxes the source itself (which radius
     // stepping does during initialisation), so substeps = BF rounds − 1.
     for (name, g) in graphs() {
-        let (bf_dist, bf_rounds) = baselines::bellman_ford(&g, 2);
+        let bf = baselines::bellman_ford(&g, 2);
         let out = core::radius_stepping(&g, &RadiiSpec::Infinite, 2);
-        assert_eq!(out.dist, bf_dist, "{name}");
+        assert_eq!(out.dist, bf.dist, "{name}");
         assert_eq!(out.stats.steps, 1, "{name}");
-        assert_eq!(out.stats.substeps, bf_rounds - 1, "{name}: substeps vs BF rounds");
+        assert_eq!(bf.stats.steps, 1, "{name}: BF is one paper-step");
+        assert_eq!(out.stats.substeps, bf.stats.substeps - 1, "{name}: substeps vs BF rounds");
     }
 }

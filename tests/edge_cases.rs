@@ -40,10 +40,7 @@ fn maximum_weight_edges() {
     assert_eq!(out.dist, baselines::dijkstra_default(&g, 0));
     // ∆-stepping with small ∆ would need 3·2³² buckets; the cyclic queue
     // must handle the window, so use a proportionate ∆.
-    assert_eq!(
-        baselines::delta_stepping(&g, 0, u32::MAX as u64).dist,
-        out.dist
-    );
+    assert_eq!(baselines::delta_stepping(&g, 0, u32::MAX as u64).dist, out.dist);
 }
 
 #[test]
@@ -112,7 +109,11 @@ fn duplicate_and_reverse_edges_collapse() {
 fn stress_determinism_across_runs_and_engines() {
     // A mid-size graph: two engines, two runs, one answer — including all
     // counters (substep counts are synchronous, hence schedule-free).
-    let g = graph::weights::reweight(&graph::gen::road_network(40, 17), WeightModel::paper_weighted(), 18);
+    let g = graph::weights::reweight(
+        &graph::gen::road_network(40, 17),
+        WeightModel::paper_weighted(),
+        18,
+    );
     let pre = Preprocessed::build(&g, &PreprocessConfig::new(2, 20));
     let runs: Vec<_> = (0..2)
         .flat_map(|_| {

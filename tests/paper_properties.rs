@@ -2,8 +2,8 @@
 //! reduced size: the trends the tables report must reproduce.
 
 use radius_stepping::prelude::*;
-use rs_bench::experiments::steps::mean_steps;
 use rs_bench::experiments::shortcuts::shortcut_counts;
+use rs_bench::experiments::steps::mean_steps;
 use rs_bench::sample_sources;
 
 #[test]
@@ -13,10 +13,8 @@ fn unweighted_steps_inverse_in_rho() {
     // super-constant total reduction on a grid.
     let g = graph::gen::grid2d(50, 50);
     let sources = sample_sources(2500, 3, 9);
-    let series: Vec<f64> = [1usize, 2, 10, 50, 200]
-        .iter()
-        .map(|&rho| mean_steps(&g, rho, &sources))
-        .collect();
+    let series: Vec<f64> =
+        [1usize, 2, 10, 50, 200].iter().map(|&rho| mean_steps(&g, rho, &sources)).collect();
     assert!(
         series.windows(2).all(|w| w[0] >= w[1] - 1e-9),
         "steps must not increase with rho: {series:?}"
@@ -28,7 +26,8 @@ fn unweighted_steps_inverse_in_rho() {
 fn weighted_rho_one_is_nearly_one_step_per_vertex() {
     // Table 6's ρ=1 row: with random weights almost every vertex has a
     // distinct distance, so Dijkstra-mode takes ≈ n steps.
-    let g = graph::weights::reweight(&graph::gen::grid2d(30, 30), WeightModel::paper_weighted(), 31);
+    let g =
+        graph::weights::reweight(&graph::gen::grid2d(30, 30), WeightModel::paper_weighted(), 31);
     let sources = sample_sources(900, 2, 4);
     let steps = mean_steps(&g, 1, &sources);
     assert!(steps > 0.95 * 899.0, "expected ≈ n-1 steps, got {steps}");
@@ -83,8 +82,22 @@ fn substeps_track_k_across_suite() {
     use rs_core::{EngineConfig, EngineKind};
     for k in [1u32, 2, 3] {
         for (name, g) in [
-            ("grid", graph::weights::reweight(&graph::gen::grid2d(16, 16), WeightModel::paper_weighted(), 1)),
-            ("web", graph::weights::reweight(&graph::gen::scale_free(300, 3, 2), WeightModel::paper_weighted(), 2)),
+            (
+                "grid",
+                graph::weights::reweight(
+                    &graph::gen::grid2d(16, 16),
+                    WeightModel::paper_weighted(),
+                    1,
+                ),
+            ),
+            (
+                "web",
+                graph::weights::reweight(
+                    &graph::gen::scale_free(300, 3, 2),
+                    WeightModel::paper_weighted(),
+                    2,
+                ),
+            ),
         ] {
             let h = if k == 1 { ShortcutHeuristic::Full } else { ShortcutHeuristic::Dp };
             let pre = Preprocessed::build(&g, &PreprocessConfig { k, rho: 16, heuristic: h });

@@ -10,15 +10,27 @@ fn family(seed: u64) -> Vec<(&'static str, CsrGraph)> {
     vec![
         (
             "grid2d",
-            graph::weights::reweight(&graph::gen::grid2d(14, 15), WeightModel::paper_weighted(), seed),
+            graph::weights::reweight(
+                &graph::gen::grid2d(14, 15),
+                WeightModel::paper_weighted(),
+                seed,
+            ),
         ),
         (
             "road",
-            graph::weights::reweight(&graph::gen::road_network(14, seed), WeightModel::paper_weighted(), seed + 1),
+            graph::weights::reweight(
+                &graph::gen::road_network(14, seed),
+                WeightModel::paper_weighted(),
+                seed + 1,
+            ),
         ),
         (
             "scale_free",
-            graph::weights::reweight(&graph::gen::scale_free(220, 3, seed), WeightModel::paper_weighted(), seed + 2),
+            graph::weights::reweight(
+                &graph::gen::scale_free(220, 3, seed),
+                WeightModel::paper_weighted(),
+                seed + 2,
+            ),
         ),
         ("unweighted_grid3d", graph::gen::grid3d(6, 6, 6)),
     ]
@@ -45,7 +57,8 @@ fn full_pipeline_all_configs() {
                     out.stats.max_substeps_in_step
                 );
                 assert!(
-                    out.stats.steps <= step_bound(g.num_vertices(), rho, pre.graph.max_weight() as u64),
+                    out.stats.steps
+                        <= step_bound(g.num_vertices(), rho, pre.graph.max_weight() as u64),
                     "{name} rho={rho}: step bound violated"
                 );
             }
@@ -71,7 +84,11 @@ fn preprocessing_yields_exact_k_rho_graphs() {
 
 #[test]
 fn pipeline_is_deterministic() {
-    let g = graph::weights::reweight(&graph::gen::road_network(12, 5), WeightModel::paper_weighted(), 9);
+    let g = graph::weights::reweight(
+        &graph::gen::road_network(12, 5),
+        WeightModel::paper_weighted(),
+        9,
+    );
     let cfg = PreprocessConfig::new(2, 12).with_heuristic(ShortcutHeuristic::Dp);
     let a = Preprocessed::build(&g, &cfg);
     let b = Preprocessed::build(&g, &cfg);
@@ -102,7 +119,8 @@ fn distances_preserved_by_shortcutting() {
 #[test]
 fn multi_source_reuse() {
     // The headline use-case: one preprocessing, many sources.
-    let g = graph::weights::reweight(&graph::gen::grid2d(12, 12), WeightModel::paper_weighted(), 77);
+    let g =
+        graph::weights::reweight(&graph::gen::grid2d(12, 12), WeightModel::paper_weighted(), 77);
     let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 16));
     for s in 0..24u32 {
         assert_eq!(pre.sssp(s * 6).dist, baselines::dijkstra_default(&g, s * 6));
@@ -111,7 +129,11 @@ fn multi_source_reuse() {
 
 #[test]
 fn path_extraction_on_preprocessed_graph() {
-    let g = graph::weights::reweight(&graph::gen::road_network(10, 2), WeightModel::paper_weighted(), 3);
+    let g = graph::weights::reweight(
+        &graph::gen::road_network(10, 2),
+        WeightModel::paper_weighted(),
+        3,
+    );
     let pre = Preprocessed::build(&g, &PreprocessConfig::new(1, 10));
     let out = pre.sssp(0);
     for t in [1u32, 50, 99] {

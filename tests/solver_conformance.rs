@@ -1,0 +1,204 @@
+//! Trait-level conformance suite: every `SsspSolver` the builder can
+//! construct must satisfy the same contract on random weighted and
+//! unit-weight graphs —
+//!
+//! * `solve` produces distances identical to the Dijkstra reference;
+//! * `solve_to_goal` settles the goal exactly and returns upper bounds
+//!   elsewhere (the full solve's settled prefix is preserved);
+//! * `solve_batch` matches per-source solves;
+//! * recorded parent trees telescope to the distances.
+
+use radius_stepping::prelude::*;
+
+/// Random graph families (seeded, so failures reproduce).
+fn weighted_graphs() -> Vec<(String, CsrGraph)> {
+    let w = |g: &CsrGraph, s| graph::weights::reweight(g, WeightModel::paper_weighted(), s);
+    let mut graphs = Vec::new();
+    for seed in [1u64, 2] {
+        graphs.push((format!("grid/{seed}"), w(&graph::gen::grid2d(11, 12), seed)));
+        graphs.push((
+            format!("scale_free/{seed}"),
+            w(&graph::gen::scale_free(250, 3, seed), seed + 10),
+        ));
+        graphs.push((
+            format!("erdos_renyi/{seed}"),
+            w(&graph::gen::erdos_renyi(160, 420, seed), seed + 20),
+        ));
+        graphs.push((format!("road/{seed}"), w(&graph::gen::road_network(13, seed), seed + 30)));
+    }
+    graphs
+}
+
+fn unit_graphs() -> Vec<(String, CsrGraph)> {
+    vec![
+        ("grid".into(), graph::gen::grid2d(14, 13)),
+        ("scale_free".into(), graph::gen::scale_free(300, 4, 6)),
+        ("road".into(), graph::gen::road_network(14, 8)),
+    ]
+}
+
+/// Every weighted-capable algorithm family, spanning the paper's spectrum.
+fn weighted_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero },
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Infinite },
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(3_000) },
+        Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Constant(3_000) },
+        Algorithm::Dijkstra { heap: HeapKind::Dary },
+        Algorithm::Dijkstra { heap: HeapKind::Pairing },
+        Algorithm::Dijkstra { heap: HeapKind::Fibonacci },
+        Algorithm::DeltaStepping { delta: 1_111 },
+        Algorithm::DeltaStepping { delta: 50_000 },
+        Algorithm::BellmanFord,
+    ]
+}
+
+/// Builders for every solver under test, including preprocessed variants.
+fn weighted_solvers<'g>(g: &'g CsrGraph) -> Vec<Box<dyn SsspSolver + 'g>> {
+    let mut solvers: Vec<Box<dyn SsspSolver + 'g>> = weighted_algorithms()
+        .into_iter()
+        .map(|algorithm| SolverBuilder::new(g).algorithm(algorithm).build())
+        .collect();
+    // Preprocessing attached to radius stepping (radii replaced by r_rho)
+    // and to a baseline (runs on the augmented graph).
+    solvers.push(SolverBuilder::new(g).preprocess(PreprocessConfig::new(1, 12)).build());
+    solvers.push(
+        SolverBuilder::new(g)
+            .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Zero })
+            .preprocess(PreprocessConfig::new(2, 10))
+            .build(),
+    );
+    solvers.push(
+        SolverBuilder::new(g)
+            .algorithm(Algorithm::DeltaStepping { delta: 2_500 })
+            .preprocess(PreprocessConfig::new(1, 8))
+            .build(),
+    );
+    solvers
+}
+
+#[test]
+fn solve_matches_dijkstra_on_weighted_graphs() {
+    for (name, g) in weighted_graphs() {
+        let source = (g.num_vertices() / 3) as u32;
+        let reference = baselines::dijkstra_default(&g, source);
+        for solver in weighted_solvers(&g) {
+            assert_eq!(solver.solve(source).dist, reference, "{name}: {}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn solve_matches_bfs_on_unit_graphs() {
+    for (name, g) in unit_graphs() {
+        let source = 2u32;
+        let reference = baselines::bfs_seq(&g, source);
+        let mut solvers = weighted_solvers(&g);
+        solvers.push(SolverBuilder::new(&g).algorithm(Algorithm::Bfs).build());
+        solvers.push(
+            SolverBuilder::new(&g)
+                .algorithm(Algorithm::RadiusStepping {
+                    engine: EngineKind::Unweighted,
+                    radii: Radii::Constant(2),
+                })
+                .build(),
+        );
+        for solver in solvers {
+            assert_eq!(solver.solve(source).dist, reference, "{name}: {}", solver.name());
+        }
+    }
+}
+
+#[test]
+fn solve_to_goal_matches_full_solve_prefix() {
+    for (name, g) in weighted_graphs().into_iter().take(4) {
+        let source = 0u32;
+        let n = g.num_vertices() as u32;
+        for solver in weighted_solvers(&g) {
+            let full = solver.solve(source);
+            for goal in [source, n / 4, n / 2, n - 1] {
+                let bounded = solver.solve_to_goal(source, goal);
+                assert_eq!(
+                    bounded.dist[goal as usize],
+                    full.dist[goal as usize],
+                    "{name}: {} goal {goal} must be exact",
+                    solver.name()
+                );
+                assert_eq!(bounded.dist[source as usize], 0, "{name}: {}", solver.name());
+                for (v, (&b, &f)) in bounded.dist.iter().zip(&full.dist).enumerate() {
+                    assert!(
+                        b >= f,
+                        "{name}: {} vertex {v}: goal-bounded {b} below true distance {f}",
+                        solver.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solve_batch_matches_per_source_solves() {
+    for (name, g) in weighted_graphs().into_iter().take(3) {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<VertexId> = (0..12).map(|i| i * (n / 12)).collect();
+        for solver in weighted_solvers(&g) {
+            let batch = solver.solve_batch(&sources);
+            assert_eq!(batch.len(), sources.len(), "{name}: {}", solver.name());
+            for (out, &s) in batch.iter().zip(&sources) {
+                assert_eq!(out.dist, solver.solve(s).dist, "{name}: {} source {s}", solver.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn recorded_parents_telescope_to_distances() {
+    for (name, g) in weighted_graphs().into_iter().take(3) {
+        let source = 1u32;
+        for algorithm in weighted_algorithms() {
+            let solver = SolverBuilder::new(&g).algorithm(algorithm).record_parents(true).build();
+            let out = solver.solve(source);
+            let parent = out.parent.as_ref().expect("parents recorded");
+            assert_eq!(parent[source as usize], source, "{name}: {}", solver.name());
+            for t in 0..g.num_vertices() as u32 {
+                if out.dist[t as usize] == INF {
+                    assert_eq!(parent[t as usize], u32::MAX);
+                    assert!(out.extract_path(t).is_none());
+                    continue;
+                }
+                let path = out
+                    .extract_path(t)
+                    .unwrap_or_else(|| panic!("{name}: {} lost path to {t}", solver.name()));
+                assert_eq!(path[0], source);
+                assert_eq!(*path.last().unwrap(), t);
+                let mut acc = 0u64;
+                for w in path.windows(2) {
+                    acc += solver.graph().arc_weight(w[0], w[1]).expect("path edge") as u64;
+                }
+                assert_eq!(acc, out.dist[t as usize], "{name}: {} path to {t}", solver.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn goal_bounded_path_extraction_reaches_goal() {
+    let g =
+        graph::weights::reweight(&graph::gen::grid2d(12, 12), WeightModel::paper_weighted(), 77);
+    let goal = 143u32;
+    for algorithm in weighted_algorithms() {
+        let solver = SolverBuilder::new(&g).algorithm(algorithm).record_parents(true).build();
+        let out = solver.solve_to_goal(0, goal);
+        let path = out
+            .extract_path(goal)
+            .unwrap_or_else(|| panic!("{}: goal path must survive early exit", solver.name()));
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), goal);
+        let mut acc = 0u64;
+        for w in path.windows(2) {
+            acc += solver.graph().arc_weight(w[0], w[1]).expect("path edge") as u64;
+        }
+        assert_eq!(acc, out.dist[goal as usize], "{}", solver.name());
+    }
+}

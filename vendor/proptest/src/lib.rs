@@ -1,0 +1,308 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace tests use: the
+//! [`Strategy`] trait over integer ranges, tuples, `prop_map` and
+//! [`collection::vec`]; `any::<bool>()`; the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header; and `prop_assert!` /
+//! `prop_assert_eq!` returning [`TestCaseError`].
+//!
+//! Each test runs `cases` deterministic inputs seeded from the test name
+//! and case index. There is **no shrinking**: a failure reports the case
+//! index so it can be re-run, which is enough for a CI signal (re-running
+//! the test reproduces the identical input sequence).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// `any::<T>()` marker strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Arbitrary value of a supported type (currently `bool`).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.is_empty() {
+                self.start
+            } else {
+                rng.random_range(self.clone())
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    /// Vector of values from `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy { element, size: Box::new(size) }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-case RNG: seeded from the test name and case index.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37_79b9))
+}
+
+/// The proptest test-harness macro (no shrinking; deterministic cases).
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        /// Module-level config shared by the tests of this `proptest!` block.
+        #[allow(unused_mut, unused_assignments)]
+        fn __proptest_config() -> $crate::ProptestConfig {
+            let mut config = $crate::ProptestConfig::default();
+            $( config = $cfg; )?
+            config
+        }
+
+        $(
+            #[test]
+            fn $name() {
+                let config = __proptest_config();
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("proptest {} failed at case {case}/{}: {e}",
+                            stringify!($name), config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    mod default_config {
+        use crate::prelude::*;
+
+        proptest! {
+            #[test]
+            fn ranges_in_bounds(x in 0u32..100, y in 5usize..10) {
+                prop_assert!(x < 100);
+                prop_assert!((5..10).contains(&y));
+            }
+
+            #[test]
+            fn vec_strategy_sizes(v in crate::collection::vec(0u64..50, 3..7)) {
+                prop_assert!((3..7).contains(&v.len()));
+                prop_assert!(v.iter().all(|&x| x < 50));
+            }
+
+            #[test]
+            fn map_and_tuples(p in (0u32..10, 1u32..5).prop_map(|(a, b)| a * 10 + b)) {
+                prop_assert!(p < 95);
+            }
+        }
+    }
+
+    mod custom_config {
+        use crate::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(7))]
+
+            #[test]
+            fn config_applies(x in 0u64..1000) {
+                prop_assert!(x < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(
+            crate::Strategy::generate(&(0u64..1000), &mut a),
+            crate::Strategy::generate(&(0u64..1000), &mut b)
+        );
+    }
+}

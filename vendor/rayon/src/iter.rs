@@ -1,0 +1,528 @@
+//! The parallel-iterator subset.
+//!
+//! Every source is *indexed*: it knows its length and can evaluate any
+//! contiguous sub-range of items independently. Terminal operations split
+//! `0..len` into chunks, claim chunks from an atomic counter on
+//! `std::thread::scope` workers, and recombine per-chunk results in chunk
+//! order — preserving rayon's deterministic output order.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::current_num_threads;
+
+/// An indexed parallel iterator: evaluate items `lo..hi` into a sink.
+pub trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Evaluates items `lo..hi` in index order into `sink`.
+    ///
+    /// Each index is evaluated at most once across all calls of one
+    /// terminal operation (sources that move items out rely on this).
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item));
+
+    /// Splitting granularity requested via [`ParallelIterator::with_min_len`]
+    /// (`None` = use the driver's default heuristic). Adapters forward it.
+    fn pi_min_len(&self) -> Option<usize> {
+        None
+    }
+
+    // ---- adapters -------------------------------------------------------
+
+    /// Sets the minimum items per chunk. The driver's default heuristic
+    /// only goes parallel for `2 * threads` or more items — right for
+    /// fine-grained items, wrong for coarse ones (e.g. one whole SSSP
+    /// solve per item); `with_min_len(1)` forces parallelism from 2 items.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
+    }
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// `map` with one scratch value per evaluation chunk.
+    fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync + Send,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// One accumulator per chunk; combine with [`Fold::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+    {
+        Fold { base: self, identity, fold_op }
+    }
+
+    // ---- terminal operations -------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_chunks(&self, |iter, lo, hi| iter.pi_eval(lo, hi, &mut |item| f(item)));
+    }
+
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_chunks(&self, |iter, lo, hi| {
+            let mut best: Option<Self::Item> = None;
+            iter.pi_eval(lo, hi, &mut |item| {
+                if best.as_ref().is_none_or(|b| item < *b) {
+                    best = Some(item);
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_chunks(&self, |iter, lo, hi| {
+            let mut items = Vec::with_capacity(hi - lo);
+            iter.pi_eval(lo, hi, &mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self {
+        let chunks = run_chunks(&par_iter, |iter, lo, hi| {
+            let mut v = Vec::with_capacity(hi - lo);
+            iter.pi_eval(lo, hi, &mut |item| v.push(item));
+            v
+        });
+        let mut out = Vec::with_capacity(par_iter.pi_len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Splits `0..p.len()` into chunks and evaluates `work(p, lo, hi)` for each,
+/// on scoped worker threads when the input is big enough; returns per-chunk
+/// results in chunk (hence index) order.
+fn run_chunks<P, R, W>(p: &P, work: W) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(&P, usize, usize) -> R + Sync,
+{
+    let n = p.pi_len();
+    let threads = current_num_threads();
+    // Sequential cutover: below 2×threads items the thread overhead wins —
+    // unless the iterator requested a finer granularity via with_min_len.
+    let cutover = match p.pi_min_len() {
+        Some(min) => 2 * min,
+        None => 2 * threads,
+    };
+    if n == 0 || threads == 1 || n < cutover.max(2) {
+        return if n == 0 { Vec::new() } else { vec![work(p, 0, n)] };
+    }
+    let pieces = match p.pi_min_len() {
+        Some(min) => (threads * 4).min(n / min.max(1)).max(1).min(n),
+        None => (threads * 4).min(n),
+    };
+    let base = n / pieces;
+    let extra = n % pieces;
+    let bounds: Vec<(usize, usize)> = (0..pieces)
+        .scan(0usize, |start, i| {
+            let len = base + usize::from(i < extra);
+            let lo = *start;
+            *start += len;
+            Some((lo, lo + len))
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(pieces));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pieces {
+                        break;
+                    }
+                    let (lo, hi) = bounds[i];
+                    local.push((i, work(p, lo, hi)));
+                }
+                results.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let mut results = results.into_inner().unwrap();
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---- adapter types ------------------------------------------------------
+
+/// Granularity override from [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.pi_eval(lo, hi, sink);
+    }
+
+    fn pi_min_len(&self) -> Option<usize> {
+        Some(self.min)
+    }
+}
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
+        self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(item)));
+    }
+
+    fn pi_min_len(&self) -> Option<usize> {
+        self.base.pi_min_len()
+    }
+}
+
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, T, R, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    INIT: Fn() -> T + Sync + Send,
+    F: Fn(&mut T, P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
+        let mut scratch = (self.init)();
+        self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(&mut scratch, item)));
+    }
+
+    fn pi_min_len(&self) -> Option<usize> {
+        self.base.pi_min_len()
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
+        let mut left = Vec::with_capacity(hi - lo);
+        self.a.pi_eval(lo, hi, &mut |item| left.push(item));
+        let mut right = Vec::with_capacity(hi - lo);
+        self.b.pi_eval(lo, hi, &mut |item| right.push(item));
+        for pair in left.into_iter().zip(right) {
+            sink(pair);
+        }
+    }
+
+    fn pi_min_len(&self) -> Option<usize> {
+        match (self.a.pi_min_len(), self.b.pi_min_len()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) | (None, x) => x,
+        }
+    }
+}
+
+/// Pending `fold`; finished by [`Fold::reduce`].
+pub struct Fold<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<P, T, ID, F> Fold<P, ID, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, P::Item) -> T + Sync + Send,
+{
+    /// Combines the per-chunk accumulators left to right.
+    pub fn reduce<RID, OP>(self, identity: RID, op: OP) -> T
+    where
+        RID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        let accs = run_chunks(&self.base, |base, lo, hi| {
+            let mut acc = Some((self.identity)());
+            base.pi_eval(lo, hi, &mut |item| {
+                acc = Some((self.fold_op)(acc.take().expect("fold accumulator"), item));
+            });
+            acc.expect("fold accumulator")
+        });
+        accs.into_iter().fold(identity(), &op)
+    }
+}
+
+// ---- sources ------------------------------------------------------------
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` over borrowed elements.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+/// Integer types usable as parallel range endpoints. A single blanket impl
+/// over this trait (rather than one impl per type) keeps rustc's `i32`
+/// integer-literal fallback working for `(0..n).into_par_iter()`.
+pub trait RangeInt: Copy + Send + Sync {
+    fn span_len(start: Self, end: Self) -> usize;
+    fn offset(self, i: usize) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn span_len(start: Self, end: Self) -> usize {
+                if end > start { (end - start) as usize } else { 0 }
+            }
+            fn offset(self, i: usize) -> Self {
+                self + i as $t
+            }
+        }
+    )*};
+}
+
+range_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: RangeInt> IntoParallelIterator for Range<T> {
+    type Item = T;
+    type Iter = RangeParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeParIter { start: self.start, len: T::span_len(self.start, self.end) }
+    }
+}
+
+impl<T: RangeInt> ParallelIterator for RangeParIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+        for i in lo..hi {
+            sink(self.start.offset(i));
+        }
+    }
+}
+
+/// Borrowing source over a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + Send> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[lo..hi] {
+            sink(item);
+        }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Owning source over a `Vec`: items are moved out by raw pointer read.
+///
+/// Safety contract: a terminal operation evaluates every index exactly once
+/// (chunks are disjoint and cover `0..len`), so each item is moved out at
+/// most once. Items never evaluated (early drop, zip truncation, panic) are
+/// *leaked*, not double-dropped — the backing buffer is deallocated with
+/// length zero.
+pub struct VecParIter<T> {
+    _buf: Vec<T>, // length forced to 0; owns the allocation
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for VecParIter<T> {}
+unsafe impl<T: Send> Sync for VecParIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(mut self) -> Self::Iter {
+        let ptr = self.as_mut_ptr();
+        let len = self.len();
+        // The iterator now owns the items; the Vec only owns the buffer.
+        unsafe { self.set_len(0) };
+        VecParIter { _buf: self, ptr, len }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+        debug_assert!(hi <= self.len);
+        for i in lo..hi {
+            // SAFETY: indices within 0..len, each read exactly once per the
+            // trait contract, and the buffer outlives self (held in `buf`).
+            sink(unsafe { std::ptr::read(self.ptr.add(i)) });
+        }
+    }
+}
+
+// ---- slices -------------------------------------------------------------
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts the slice (currently a sequential unstable sort; the call
+    /// sites sort once at graph-build time, off the solve hot path).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}

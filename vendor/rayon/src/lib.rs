@@ -1,0 +1,204 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach the crates registry, so this in-tree
+//! crate implements the exact subset of rayon's API the workspace uses —
+//! with *real* data parallelism on `std::thread::scope`, not a sequential
+//! fake:
+//!
+//! * [`prelude`] — `par_iter` / `into_par_iter` over slices, vectors and
+//!   integer ranges, with `map`, `map_init`, `zip`, `fold` + `reduce`,
+//!   `for_each`, `min`, `sum`, `collect`, and `par_sort_unstable`.
+//! * [`join`] — fork-join with a global concurrency cap so recursive joins
+//!   (the treap's union/difference) cannot explode the thread count.
+//! * [`current_num_threads`] — the worker count terminal operations use.
+//!
+//! Semantics match rayon where the workspace depends on them: terminal
+//! operations preserve item order (`collect` is deterministic), `fold`
+//! produces one accumulator per contiguous chunk, and every closure runs
+//! under the same `Sync`/`Send` obligations real rayon imposes. Scheduling
+//! differs (fixed chunking instead of work stealing), which is invisible to
+//! deterministic algorithms.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads terminal operations may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Live thread budget for [`join`]: once this many extra threads are
+/// running, further joins degrade to sequential calls (correct, just not
+/// parallel), bounding recursion fan-out.
+static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = current_num_threads();
+    if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < budget {
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("join closure panicked"))
+        });
+        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+        out
+    } else {
+        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+        (a(), b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn deep_recursive_join_terminates() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), (0..100_000u64).sum());
+    }
+
+    #[test]
+    fn range_map_collect_ordered() {
+        let v: Vec<u64> = (0u64..50_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0u64..50_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let src: Vec<String> = (0..10_000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = src.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out[9_999], 4);
+    }
+
+    #[test]
+    fn slice_par_iter_and_sum() {
+        let v: Vec<usize> = (0..100_000).collect();
+        let s: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total: Vec<u32> = (0u32..10_000)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, x| {
+                if x % 3 == 0 {
+                    acc.push(x);
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(total, (0u32..10_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_for_each_mutate_disjoint() {
+        let mut data = vec![0u64; 4096];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(512).collect();
+        let offsets: Vec<u64> = (0..8).collect();
+        chunks.into_par_iter().zip(offsets.par_iter()).for_each(|(chunk, &off)| {
+            for x in chunk {
+                *x = off;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[4095], 7);
+        assert_eq!(data[512], 1);
+    }
+
+    #[test]
+    fn map_init_runs_once_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let out: Vec<u32> = (0u32..10_000)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u32
+                },
+                |scratch, x| {
+                    *scratch += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 10_000);
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=10_000).contains(&n), "init per chunk, got {n}");
+    }
+
+    #[test]
+    fn with_min_len_parallelizes_tiny_coarse_batches() {
+        // 4 items is below the default 2×threads cutover on most machines;
+        // with_min_len(1) must still split the work across threads.
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let out: Vec<u32> = (0u32..4)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                i * 10
+            })
+            .collect();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        if current_num_threads() >= 2 {
+            assert!(
+                seen.lock().unwrap().len() >= 2,
+                "4 sleeping items with min_len(1) must use more than one thread"
+            );
+        }
+    }
+
+    #[test]
+    fn min_matches() {
+        let v: Vec<u64> = (0..10_000u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+        assert_eq!(v.par_iter().map(|&x| x).min(), v.iter().copied().min());
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).min(), None);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v: Vec<u64> = (0..50_000u64).map(|i| (i * 48_271) % 65_537).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+}
