@@ -12,11 +12,26 @@
 
 use rs_core::stats::{SsspResult, StepStats};
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
-use rs_par::{atomic_vec, VertexSubset};
+use rs_par::{atomic_vec, par_min, VertexSubset};
 
 /// Parallel Bellman–Ford. Rounds until fixpoint land in
 /// `stats.substeps` (and `stats.max_substeps_in_step`); `stats.steps = 1`.
 pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> SsspResult {
+    bellman_ford_to_goal(g, s, None)
+}
+
+/// Parallel Bellman–Ford with an optional goal-bounded early exit.
+///
+/// With a goal, rounds stop as soon as every frontier vertex sits at
+/// distance ≥ the goal's tentative distance: any relaxation chain a later
+/// round could run starts at a frontier vertex (improvements only propagate
+/// out of vertices that changed) and weights are non-negative, so no chain
+/// can push the goal's distance below that bound — `dist[goal]` is already
+/// exact. This is the hop-bounded analogue of Dijkstra's settled test:
+/// the solve runs only as many rounds as the goal's shortest path has hops
+/// (plus the rounds where cheaper subtrees were still draining), instead of
+/// the graph-wide hop depth. Other entries remain valid upper bounds.
+pub fn bellman_ford_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
     let n = g.num_vertices();
     let dist = atomic_vec(n, INF);
     dist[s as usize].store(0);
@@ -27,8 +42,20 @@ pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> SsspResult {
     let mut rounds = 0;
     let mut relaxations = 0u64;
     while !frontier.is_empty() {
+        // One materialisation per round, shared by the early-exit check and
+        // the snapshot pass.
+        let ids = frontier.to_ids();
+        if let Some(goal) = goal {
+            let goal_dist = dist[goal as usize].load();
+            if goal_dist != INF {
+                let frontier_min = par_min(ids.len(), |i| dist[ids[i] as usize].load());
+                if frontier_min >= goal_dist {
+                    break;
+                }
+            }
+        }
         rounds += 1;
-        for u in frontier.to_ids() {
+        for u in ids {
             snapshot[u as usize] = dist[u as usize].load();
             relaxations += g.degree(u) as u64;
         }
@@ -79,6 +106,51 @@ mod tests {
         // 19 productive rounds + 1 empty-detection round, one paper-step.
         assert_eq!(out.stats.substeps, 20);
         assert_eq!(out.stats.steps, 1);
+    }
+
+    #[test]
+    fn goal_bounded_exit_is_exact_and_early() {
+        // On a long path, a goal near the source must stop after roughly
+        // its hop count, not the full 500-round fixpoint.
+        let g = gen::path(500);
+        let full = bellman_ford(&g, 0);
+        assert_eq!(full.stats.substeps, 500);
+        let bounded = bellman_ford_to_goal(&g, 0, Some(10));
+        assert_eq!(bounded.dist[10], full.dist[10], "goal must be exact");
+        assert!(
+            bounded.stats.substeps <= 12,
+            "expected ~11 rounds to settle hop-10 goal, ran {}",
+            bounded.stats.substeps
+        );
+        for (b, f) in bounded.dist.iter().zip(&full.dist) {
+            assert!(b >= f, "bounded entries are upper bounds");
+        }
+    }
+
+    #[test]
+    fn goal_bounded_exit_matches_dijkstra_on_random_graphs() {
+        for seed in [5u64, 9] {
+            let g = weights::reweight(
+                &gen::scale_free(200, 3, seed),
+                WeightModel::paper_weighted(),
+                seed,
+            );
+            let reference = dijkstra_default(&g, 7);
+            for goal in [0u32, 50, 100, 199] {
+                let out = bellman_ford_to_goal(&g, 7, Some(goal));
+                assert_eq!(out.dist[goal as usize], reference[goal as usize], "goal {goal}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_goal_still_terminates() {
+        let mut b = rs_graph::EdgeListBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        let out = bellman_ford_to_goal(&g, 0, Some(2));
+        assert_eq!(out.dist[2], INF);
+        assert_eq!(out.dist[1], 2);
     }
 
     #[test]

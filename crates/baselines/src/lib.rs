@@ -24,7 +24,7 @@ pub mod delta_stepping;
 pub mod dijkstra;
 pub mod solver;
 
-pub use bellman_ford::bellman_ford;
+pub use bellman_ford::{bellman_ford, bellman_ford_to_goal};
 pub use bfs::{bfs_par, bfs_par_to_goal, bfs_seq};
 pub use delta_stepping::{delta_stepping, delta_stepping_to_goal, DeltaSteppingResult};
 pub use dijkstra::{

@@ -24,7 +24,7 @@ use rs_core::stats::{SsspResult, StepStats};
 use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-use crate::bellman_ford::bellman_ford;
+use crate::bellman_ford::bellman_ford_to_goal;
 use crate::bfs::bfs_par_to_goal;
 use crate::delta_stepping::{delta_stepping_to_goal, DeltaSteppingResult};
 use crate::dijkstra::dijkstra_with_goal;
@@ -47,6 +47,7 @@ impl<'g> BuildSolver<'g> for SolverBuilder<'g> {
                     engine,
                     radii,
                     parts.preprocess,
+                    parts.preprocess_cache.as_deref(),
                     parts.config,
                 ))
             }
@@ -157,8 +158,10 @@ impl SsspSolver for DeltaSteppingSolver<'_> {
 }
 
 /// Round-synchronous parallel Bellman–Ford behind the solver interface.
-/// (No sound early exit exists — a later round can still lower any
-/// distance — so `solve_to_goal` inherits the full-solve default.)
+/// `solve_to_goal` exits once every frontier vertex sits at distance ≥ the
+/// goal's tentative distance (no later round can then lower the goal —
+/// weights are non-negative), bounding the rounds by the goal's hop radius
+/// instead of the graph-wide hop depth.
 pub struct BellmanFordSolver<'g> {
     pub graph: SolverGraph<'g>,
     pub config: SolverConfig,
@@ -174,7 +177,11 @@ impl SsspSolver for BellmanFordSolver<'_> {
     }
 
     fn solve(&self, source: VertexId) -> SsspResult {
-        self.config.finish(&self.graph, bellman_ford(&self.graph, source))
+        self.config.finish(&self.graph, bellman_ford_to_goal(&self.graph, source, None))
+    }
+
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.config.finish(&self.graph, bellman_ford_to_goal(&self.graph, source, Some(goal)))
     }
 }
 
@@ -269,6 +276,30 @@ mod tests {
             .build();
         assert!(solver.graph().num_edges() >= g.num_edges());
         assert_eq!(solver.solve(0).dist, reference, "shortcuts preserve distances");
+    }
+
+    #[test]
+    fn preprocess_cached_composes_with_baselines() {
+        let g = weighted();
+        let reference = dijkstra_default(&g, 3);
+        let cfg = PreprocessConfig::new(1, 8);
+        let path = std::env::temp_dir().join(format!(
+            "rs_baseline_cache_{}_{:p}.bin",
+            std::process::id(),
+            &g
+        ));
+        std::fs::remove_file(&path).ok();
+        for _ in 0..2 {
+            // First iteration builds + saves, second loads; both exact.
+            let solver = SolverBuilder::new(&g)
+                .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
+                .preprocess_cached(&path, cfg)
+                .build();
+            assert!(solver.graph().num_edges() >= g.num_edges());
+            assert_eq!(solver.solve(3).dist, reference);
+            assert!(path.exists());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -210,6 +210,7 @@ pub struct SolverBuilder<'g> {
     graph: &'g CsrGraph,
     algorithm: Algorithm,
     preprocess: Option<PreprocessConfig>,
+    preprocess_cache: Option<std::path::PathBuf>,
     config: SolverConfig,
 }
 
@@ -221,6 +222,7 @@ impl<'g> SolverBuilder<'g> {
             graph,
             algorithm: Algorithm::default(),
             preprocess: None,
+            preprocess_cache: None,
             config: SolverConfig::default(),
         }
     }
@@ -236,6 +238,22 @@ impl<'g> SolverBuilder<'g> {
     /// for radius stepping — the radii by `r_ρ(v)`.
     pub fn preprocess(mut self, cfg: PreprocessConfig) -> Self {
         self.preprocess = Some(cfg);
+        self
+    }
+
+    /// Like [`SolverBuilder::preprocess`], but backed by an on-disk cache:
+    /// a preprocessing previously saved at `path` with a matching
+    /// configuration (and vertex count) is loaded instead of rebuilt —
+    /// paying the `O(m log n + nρ²)` phase once per graph, not once per
+    /// process. On a miss (absent, unreadable, or stale file) the
+    /// preprocessing is rebuilt and saved back to `path` best-effort.
+    pub fn preprocess_cached(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+        cfg: PreprocessConfig,
+    ) -> Self {
+        self.preprocess = Some(cfg);
+        self.preprocess_cache = Some(path.into());
         self
     }
 
@@ -258,6 +276,7 @@ impl<'g> SolverBuilder<'g> {
             graph: self.graph,
             algorithm: self.algorithm,
             preprocess: self.preprocess,
+            preprocess_cache: self.preprocess_cache,
             config: self.config,
         }
     }
@@ -286,7 +305,14 @@ impl<'g> SolverBuilder<'g> {
                 parts.algorithm
             )
         };
-        RadiusSteppingSolver::from_parts(parts.graph, engine, radii, parts.preprocess, parts.config)
+        RadiusSteppingSolver::from_parts(
+            parts.graph,
+            engine,
+            radii,
+            parts.preprocess,
+            parts.preprocess_cache.as_deref(),
+            parts.config,
+        )
     }
 }
 
@@ -295,6 +321,7 @@ pub struct BuilderParts<'g> {
     pub graph: &'g CsrGraph,
     pub algorithm: Algorithm,
     pub preprocess: Option<PreprocessConfig>,
+    pub preprocess_cache: Option<std::path::PathBuf>,
     pub config: SolverConfig,
 }
 
@@ -305,8 +332,42 @@ impl<'g> BuilderParts<'g> {
     pub fn resolve_graph(&self) -> SolverGraph<'g> {
         match &self.preprocess {
             None => SolverGraph::Borrowed(self.graph),
-            Some(cfg) => SolverGraph::Owned(Preprocessed::build(self.graph, cfg).graph),
+            Some(cfg) => SolverGraph::Owned(
+                resolve_preprocessed(self.graph, cfg, self.preprocess_cache.as_deref()).graph,
+            ),
         }
+    }
+}
+
+/// Loads a compatible preprocessing from `cache`, or builds one (saving it
+/// back to `cache`, best-effort, when a path is given). A cached file is
+/// compatible when its parameters match `cfg` exactly and its recorded
+/// input shape (vertex and pre-shortcut edge counts) matches `g`; anything
+/// else — missing file, garbage, stale parameters, a different graph —
+/// falls back to a rebuild rather than an error. A same-shape graph with
+/// different weights or wiring can still slip through (ROADMAP: a content
+/// hash in the header would make this airtight), so key cache paths by
+/// graph identity.
+pub fn resolve_preprocessed(
+    g: &CsrGraph,
+    cfg: &PreprocessConfig,
+    cache: Option<&std::path::Path>,
+) -> Preprocessed {
+    if let Some(path) = cache {
+        if let Ok(pre) = Preprocessed::load(path) {
+            if pre.config == *cfg
+                && pre.graph.num_vertices() == g.num_vertices()
+                && pre.stats.original_edges == g.num_edges()
+            {
+                return pre;
+            }
+        }
+        let pre = Preprocessed::build(g, cfg);
+        // Best-effort: an unwritable cache degrades to rebuild-next-time.
+        let _ = pre.save(path);
+        pre
+    } else {
+        Preprocessed::build(g, cfg)
     }
 }
 
@@ -333,12 +394,14 @@ impl<'g> RadiusSteppingSolver<'g> {
     }
 
     /// Construction from builder state: preprocessing (when attached)
-    /// replaces both the graph and the radii.
+    /// replaces both the graph and the radii, loading from / saving to the
+    /// `cache` path when one was supplied.
     pub fn from_parts(
         graph: &'g CsrGraph,
         engine: EngineKind,
         radii: Radii,
         preprocess: Option<PreprocessConfig>,
+        cache: Option<&std::path::Path>,
         config: SolverConfig,
     ) -> Self {
         match preprocess {
@@ -350,7 +413,7 @@ impl<'g> RadiusSteppingSolver<'g> {
                 preprocessed: false,
             },
             Some(cfg) => {
-                let pre = Preprocessed::build(graph, &cfg);
+                let pre = resolve_preprocessed(graph, &cfg, cache);
                 RadiusSteppingSolver {
                     graph: SolverGraph::Owned(pre.graph),
                     radii: Radii::PerVertex(pre.radii),
@@ -489,6 +552,66 @@ mod tests {
         for (i, &s) in sources.iter().enumerate() {
             assert_eq!(batch[i].dist, pre.solve(s).dist);
         }
+    }
+
+    #[test]
+    fn preprocess_cached_roundtrip() {
+        let g = grid();
+        let cfg = PreprocessConfig::new(2, 10);
+        let path = std::env::temp_dir().join(format!(
+            "rs_solver_cache_{}_{:p}.bin",
+            std::process::id(),
+            &g
+        ));
+        std::fs::remove_file(&path).ok();
+
+        // First build: cache miss — builds and persists.
+        let first = SolverBuilder::new(&g)
+            .preprocess_cached(&path, cfg)
+            .radius_stepping_solver_from_algorithm();
+        assert!(path.exists(), "cache file must be written on a miss");
+        let expect = first.solve(5).dist;
+
+        // Second build: served from the cache, identical results.
+        let cached = SolverBuilder::new(&g)
+            .preprocess_cached(&path, cfg)
+            .radius_stepping_solver_from_algorithm();
+        assert!(cached.name().contains("preprocessed"));
+        assert_eq!(cached.solve(5).dist, expect);
+
+        // The cached file round-trips the full preprocessing.
+        let loaded = Preprocessed::load(&path).unwrap();
+        assert_eq!(loaded.config, cfg);
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+
+        // Stale parameters are rebuilt (and the file refreshed), not
+        // silently reused.
+        let other = PreprocessConfig::new(1, 6);
+        let rebuilt = SolverBuilder::new(&g)
+            .preprocess_cached(&path, other)
+            .radius_stepping_solver_from_algorithm();
+        assert_eq!(rebuilt.solve(5).dist, expect, "distances never depend on the cache");
+        assert_eq!(Preprocessed::load(&path).unwrap().config, other, "file refreshed");
+
+        // Garbage in the cache degrades to a rebuild, never an error.
+        std::fs::write(&path, b"definitely not a preprocessing").unwrap();
+        let recovered = SolverBuilder::new(&g)
+            .preprocess_cached(&path, cfg)
+            .radius_stepping_solver_from_algorithm();
+        assert_eq!(recovered.solve(5).dist, expect);
+
+        // A cache written for a different graph (here: different edge
+        // count) is rejected and rebuilt, not reused.
+        let other_graph =
+            rs_graph::weights::reweight(&rs_graph::gen::path(81), WeightModel::paper_weighted(), 2);
+        assert_eq!(other_graph.num_vertices(), g.num_vertices(), "same n, different m");
+        let cross = SolverBuilder::new(&other_graph)
+            .preprocess_cached(&path, cfg)
+            .radius_stepping_solver_from_algorithm();
+        let direct = SolverBuilder::new(&other_graph)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        assert_eq!(cross.solve(5).dist, direct.solve(5).dist, "stale-graph cache must rebuild");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! bitmap when it covers a large fraction of the graph. Edge-map operators
 //! in `rs_graph` consume either form.
 
+use rayon::prelude::*;
+
 use crate::pack::pack_indices;
+use crate::SEQ_THRESHOLD;
 
 /// A subset of the vertices `0..n`, stored sparsely or densely.
 #[derive(Debug, Clone)]
@@ -37,7 +40,16 @@ impl VertexSubset {
 
     /// Builds a dense subset from a bitmap.
     pub fn from_flags(flags: Vec<bool>) -> Self {
-        let count = flags.iter().filter(|&&f| f).count();
+        let count = if flags.len() < SEQ_THRESHOLD {
+            flags.iter().filter(|&&f| f).count()
+        } else {
+            // fold/reduce, not sum(): the vendored sum() buffers each chunk
+            // before summing, and this runs on every dense-frontier build.
+            flags
+                .par_iter()
+                .fold(|| 0usize, |acc, &f| acc + usize::from(f))
+                .reduce(|| 0, |a, b| a + b)
+        };
         VertexSubset::Dense { flags, count }
     }
 
@@ -75,7 +87,7 @@ impl VertexSubset {
         match self {
             VertexSubset::Sparse { ids, .. } => {
                 let mut ids = ids.clone();
-                ids.sort_unstable();
+                ids.par_sort_unstable();
                 ids
             }
             VertexSubset::Dense { flags, .. } => pack_indices(flags.len(), |i| flags[i]),

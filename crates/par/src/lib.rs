@@ -2,7 +2,9 @@
 //!
 //! The paper analyses its algorithms in the work/depth (PRAM) model; this
 //! crate provides the small set of primitives that model relies on, mapped
-//! onto [rayon]'s fork-join pool:
+//! onto [rayon]'s persistent work-stealing pool (workers are spawned once
+//! and parked when idle, so an engine substep costs deque operations, not
+//! thread spawns):
 //!
 //! * [`scan`] — sequential and blocked-parallel prefix sums, the backbone of
 //!   parallel packing and CSR construction (`O(n)` work, `O(log n)` depth).
@@ -32,7 +34,9 @@ pub use scan::{exclusive_scan, exclusive_scan_in_place};
 /// primitives run sequentially to avoid fork-join overhead.
 pub const SEQ_THRESHOLD: usize = 1 << 12;
 
-/// Returns the number of rayon worker threads in the current pool.
+/// Returns the number of rayon worker threads in the current pool
+/// (override with the `RS_NUM_THREADS` environment variable, read once at
+/// pool creation).
 pub fn num_threads() -> usize {
     rayon::current_num_threads()
 }

@@ -2,8 +2,9 @@
 //!
 //! `pack` is the PRAM primitive behind frontier compaction: given a
 //! predicate over `0..n`, produce the dense list of satisfying indices in
-//! order. Implemented as count → scan → scatter; `O(n)` work, logarithmic
-//! depth modulo the fixed pool.
+//! order. Implemented as count → scan → scatter, with the count and scatter
+//! passes running as work-stealing pool tasks; `O(n)` work, `O(n/P + P)`
+//! span.
 
 use rayon::prelude::*;
 
@@ -19,7 +20,7 @@ where
     }
     let ranges = chunk_ranges(n, rayon::current_num_threads() * 8);
     let counts: Vec<usize> =
-        ranges.par_iter().map(|r| r.clone().filter(|&i| pred(i)).count()).collect();
+        ranges.par_iter().with_min_len(1).map(|r| r.clone().filter(|&i| pred(i)).count()).collect();
     let (offsets, total) = exclusive_scan_usize(&counts);
     let mut out = vec![0u32; total];
     // Scatter each block into its disjoint slice of the output.
@@ -32,7 +33,7 @@ where
         slices.push(head);
         rest = tail;
     }
-    ranges.into_par_iter().zip(slices.into_par_iter()).for_each(|(r, slice)| {
+    ranges.into_par_iter().zip(slices.into_par_iter()).with_min_len(1).for_each(|(r, slice)| {
         let mut j = 0;
         for i in r {
             if pred(i) {

@@ -2,7 +2,9 @@
 //!
 //! Radius stepping's round-distance selection (`d_i = min_{v∉S} δ(v)+r(v)`,
 //! Algorithm 1 line 4) is a parallel min-reduction over the fringe; these
-//! helpers provide deterministic (lowest-index-wins) argmin variants.
+//! helpers provide deterministic (lowest-index-wins) argmin variants. Both
+//! run as chunked fold/reduce tasks on the work-stealing pool, so the
+//! reduction is `O(n)` work and `O(n/P + P)` span regardless of scheduling.
 
 use rayon::prelude::*;
 

@@ -3,11 +3,13 @@
 //! The classic two-pass blocked scan: split into per-thread blocks, sum each
 //! block in parallel, scan the block sums sequentially (there are only
 //! `O(P)` of them), then offset each block in parallel. `O(n)` work,
-//! `O(n/P + P)` span — the standard PRAM scan mapped to a fixed pool.
+//! `O(n/P + P)` span — the standard PRAM scan, with both parallel passes
+//! expressed as `par_chunks` / `par_chunks_mut` tasks on the work-stealing
+//! pool.
 
 use rayon::prelude::*;
 
-use crate::{chunk_ranges, SEQ_THRESHOLD};
+use crate::SEQ_THRESHOLD;
 
 /// Exclusive prefix sum of `input`, plus the grand total.
 ///
@@ -23,37 +25,24 @@ pub fn exclusive_scan_in_place(data: &mut [u64]) -> u64 {
     if data.len() < SEQ_THRESHOLD {
         return seq_exclusive(data);
     }
-    let ranges = chunk_ranges(data.len(), rayon::current_num_threads() * 4);
-    // Pass 1: per-block sums.
-    let mut block_sums: Vec<u64> = {
-        // Split `data` into disjoint mutable chunks matching `ranges`.
-        let mut sums = vec![0u64; ranges.len()];
-        let mut rest = &*data;
-        for (i, r) in ranges.iter().enumerate() {
-            let (head, tail) = rest.split_at(r.len());
-            sums[i] = head.iter().sum();
-            rest = tail;
-        }
-        sums
-    };
+    let block = data.len().div_ceil(rayon::current_num_threads() * 4).max(1);
+    // Pass 1: per-block sums, in parallel (this was a serial loop for a
+    // while, silently giving the scan an O(n) span).
+    let mut block_sums: Vec<u64> =
+        data.par_chunks(block).with_min_len(1).map(|chunk| chunk.iter().sum()).collect();
     // Pass 2: scan block sums (few of them).
     let total = seq_exclusive(&mut block_sums);
     // Pass 3: offset each block in parallel.
-    let mut chunks: Vec<&mut [u64]> = Vec::with_capacity(ranges.len());
-    let mut rest = data;
-    for r in &ranges {
-        let (head, tail) = rest.split_at_mut(r.len());
-        chunks.push(head);
-        rest = tail;
-    }
-    chunks.into_par_iter().zip(block_sums.par_iter()).for_each(|(chunk, &offset)| {
-        let mut acc = offset;
-        for x in chunk {
-            let v = *x;
-            *x = acc;
-            acc += v;
-        }
-    });
+    data.par_chunks_mut(block).zip(block_sums.par_iter()).with_min_len(1).for_each(
+        |(chunk, &offset)| {
+            let mut acc = offset;
+            for x in chunk {
+                let v = *x;
+                *x = acc;
+                acc += v;
+            }
+        },
+    );
     total
 }
 
@@ -149,6 +138,23 @@ mod proptests {
                 prop_assert_eq!(out[i], out[i - 1] + input[i - 1]);
             }
             prop_assert_eq!(total, out[out.len() - 1] + input[input.len() - 1]);
+        }
+
+        // Parity of the blocked-parallel path against the sequential scan.
+        // Sizes straddle `SEQ_THRESHOLD`, so every case with len ≥ the
+        // threshold exercises both pool passes (the earlier properties
+        // stayed below it, which is how the sequential pass-1 regression
+        // went unnoticed).
+        #[test]
+        fn parallel_scan_matches_seq_exclusive(
+            input in proptest::collection::vec(0u64..10_000, SEQ_THRESHOLD - 64..SEQ_THRESHOLD * 3)
+        ) {
+            let mut expect = input.clone();
+            let expect_total = seq_exclusive(&mut expect);
+            let mut got = input;
+            let got_total = exclusive_scan_in_place(&mut got);
+            prop_assert_eq!(got_total, expect_total);
+            prop_assert_eq!(got, expect);
         }
     }
 }

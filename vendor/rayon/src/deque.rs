@@ -1,0 +1,111 @@
+//! Chase–Lev work-stealing deque over [`JobRef`]s.
+//!
+//! One deque per worker: the owning worker pushes and pops jobs LIFO at the
+//! *bottom* (hot in cache, matches fork-join recursion order), thieves claim
+//! jobs FIFO at the *top* (the oldest — hence largest — pending subtree, the
+//! property that makes stealing pay its synchronisation cost). The memory
+//! orderings follow Lê, Pop, Cohen & Zappa Nardelli, *Correct and Efficient
+//! Work-Stealing for Weak Memory Models* (PPoPP '13).
+//!
+//! The buffer is fixed-capacity: fork-join recursion keeps at most one
+//! pending job per live `join` frame on the owner's stack, so the occupancy
+//! is bounded by the recursion depth (logarithmic for every splitter in this
+//! workspace). If a pathological caller ever fills it, [`WorkerDeque::push`]
+//! reports failure and `join` degrades to a sequential call — correct, just
+//! not parallel — instead of reallocating concurrently-read memory.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::pool::{JobHeader, JobRef};
+
+/// Slots per deque. Far above any sane fork-join depth (occupancy tracks
+/// recursion depth, not total task count).
+const CAPACITY: usize = 8192;
+const MASK: usize = CAPACITY - 1;
+
+/// A single worker's deque. `push`/`take` must only be called by the owning
+/// worker thread; `steal` is safe from any thread.
+pub(crate) struct WorkerDeque {
+    /// Next slot thieves claim from (only ever incremented).
+    top: AtomicIsize,
+    /// Next slot the owner pushes to.
+    bottom: AtomicIsize,
+    slots: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl WorkerDeque {
+    pub(crate) fn new() -> Self {
+        let slots = (0..CAPACITY).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect::<Vec<_>>();
+        WorkerDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Owner-only: pushes `job` at the bottom. Fails (returning the job)
+    /// when the deque is full.
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= CAPACITY as isize {
+            return Err(job);
+        }
+        self.slots[(b as usize) & MASK].store(job.as_ptr(), Ordering::Relaxed);
+        // Release: the slot write above must be visible to a thief that
+        // acquires this bottom value.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed job (LIFO), racing thieves
+    /// for the last remaining one.
+    pub(crate) fn take(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Full barrier between the bottom decrement and the top read: the
+        // crux of Chase–Lev (owner and thief must not both miss the other's
+        // reservation of the final element).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = self.slots[(b as usize) & MASK].load(Ordering::Relaxed);
+            if t == b {
+                // Single element left: decide the race via CAS on top.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then(|| unsafe { JobRef::from_ptr(job) })
+            } else {
+                Some(unsafe { JobRef::from_ptr(job) })
+            }
+        } else {
+            // Already empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: claims the oldest job (FIFO). `None` on empty *or* on
+    /// losing a race — callers are retry loops, so a failed CAS needs no
+    /// distinct signal.
+    pub(crate) fn steal(&self) -> Option<JobRef> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let job = self.slots[(t as usize) & MASK].load(Ordering::Relaxed);
+            if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+                return Some(unsafe { JobRef::from_ptr(job) });
+            }
+        }
+        None
+    }
+
+    /// Cheap occupancy hint for the sleep protocol (racy by design).
+    pub(crate) fn has_jobs(&self) -> bool {
+        self.bottom.load(Ordering::Relaxed) > self.top.load(Ordering::Relaxed)
+    }
+}

@@ -2,13 +2,14 @@
 //!
 //! Every source is *indexed*: it knows its length and can evaluate any
 //! contiguous sub-range of items independently. Terminal operations split
-//! `0..len` into chunks, claim chunks from an atomic counter on
-//! `std::thread::scope` workers, and recombine per-chunk results in chunk
-//! order — preserving rayon's deterministic output order.
+//! `0..len` into chunks and evaluate them with recursive [`crate::join`]
+//! splitting on the persistent work-stealing pool — each half of a split is
+//! a pool task a thief can claim, and per-chunk results are written into
+//! disjoint slots of a preallocated buffer, preserving rayon's
+//! deterministic output order with no locks and no per-call thread spawns.
 
+use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use crate::current_num_threads;
 
@@ -21,9 +22,16 @@ pub trait ParallelIterator: Sized + Send + Sync {
 
     /// Evaluates items `lo..hi` in index order into `sink`.
     ///
-    /// Each index is evaluated at most once across all calls of one
-    /// terminal operation (sources that move items out rely on this).
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item));
+    /// # Safety
+    ///
+    /// The caller must evaluate each index at most once across all
+    /// `pi_eval` calls on one iterator, with `hi <= pi_len()`. Sources
+    /// depend on this for soundness, not just correctness: `VecParIter`
+    /// moves items out by raw-pointer read (a repeated index would double
+    /// an owned value) and `ChunksMutParIter` hands out `&mut` slices (a
+    /// repeated index would alias them). Only terminal operations — which
+    /// split `0..pi_len()` into disjoint ranges — may call this.
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item));
 
     /// Splitting granularity requested via [`ParallelIterator::with_min_len`]
     /// (`None` = use the driver's default heuristic). Adapters forward it.
@@ -79,7 +87,9 @@ pub trait ParallelIterator: Sized + Send + Sync {
     where
         F: Fn(Self::Item) + Sync + Send,
     {
-        run_chunks(&self, |iter, lo, hi| iter.pi_eval(lo, hi, &mut |item| f(item)));
+        // SAFETY: run_chunks hands each chunk to `work` exactly once, and
+        // chunks are disjoint and within 0..pi_len().
+        run_chunks(&self, |iter, lo, hi| unsafe { iter.pi_eval(lo, hi, &mut |item| f(item)) });
     }
 
     fn min(self) -> Option<Self::Item>
@@ -88,11 +98,14 @@ pub trait ParallelIterator: Sized + Send + Sync {
     {
         run_chunks(&self, |iter, lo, hi| {
             let mut best: Option<Self::Item> = None;
-            iter.pi_eval(lo, hi, &mut |item| {
-                if best.as_ref().is_none_or(|b| item < *b) {
-                    best = Some(item);
-                }
-            });
+            // SAFETY: disjoint in-bounds chunks, each evaluated once.
+            unsafe {
+                iter.pi_eval(lo, hi, &mut |item| {
+                    if best.as_ref().is_none_or(|b| item < *b) {
+                        best = Some(item);
+                    }
+                });
+            }
             best
         })
         .into_iter()
@@ -106,7 +119,8 @@ pub trait ParallelIterator: Sized + Send + Sync {
     {
         run_chunks(&self, |iter, lo, hi| {
             let mut items = Vec::with_capacity(hi - lo);
-            iter.pi_eval(lo, hi, &mut |item| items.push(item));
+            // SAFETY: disjoint in-bounds chunks, each evaluated once.
+            unsafe { iter.pi_eval(lo, hi, &mut |item| items.push(item)) };
             items.into_iter().sum::<S>()
         })
         .into_iter()
@@ -130,7 +144,8 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self {
         let chunks = run_chunks(&par_iter, |iter, lo, hi| {
             let mut v = Vec::with_capacity(hi - lo);
-            iter.pi_eval(lo, hi, &mut |item| v.push(item));
+            // SAFETY: disjoint in-bounds chunks, each evaluated once.
+            unsafe { iter.pi_eval(lo, hi, &mut |item| v.push(item)) };
             v
         });
         let mut out = Vec::with_capacity(par_iter.pi_len());
@@ -141,9 +156,9 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
-/// Splits `0..p.len()` into chunks and evaluates `work(p, lo, hi)` for each,
-/// on scoped worker threads when the input is big enough; returns per-chunk
-/// results in chunk (hence index) order.
+/// Splits `0..p.len()` into chunks and evaluates `work(p, lo, hi)` for each
+/// as pool tasks (recursive join splitting); returns per-chunk results in
+/// chunk (hence index) order.
 fn run_chunks<P, R, W>(p: &P, work: W) -> Vec<R>
 where
     P: ParallelIterator,
@@ -152,7 +167,7 @@ where
 {
     let n = p.pi_len();
     let threads = current_num_threads();
-    // Sequential cutover: below 2×threads items the thread overhead wins —
+    // Sequential cutover: below 2×threads items the task overhead wins —
     // unless the iterator requested a finer granularity via with_min_len.
     let cutover = match p.pi_min_len() {
         Some(min) => 2 * min,
@@ -176,27 +191,33 @@ where
         })
         .collect();
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(pieces));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= pieces {
-                        break;
-                    }
-                    let (lo, hi) = bounds[i];
-                    local.push((i, work(p, lo, hi)));
-                }
-                results.lock().unwrap().append(&mut local);
-            });
+    let mut results: Vec<Option<R>> = (0..pieces).map(|_| None).collect();
+    split_chunks(&bounds, &mut results, &|lo, hi| work(p, lo, hi));
+    results.into_iter().map(|r| r.expect("every chunk evaluated")).collect()
+}
+
+/// Binary fork-join over the chunk list: each recursion level publishes its
+/// right half to the pool and descends into the left. Results land in the
+/// disjoint `out` slots, so recombination is free.
+fn split_chunks<R: Send>(
+    bounds: &[(usize, usize)],
+    out: &mut [Option<R>],
+    work: &(dyn Fn(usize, usize) -> R + Sync),
+) {
+    debug_assert_eq!(bounds.len(), out.len());
+    match bounds.len() {
+        0 => {}
+        1 => out[0] = Some(work(bounds[0].0, bounds[0].1)),
+        len => {
+            let mid = len / 2;
+            let (bounds_l, bounds_r) = bounds.split_at(mid);
+            let (out_l, out_r) = out.split_at_mut(mid);
+            crate::join(
+                || split_chunks(bounds_l, out_l, work),
+                || split_chunks(bounds_r, out_r, work),
+            );
         }
-    });
-    let mut results = results.into_inner().unwrap();
-    results.sort_unstable_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, r)| r).collect()
+    }
 }
 
 // ---- adapter types ------------------------------------------------------
@@ -214,7 +235,7 @@ impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
         self.base.pi_len()
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
         self.base.pi_eval(lo, hi, sink);
     }
 
@@ -240,7 +261,7 @@ where
         self.base.pi_len()
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
         self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(item)));
     }
 
@@ -268,7 +289,7 @@ where
         self.base.pi_len()
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
         let mut scratch = (self.init)();
         self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(&mut scratch, item)));
     }
@@ -294,7 +315,7 @@ where
         self.a.pi_len().min(self.b.pi_len())
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
         let mut left = Vec::with_capacity(hi - lo);
         self.a.pi_eval(lo, hi, &mut |item| left.push(item));
         let mut right = Vec::with_capacity(hi - lo);
@@ -334,9 +355,12 @@ where
     {
         let accs = run_chunks(&self.base, |base, lo, hi| {
             let mut acc = Some((self.identity)());
-            base.pi_eval(lo, hi, &mut |item| {
-                acc = Some((self.fold_op)(acc.take().expect("fold accumulator"), item));
-            });
+            // SAFETY: disjoint in-bounds chunks, each evaluated once.
+            unsafe {
+                base.pi_eval(lo, hi, &mut |item| {
+                    acc = Some((self.fold_op)(acc.take().expect("fold accumulator"), item));
+                });
+            }
             acc.expect("fold accumulator")
         });
         accs.into_iter().fold(identity(), &op)
@@ -403,7 +427,7 @@ impl<T: RangeInt> ParallelIterator for RangeParIter<T> {
         self.len
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
         for i in lo..hi {
             sink(self.start.offset(i));
         }
@@ -422,7 +446,7 @@ impl<'a, T: Sync + Send> ParallelIterator for SliceParIter<'a, T> {
         self.slice.len()
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a T)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a T)) {
         for item in &self.slice[lo..hi] {
             sink(item);
         }
@@ -497,7 +521,7 @@ impl<T: Send> ParallelIterator for VecParIter<T> {
         self.len
     }
 
-    fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
         debug_assert!(hi <= self.len);
         for i in lo..hi {
             // SAFETY: indices within 0..len, each read exactly once per the
@@ -509,13 +533,55 @@ impl<T: Send> ParallelIterator for VecParIter<T> {
 
 // ---- slices -------------------------------------------------------------
 
+/// Parallel read-only operations on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous `chunk_size`-sized pieces (the
+    /// last may be shorter), in order.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksParIter { slice: self, chunk_size }
+    }
+}
+
+/// Borrowing source yielding `&[T]` chunks.
+pub struct ChunksParIter<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync + Send> ParallelIterator for ChunksParIter<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a [T])) {
+        for i in lo..hi {
+            let start = i * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.slice.len());
+            sink(&self.slice[start..end]);
+        }
+    }
+}
+
 /// Parallel operations on mutable slices.
 pub trait ParallelSliceMut<T: Send> {
-    /// Sorts the slice (currently a sequential unstable sort; the call
-    /// sites sort once at graph-build time, off the solve hot path).
+    /// Sorts the slice with an unstable parallel quicksort: partition
+    /// sequentially, then sort the two sides as pool tasks via
+    /// [`crate::join`], falling back to `slice::sort_unstable` below a
+    /// sequential cutoff.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
+
+    /// Parallel iterator over contiguous mutable `chunk_size`-sized pieces
+    /// (the last may be shorter), in order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -523,6 +589,115 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_quicksort(self);
     }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksMutParIter {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk_size,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Mutable-chunk source. Chunk `i` covers
+/// `i*chunk_size .. min((i+1)*chunk_size, len)` — chunks at distinct indices
+/// are disjoint, and the terminal-operation contract evaluates each index at
+/// most once, so handing out `&'a mut [T]` per index is race-free.
+pub struct ChunksMutParIter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ChunksMutParIter<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutParIter<'_, T> {}
+
+impl<'a, T: Send + 'a> ParallelIterator for ChunksMutParIter<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+
+    unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a mut [T])) {
+        for i in lo..hi {
+            let start = i * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.len);
+            // SAFETY: start < len for every valid index (pi_len rounds up),
+            // distinct indices give disjoint ranges, and each index is
+            // evaluated at most once per the trait contract; the borrow 'a
+            // pins the underlying slice.
+            sink(unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) });
+        }
+    }
+}
+
+/// Sequential-sort cutoff: below this many elements the partition/steal
+/// overhead outweighs the parallelism.
+const SORT_SEQ_CUTOFF: usize = 4096;
+
+fn par_quicksort<T: Ord + Send>(v: &mut [T]) {
+    if v.len() <= SORT_SEQ_CUTOFF || current_num_threads() == 1 {
+        v.sort_unstable();
+        return;
+    }
+    // Introsort-style depth bound: a pivot-quality losing streak falls back
+    // to the sequential sort instead of degenerating to quadratic time (and
+    // unbounded fork depth).
+    let depth_limit = 2 * (usize::BITS - v.len().leading_zeros()) + 8;
+    par_quicksort_depth(v, depth_limit);
+}
+
+fn par_quicksort_depth<T: Ord + Send>(v: &mut [T], depth: u32) {
+    if v.len() <= SORT_SEQ_CUTOFF || depth == 0 {
+        v.sort_unstable();
+        return;
+    }
+    let (lt, gt) = partition3(v);
+    let (left, rest) = v.split_at_mut(lt);
+    let right = &mut rest[gt - lt..]; // rest[..gt-lt] == pivot, already placed
+    crate::join(|| par_quicksort_depth(left, depth - 1), || par_quicksort_depth(right, depth - 1));
+}
+
+/// Sedgewick three-way partition around a median-of-three pivot: returns
+/// `(lt, gt)` with `v[..lt] < pivot`, `v[lt..gt] == pivot`, `v[gt..] >
+/// pivot`. Grouping the equal run excludes it from both recursions, so
+/// duplicate-heavy (even constant) inputs cannot degenerate.
+fn partition3<T: Ord>(v: &mut [T]) -> (usize, usize) {
+    let n = v.len();
+    let (mid, last) = (n / 2, n - 1);
+    // Median of three into v[0], which seeds the equal region.
+    if v[mid] < v[0] {
+        v.swap(0, mid);
+    }
+    if v[last] < v[0] {
+        v.swap(0, last);
+    }
+    if v[last] < v[mid] {
+        v.swap(mid, last);
+    }
+    v.swap(0, mid);
+    // Invariant: v[..lt] < p, v[lt..i] == p (nonempty, so v[lt] is always a
+    // pivot-equal representative to compare against), v[gt..] > p.
+    let (mut lt, mut i, mut gt) = (0usize, 1usize, n);
+    while i < gt {
+        match v[i].cmp(&v[lt]) {
+            std::cmp::Ordering::Less => {
+                v.swap(i, lt);
+                lt += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Equal => i += 1,
+            std::cmp::Ordering::Greater => {
+                gt -= 1;
+                v.swap(i, gt);
+            }
+        }
+    }
+    (lt, gt)
 }

@@ -1,46 +1,61 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent work-stealing pool.
 //!
 //! The build environment cannot reach the crates registry, so this in-tree
 //! crate implements the exact subset of rayon's API the workspace uses —
-//! with *real* data parallelism on `std::thread::scope`, not a sequential
-//! fake:
+//! with real work-stealing parallelism, not a sequential fake and not
+//! per-call scoped threads:
 //!
+//! * [`pool`] (internal) — the process-wide pool: workers spawned once on
+//!   first use and parked when idle, one Chase–Lev deque per worker plus a
+//!   global injector for external submissions, stack-allocated jobs, and a
+//!   drop-guarded `join` that keeps the pool usable across panics.
+//! * [`deque`] (internal) — the Chase–Lev deque (owner LIFO, thieves FIFO).
+//! * [`join`] — fork-join task splitting on the pool: no thread is spawned
+//!   per call, the forked closure is published to the deque and usually
+//!   popped right back by its own submitter.
 //! * [`prelude`] — `par_iter` / `into_par_iter` over slices, vectors and
 //!   integer ranges, with `map`, `map_init`, `zip`, `fold` + `reduce`,
-//!   `for_each`, `min`, `sum`, `collect`, and `par_sort_unstable`.
-//! * [`join`] — fork-join with a global concurrency cap so recursive joins
-//!   (the treap's union/difference) cannot explode the thread count.
-//! * [`current_num_threads`] — the worker count terminal operations use.
+//!   `for_each`, `min`, `sum`, `collect`, `par_chunks` / `par_chunks_mut`,
+//!   and a parallel `par_sort_unstable` — every terminal operation splits
+//!   recursively via [`join`], so the whole iterator surface rides the same
+//!   pool.
+//! * [`current_num_threads`] — the pool size. Override with the
+//!   `RS_NUM_THREADS` environment variable (read once, at pool creation);
+//!   `RS_NUM_THREADS=1` forces fully sequential execution.
 //!
 //! Semantics match rayon where the workspace depends on them: terminal
 //! operations preserve item order (`collect` is deterministic), `fold`
-//! produces one accumulator per contiguous chunk, and every closure runs
-//! under the same `Sync`/`Send` obligations real rayon imposes. Scheduling
-//! differs (fixed chunking instead of work stealing), which is invisible to
-//! deterministic algorithms.
+//! produces one accumulator per contiguous chunk, every closure runs under
+//! the same `Sync`/`Send` obligations real rayon imposes, and a panic in
+//! any parallel closure is confined to its job and rethrown exactly once on
+//! the joining caller — later operations stay parallel (the old
+//! scoped-thread stand-in leaked its thread budget on panic and silently
+//! serialised everything after).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+mod deque;
 pub mod iter;
+mod pool;
 
 pub mod prelude {
     pub use crate::iter::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
-        ParallelSliceMut,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
-/// Number of worker threads terminal operations may use.
+/// Number of pool threads (`RS_NUM_THREADS` or the machine's parallelism).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    pool::global().num_threads()
 }
 
-/// Live thread budget for [`join`]: once this many extra threads are
-/// running, further joins degrade to sequential calls (correct, just not
-/// parallel), bounding recursion fan-out.
-static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
-
 /// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `b` is published to the work-stealing pool while the calling thread runs
+/// `a`; if no other worker claims `b`, the caller pops it back and runs it
+/// inline — so the sequential overhead is one deque push/pop, not a thread
+/// spawn. Panics in either closure propagate to the caller after *both*
+/// closures have finished (never across the pool), and the pool remains
+/// fully parallel afterwards.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -48,25 +63,14 @@ where
     RA: Send,
     RB: Send,
 {
-    let budget = current_num_threads();
-    if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < budget {
-        let out = std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
-            (ra, hb.join().expect("join closure panicked"))
-        });
-        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
-        out
-    } else {
-        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
-        (a(), b())
-    }
+    pool::join(a, b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn join_returns_both() {
@@ -86,6 +90,66 @@ mod tests {
             }
         }
         assert_eq!(sum(0, 100_000), (0..100_000u64).sum());
+    }
+
+    /// Returns true iff both sides of a `join` were in flight at once:
+    /// each side announces itself, then waits (bounded) for the other.
+    /// A sequential fallback can never satisfy both sides.
+    fn join_runs_concurrently() -> bool {
+        let started = AtomicUsize::new(0);
+        let rendezvous = || {
+            started.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while started.load(Ordering::SeqCst) < 2 {
+                if std::time::Instant::now() > deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+            true
+        };
+        let (a, b) = join(rendezvous, rendezvous);
+        a && b
+    }
+
+    /// The headline regression of the pool rewrite: the scoped-thread
+    /// stand-in decremented its `ACTIVE_JOINS` budget only on the
+    /// non-panicking path, so one caught panic inside a join closure
+    /// degraded every later join to sequential for the process lifetime.
+    /// The pool restores itself by construction (drop guards); prove it by
+    /// panicking through joins repeatedly and then demonstrating actual
+    /// concurrency.
+    #[test]
+    fn joins_stay_parallel_after_caught_panic() {
+        for i in 0..8 {
+            let caught = std::panic::catch_unwind(|| {
+                if i % 2 == 0 {
+                    join(|| 1, || panic!("forked side panics"))
+                } else {
+                    join(|| panic!("inline side panics"), || 2)
+                }
+            });
+            assert!(caught.is_err(), "panic must propagate out of join");
+        }
+        if current_num_threads() >= 2 {
+            assert!(join_runs_concurrently(), "join degraded to sequential after a caught panic");
+        }
+        // And the iterator surface still works (and stays correct) too.
+        let v: Vec<u64> = (0u64..50_000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v, (0u64..50_000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_join_panic_propagates_once() {
+        let caught = std::panic::catch_unwind(|| {
+            join(
+                || join(|| 1, || panic!("inner fork panics")),
+                || (0u64..10_000).into_par_iter().map(|i| i).sum::<u64>(),
+            )
+        });
+        assert!(caught.is_err());
+        let ok: u64 = (0u64..1_000).into_par_iter().map(|i| i).sum();
+        assert_eq!(ok, 499_500);
     }
 
     #[test]
@@ -195,10 +259,50 @@ mod tests {
 
     #[test]
     fn par_sort_unstable_sorts() {
-        let mut v: Vec<u64> = (0..50_000u64).map(|i| (i * 48_271) % 65_537).collect();
+        let mut v: Vec<u64> = (0..200_000u64).map(|i| (i * 48_271) % 65_537).collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         v.par_sort_unstable();
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_unstable_adversarial_shapes() {
+        // Sorted, reversed, constant, and near-sorted inputs exercise the
+        // pivot selection; correctness must hold on all of them.
+        let n = 60_000u64;
+        let shapes: Vec<Vec<u64>> = vec![
+            (0..n).collect(),
+            (0..n).rev().collect(),
+            vec![7; n as usize],
+            (0..n).map(|i| if i % 1000 == 0 { n - i } else { i }).collect(),
+        ];
+        for mut v in shapes {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            v.par_sort_unstable();
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn par_chunks_match_sequential() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let sums: Vec<u64> = data.par_chunks(1024).map(|c| c.iter().sum()).collect();
+        let expect: Vec<u64> = data.chunks(1024).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut data = vec![0u64; 100_000];
+        data.par_chunks_mut(777).zip((0u64..129).into_par_iter()).for_each(|(chunk, i)| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, (j / 777) as u64);
+        }
     }
 }

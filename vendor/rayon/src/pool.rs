@@ -1,0 +1,442 @@
+//! The persistent work-stealing pool behind [`crate::join`] and every
+//! parallel-iterator terminal operation.
+//!
+//! # Architecture
+//!
+//! * **Registry** — one per process, created lazily on first use and leaked
+//!   (workers need a `'static` handle). Holds one [`WorkerDeque`] per
+//!   worker, a mutex-guarded *injector* for jobs submitted from outside the
+//!   pool, and the sleep/latch condition variables.
+//! * **Workers** — `num_threads()` OS threads spawned once at registry
+//!   creation. Each loops: pop own deque (LIFO) → steal from a sibling or
+//!   the injector (FIFO) → park briefly. Parked workers are woken whenever
+//!   new work is published.
+//! * **Jobs** — stack-allocated [`StackJob`]s referenced by a type-erased
+//!   one-word [`JobRef`]. No allocation per `join`; the job lives in the
+//!   joining caller's frame, which is pinned until the job's latch is set.
+//! * **`join(a, b)`** — publishes `b` (own deque for workers, injector for
+//!   external callers), runs `a` inline, then *resolves* `b`: pop it back
+//!   and run it inline if nobody claimed it, otherwise execute other
+//!   pending jobs until `b`'s latch is set. Resolution lives in a drop
+//!   guard, so a panic inside `a` still waits for `b` before unwinding —
+//!   `b` borrows the very stack frame the panic would otherwise free, and
+//!   the pool stays fully usable after the panic (the regression the old
+//!   scoped-thread stand-in failed: its `ACTIVE_JOINS` budget leaked on
+//!   panic and silently serialised every later join).
+//!
+//! Thread count: `RS_NUM_THREADS` (read once, at pool creation) when set to
+//! a positive integer, else `std::thread::available_parallelism()`. With one
+//! thread the pool spawns no workers and every operation runs sequentially
+//! on the caller.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::WorkerDeque;
+
+// ---- jobs ---------------------------------------------------------------
+
+/// First field of every job: the type-erased entry point. Jobs are
+/// `#[repr(C)]` with the header first, so a header pointer is the job
+/// pointer.
+pub(crate) struct JobHeader {
+    execute: unsafe fn(*const JobHeader),
+}
+
+/// One-word type-erased handle to a pending job.
+///
+/// Safety contract: the referenced job outlives the handle (the submitting
+/// frame blocks on the job's latch before returning) and `execute` is
+/// called exactly once (queue pops and injector removal transfer unique
+/// ownership).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobRef {
+    ptr: *const JobHeader,
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn new(header: *const JobHeader) -> JobRef {
+        JobRef { ptr: header }
+    }
+
+    pub(crate) fn as_ptr(self) -> *mut JobHeader {
+        self.ptr.cast_mut()
+    }
+
+    /// # Safety
+    /// `ptr` must have come from [`JobRef::as_ptr`] on a still-pending job.
+    pub(crate) unsafe fn from_ptr(ptr: *mut JobHeader) -> JobRef {
+        JobRef { ptr }
+    }
+
+    unsafe fn execute(self) {
+        ((*self.ptr).execute)(self.ptr)
+    }
+}
+
+/// A `FnOnce` job allocated on the submitting caller's stack. The closure's
+/// panic is caught into `result` and rethrown by the joiner, never across
+/// the pool.
+#[repr(C)]
+struct StackJob<F, R> {
+    header: JobHeader,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            header: JobHeader { execute: Self::execute_erased },
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// # Safety
+    /// The returned ref must be executed at most once, before `self` drops.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(&self.header)
+    }
+
+    unsafe fn execute_erased(ptr: *const JobHeader) {
+        let this = &*ptr.cast::<Self>();
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        // Last touch of the job: after this store the joiner may free it.
+        this.latch.set(global());
+    }
+
+    /// Reclaims the closure for inline execution (deque-full fallback).
+    fn into_func(self) -> F {
+        self.func.into_inner().expect("job already executed")
+    }
+
+    /// Only valid once the latch is set.
+    fn into_result(self) -> std::thread::Result<R> {
+        self.result.into_inner().expect("join finished without a result")
+    }
+}
+
+/// Runs a claimed job. Never unwinds: the job's own `catch_unwind` confines
+/// panics to its `result` slot.
+pub(crate) fn execute(job: JobRef) {
+    unsafe { job.execute() }
+}
+
+// ---- latch --------------------------------------------------------------
+
+/// Set-once completion flag. Blocking waiters share the registry-wide
+/// condvar, so setting a latch never touches the (stack-allocated, possibly
+/// about-to-be-freed) latch after the store — only registry statics.
+struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch { done: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn set(&self, registry: &Registry) {
+        self.done.store(true, Ordering::Release);
+        registry.notify_latch_waiters();
+    }
+}
+
+// ---- registry -----------------------------------------------------------
+
+thread_local! {
+    /// This thread's worker index, or `usize::MAX` for external threads.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn current_worker() -> Option<usize> {
+    let i = WORKER_INDEX.with(Cell::get);
+    (i != usize::MAX).then_some(i)
+}
+
+pub(crate) struct Registry {
+    deques: Vec<WorkerDeque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    num_threads: usize,
+    /// Rotates steal start positions so thieves spread over victims.
+    steal_seed: AtomicUsize,
+    /// Idle-worker parking. `sleepers` gates the notify fast path.
+    sleepers: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    /// Joiners blocked on a stolen job's latch.
+    latch_waiters: AtomicUsize,
+    latch_mutex: Mutex<()>,
+    latch_cond: Condvar,
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+
+/// The process-wide pool, spawning its workers on first use.
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let num_threads = configured_threads();
+        let workers = if num_threads > 1 { num_threads } else { 0 };
+        let registry: &'static Registry = Box::leak(Box::new(Registry {
+            deques: (0..workers).map(|_| WorkerDeque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            num_threads,
+            steal_seed: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            latch_waiters: AtomicUsize::new(0),
+            latch_mutex: Mutex::new(()),
+            latch_cond: Condvar::new(),
+        }));
+        for index in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rs-worker-{index}"))
+                .spawn(move || worker_main(registry, index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    })
+}
+
+/// `RS_NUM_THREADS` (positive integer) or the machine's parallelism.
+fn configured_threads() -> usize {
+    match std::env::var("RS_NUM_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+impl Registry {
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Claims any pending job: injector first (keeps external submissions
+    /// flowing), then a rotating sweep of the worker deques.
+    fn steal(&self, exclude: Option<usize>) -> Option<JobRef> {
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if Some(i) == exclude {
+                continue;
+            }
+            if let Some(job) = self.deques[i].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_new_job();
+    }
+
+    /// Removes a specific injected job, if no worker claimed it yet.
+    fn take_injected(&self, job: JobRef) -> bool {
+        let mut queue = self.injector.lock().unwrap();
+        match queue.iter().position(|&j| j == job) {
+            Some(i) => {
+                queue.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn has_visible_work(&self) -> bool {
+        self.deques.iter().any(WorkerDeque::has_jobs) || !self.injector.lock().unwrap().is_empty()
+    }
+
+    /// Wakes parked workers after publishing a job. The lock acquire/release
+    /// pairs with the sleeper's re-check under the same mutex; the parked
+    /// side additionally uses a bounded timeout as a lost-wakeup backstop.
+    fn notify_new_job(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep_mutex.lock().unwrap());
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    fn notify_latch_waiters(&self) {
+        if self.latch_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.latch_mutex.lock().unwrap());
+            self.latch_cond.notify_all();
+        }
+    }
+}
+
+fn worker_main(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|c| c.set(index));
+    loop {
+        if let Some(job) = registry.deques[index].take().or_else(|| registry.steal(Some(index))) {
+            execute(job);
+            continue;
+        }
+        // Idle: register as sleeping, re-check (a publisher that missed our
+        // registration races the check), then park with a bounded timeout.
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
+        if registry.has_visible_work() {
+            registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let guard = registry.sleep_mutex.lock().unwrap();
+        let _ = registry.sleep_cond.wait_timeout(guard, Duration::from_millis(5)).unwrap();
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Blocks until `latch` is set, executing any claimable pool work while
+/// waiting (so a joiner whose job was stolen keeps the pool saturated and
+/// can never deadlock it).
+fn wait_while_helping(registry: &'static Registry, latch: &Latch, worker: Option<usize>) {
+    while !latch.probe() {
+        if let Some(job) = registry.steal(worker) {
+            execute(job);
+            continue;
+        }
+        registry.latch_waiters.fetch_add(1, Ordering::SeqCst);
+        if !latch.probe() {
+            let guard = registry.latch_mutex.lock().unwrap();
+            if !latch.probe() {
+                let _ = registry.latch_cond.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+            }
+        }
+        registry.latch_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---- join ---------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Submitted {
+    /// Pushed on this worker's own deque.
+    Local(usize),
+    /// Pushed on the injector by an external (non-worker) thread.
+    Injected,
+}
+
+/// Ensures the published `b` job is executed before the `join` frame is
+/// left — on the normal path *and* when `a` panics. The job borrows this
+/// very stack frame, so unwinding past it with the job pending would be a
+/// use-after-free; the guard converts that hazard into "wait, helping with
+/// other work". This is also what keeps the pool usable after a panic:
+/// nothing is leaked, no budget to restore.
+struct JoinGuard<'a> {
+    registry: &'static Registry,
+    job: JobRef,
+    latch: &'a Latch,
+    submitted: Submitted,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        if self.latch.probe() {
+            return;
+        }
+        match self.submitted {
+            Submitted::Local(worker) => {
+                // LIFO pop: the top is our job unless a thief claimed it.
+                // Anything else popped is an ancestor frame's still-pending
+                // job — executing it inline is safe (its owner waits on its
+                // latch) and productive.
+                while !self.latch.probe() {
+                    match self.registry.deques[worker].take() {
+                        Some(popped) => {
+                            let ours = popped == self.job;
+                            execute(popped);
+                            if ours {
+                                return;
+                            }
+                        }
+                        None => {
+                            wait_while_helping(self.registry, self.latch, Some(worker));
+                            return;
+                        }
+                    }
+                }
+            }
+            Submitted::Injected => {
+                if self.registry.take_injected(self.job) {
+                    execute(self.job);
+                } else {
+                    wait_while_helping(self.registry, self.latch, None);
+                }
+            }
+        }
+    }
+}
+
+/// Fork-join on the pool; see [`crate::join`] for the public contract.
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = global();
+    if registry.num_threads <= 1 {
+        return (a(), b());
+    }
+    let job_b = StackJob::new(b);
+    // SAFETY: the JoinGuard below pins this frame until job_b executed.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    let submitted = match current_worker() {
+        Some(worker) => match registry.deques[worker].push(job_ref) {
+            Ok(()) => {
+                registry.notify_new_job();
+                Submitted::Local(worker)
+            }
+            Err(_) => {
+                // Deque full (pathological recursion depth): run in order,
+                // sequentially.
+                let ra = a();
+                return (ra, job_b.into_func()());
+            }
+        },
+        None => {
+            registry.inject(job_ref);
+            Submitted::Injected
+        }
+    };
+    let ra = {
+        let _guard = JoinGuard { registry, job: job_ref, latch: &job_b.latch, submitted };
+        a()
+        // _guard drops here: b is executed/awaited whether or not `a`
+        // unwound, after which reading its result (or freeing the frame
+        // during an unwind) is sound.
+    };
+    match job_b.into_result() {
+        Ok(rb) => (ra, rb),
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
