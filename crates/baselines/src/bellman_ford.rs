@@ -11,8 +11,9 @@
 //! *substeps* (`stats.steps = 1`, `stats.substeps = rounds`).
 
 use rs_core::stats::{SsspResult, StepStats};
+use rs_core::SolverScratch;
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
-use rs_par::{atomic_vec, par_min, VertexSubset};
+use rs_par::{par_min, VertexSubset};
 
 /// Parallel Bellman–Ford. Rounds until fixpoint land in
 /// `stats.substeps` (and `stats.max_substeps_in_step`); `stats.steps = 1`.
@@ -32,56 +33,76 @@ pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> SsspResult {
 /// (plus the rounds where cheaper subtrees were still draining), instead of
 /// the graph-wide hop depth. Other entries remain valid upper bounds.
 pub fn bellman_ford_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
+    bellman_ford_scratch(g, s, goal, &mut SolverScratch::new())
+}
+
+/// The full Bellman–Ford worker on reusable scratch state: the atomic
+/// tentative distances and the per-round snapshot buffer come from
+/// `scratch`, so a warm batch run allocates no distance array per source.
+pub fn bellman_ford_scratch(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: Option<VertexId>,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
     let n = g.num_vertices();
-    let dist = atomic_vec(n, INF);
-    dist[s as usize].store(0);
-    let mut frontier = VertexSubset::single(n, s);
-    // Per-round snapshot of source distances: rounds are synchronous
-    // (Jacobi) so the round count is schedule-independent.
-    let mut snapshot: Vec<Dist> = vec![INF; n];
+    rs_core::scratch::assert_distance_range(g);
+    scratch.begin(n);
+    let out_dist;
     let mut rounds = 0;
     let mut relaxations = 0u64;
-    while !frontier.is_empty() {
-        // One materialisation per round, shared by the early-exit check and
-        // the snapshot pass.
-        let ids = frontier.to_ids();
-        if let Some(goal) = goal {
-            let goal_dist = dist[goal as usize].load();
-            if goal_dist != INF {
-                let frontier_min = par_min(ids.len(), |i| dist[ids[i] as usize].load());
-                if frontier_min >= goal_dist {
-                    break;
+    {
+        let view = scratch.view();
+        let dist = view.dist;
+        // Per-round snapshot of source distances: rounds are synchronous
+        // (Jacobi) so the round count is schedule-independent. Stale
+        // entries are fine — only this round's frontier is written/read.
+        let snapshot = view.dists;
+        dist.store(s as usize, 0);
+        let mut frontier = VertexSubset::single(n, s);
+        while !frontier.is_empty() {
+            // One materialisation per round, shared by the early-exit check
+            // and the snapshot pass.
+            let ids = frontier.to_ids();
+            if let Some(goal) = goal {
+                let goal_dist = dist.load(goal as usize);
+                if goal_dist != INF {
+                    let frontier_min = par_min(ids.len(), |i| dist.load(ids[i] as usize));
+                    if frontier_min >= goal_dist {
+                        break;
+                    }
                 }
             }
+            rounds += 1;
+            for u in ids {
+                snapshot[u as usize] = dist.load(u as usize);
+                relaxations += g.degree(u) as u64;
+            }
+            let snap: &[Dist] = snapshot;
+            frontier = edge_map(
+                g,
+                &frontier,
+                |u, v, w| {
+                    let cand = snap[u as usize].saturating_add(w as Dist);
+                    dist.write_min(v as usize, cand)
+                },
+                |_| true,
+            );
+            debug_assert!(rounds <= n, "negative cycle impossible with positive weights");
         }
-        rounds += 1;
-        for u in ids {
-            snapshot[u as usize] = dist[u as usize].load();
-            relaxations += g.degree(u) as u64;
-        }
-        let snap = &snapshot;
-        frontier = edge_map(
-            g,
-            &frontier,
-            |u, v, w| {
-                let cand = snap[u as usize].saturating_add(w as Dist);
-                dist[v as usize].write_min(cand)
-            },
-            |_| true,
-        );
-        debug_assert!(rounds <= n, "negative cycle impossible with positive weights");
+        out_dist = dist.snapshot(n);
     }
-    let dist: Vec<Dist> = dist.iter().map(|d| d.load()).collect();
-    let settled = dist.iter().filter(|&&d| d != INF).count();
+    let settled = out_dist.iter().filter(|&&d| d != INF).count();
     let stats = StepStats {
         steps: 1,
         substeps: rounds,
         max_substeps_in_step: rounds,
         relaxations,
         settled,
+        scratch_reused: scratch.finish(),
         trace: None,
     };
-    SsspResult::new(dist, stats)
+    SsspResult::new(out_dist, stats)
 }
 
 #[cfg(test)]

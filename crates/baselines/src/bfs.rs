@@ -12,8 +12,9 @@
 use std::collections::VecDeque;
 
 use rs_core::stats::{SsspResult, StepStats};
+use rs_core::SolverScratch;
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
-use rs_par::{AtomicBitset, VertexSubset};
+use rs_par::VertexSubset;
 
 /// Sequential BFS; returns hop distances (`INF` if unreachable).
 pub fn bfs_seq(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
@@ -35,28 +36,49 @@ pub fn bfs_seq(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
 /// Level-synchronous parallel BFS, optionally stopping once `goal` has its
 /// level assigned (levels settle in order, so the value is final).
 pub fn bfs_par_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
+    bfs_scratch(g, s, goal, &mut SolverScratch::new())
+}
+
+/// The full BFS worker on reusable scratch state (the visited set comes
+/// from `scratch`; the level array doubles as the result and is the one
+/// per-solve output allocation).
+pub fn bfs_scratch(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: Option<VertexId>,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
     let n = g.num_vertices();
-    let visited = AtomicBitset::new(n);
-    visited.set(s as usize);
+    scratch.begin(n);
     let mut dist = vec![INF; n];
-    dist[s as usize] = 0;
-    let mut frontier = VertexSubset::single(n, s);
-    let mut level: Dist = 0;
     let mut rounds = 0;
     let mut relaxations = 0u64;
-    while !frontier.is_empty() {
-        if goal.is_some_and(|t| dist[t as usize] != INF) {
-            break;
-        }
-        rounds += 1;
-        level += 1;
-        for u in frontier.to_ids() {
-            relaxations += g.degree(u) as u64;
-        }
-        frontier =
-            edge_map(g, &frontier, |_, v, _| visited.set(v as usize), |v| !visited.get(v as usize));
-        for v in frontier.to_ids() {
-            dist[v as usize] = level;
+    {
+        // Lean accessor: a BFS-only scratch materialises just the visited
+        // bitset, not the 16-bytes-per-vertex distance structures.
+        let visited = scratch.visited_set();
+        visited.set(s as usize);
+        dist[s as usize] = 0;
+        let mut frontier = VertexSubset::single(n, s);
+        let mut level: Dist = 0;
+        while !frontier.is_empty() {
+            if goal.is_some_and(|t| dist[t as usize] != INF) {
+                break;
+            }
+            rounds += 1;
+            level += 1;
+            for u in frontier.to_ids() {
+                relaxations += g.degree(u) as u64;
+            }
+            frontier = edge_map(
+                g,
+                &frontier,
+                |_, v, _| visited.set(v as usize),
+                |v| !visited.get(v as usize),
+            );
+            for v in frontier.to_ids() {
+                dist[v as usize] = level;
+            }
         }
     }
     let settled = dist.iter().filter(|&&d| d != INF).count();
@@ -66,6 +88,7 @@ pub fn bfs_par_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> Sss
         max_substeps_in_step: rounds.min(1),
         relaxations,
         settled,
+        scratch_reused: scratch.finish(),
         trace: None,
     };
     SsspResult::new(dist, stats)

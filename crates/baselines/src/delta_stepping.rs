@@ -15,9 +15,9 @@
 
 use rayon::prelude::*;
 
-use rs_ds::BucketQueue;
+use rs_core::SolverScratch;
 use rs_graph::{CsrGraph, Dist, VertexId, Weight, INF};
-use rs_par::{atomic_vec, AtomicBitset};
+use rs_par::{AtomicBitset, EpochMinArray};
 
 /// Outcome of a ∆-stepping run.
 #[derive(Debug, Clone)]
@@ -33,6 +33,9 @@ pub struct DeltaSteppingResult {
     pub max_phases_in_bucket: usize,
     /// Edge relaxations attempted.
     pub relaxations: u64,
+    /// True iff the run reused pre-allocated scratch state throughout
+    /// (see [`rs_core::StepStats::scratch_reused`]).
+    pub scratch_reused: bool,
 }
 
 /// Runs ∆-stepping from `source` with bucket width `delta`.
@@ -40,98 +43,126 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: Dist) -> DeltaStepp
     delta_stepping_to_goal(g, source, delta, None)
 }
 
-/// [`delta_stepping`], optionally stopping once `goal` is settled: when the
-/// scan reaches a bucket strictly beyond `goal`'s tentative distance, that
-/// distance is final (every remaining tentative value is at least the
-/// bucket's lower bound).
+/// [`delta_stepping`], optionally stopping once `goal` is settled.
 pub fn delta_stepping_to_goal(
     g: &CsrGraph,
     source: VertexId,
     delta: Dist,
     goal: Option<VertexId>,
 ) -> DeltaSteppingResult {
+    delta_stepping_scratch(g, source, delta, goal, &mut SolverScratch::new())
+}
+
+/// The full ∆-stepping worker on reusable scratch state: the tentative
+/// distances, the heavy-settled bitset and the bucket queue all come from
+/// `scratch`, so a warm batch run allocates nothing per source. Optionally
+/// stops once `goal` is settled: when the scan reaches a bucket strictly
+/// beyond `goal`'s tentative distance, that distance is final (every
+/// remaining tentative value is at least the bucket's lower bound).
+pub fn delta_stepping_scratch(
+    g: &CsrGraph,
+    source: VertexId,
+    delta: Dist,
+    goal: Option<VertexId>,
+    scratch: &mut SolverScratch,
+) -> DeltaSteppingResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
-    let dist = atomic_vec(n, INF);
-    let settled_heavy = AtomicBitset::new(n); // vertices whose heavy edges were relaxed
-    let mut queue = BucketQueue::new(n, delta, g.max_weight() as u64);
+    rs_core::scratch::assert_distance_range(g);
+    scratch.begin(n);
+    let mut queue = scratch.checkout_bucket(delta, g.max_weight() as u64);
     let mut buckets = 0;
     let mut phases = 0;
     let mut max_phases = 0;
     let mut relaxations = 0u64;
+    let out_dist;
+    {
+        let view = scratch.view();
+        let dist = view.dist;
+        let settled_heavy = view.settled; // vertices whose heavy edges were relaxed
+        let claimed = view.mark_a; // per-phase dedup, self-cleaning in relax_edges
 
-    dist[source as usize].store(0);
-    queue.insert_or_decrease(source, 0);
+        dist.store(source as usize, 0);
+        queue.insert_or_decrease(source, 0);
 
-    let light = |w: Weight| (w as Dist) <= delta;
+        let light = |w: Weight| (w as Dist) <= delta;
 
-    while let Some(b) = queue.next_nonempty_bucket() {
-        if goal.is_some_and(|t| {
-            let dt = dist[t as usize].load();
-            dt != INF && queue.bucket_of(dt) < b
-        }) {
-            break;
-        }
-        buckets += 1;
-        // Light phases: drain bucket b until it stays empty.
-        let mut settled_here: Vec<VertexId> = Vec::new();
-        let mut phases_here = 0;
-        loop {
-            let frontier = queue.take_bucket(b);
-            if frontier.is_empty() {
+        while let Some(b) = queue.next_nonempty_bucket() {
+            if goal.is_some_and(|t| {
+                let dt = dist.load(t as usize);
+                dt != INF && queue.bucket_of(dt) < b
+            }) {
                 break;
             }
-            phases += 1;
-            phases_here += 1;
-            relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-            let updated = relax_edges(g, &dist, &frontier, light);
-            settled_here.extend_from_slice(&frontier);
-            // Re-bucket updated vertices; ones falling into bucket b loop.
-            for (v, d) in updated {
-                if queue.bucket_of(d) >= b {
-                    queue.insert_or_decrease(v, d);
+            buckets += 1;
+            // Light phases: drain bucket b until it stays empty.
+            let mut settled_here: Vec<VertexId> = Vec::new();
+            let mut phases_here = 0;
+            loop {
+                let frontier = queue.take_bucket(b);
+                if frontier.is_empty() {
+                    break;
+                }
+                phases += 1;
+                phases_here += 1;
+                relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+                let updated = relax_edges(g, dist, claimed, &frontier, light);
+                settled_here.extend_from_slice(&frontier);
+                // Re-bucket updated vertices; ones falling into bucket b
+                // loop.
+                for (v, d) in updated {
+                    if queue.bucket_of(d) >= b {
+                        queue.insert_or_decrease(v, d);
+                    }
                 }
             }
+            max_phases = max_phases.max(phases_here);
+            // Heavy phase: relax heavy edges of everything settled in
+            // bucket b.
+            let heavy_sources: Vec<VertexId> =
+                settled_here.into_iter().filter(|&v| settled_heavy.set(v as usize)).collect();
+            relaxations += heavy_sources.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+            let updated = relax_edges(g, dist, claimed, &heavy_sources, |w| !light(w));
+            for (v, d) in updated {
+                queue.insert_or_decrease(v, d);
+            }
         }
-        max_phases = max_phases.max(phases_here);
-        // Heavy phase: relax heavy edges of everything settled in bucket b.
-        let heavy_sources: Vec<VertexId> =
-            settled_here.into_iter().filter(|&v| settled_heavy.set(v as usize)).collect();
-        relaxations += heavy_sources.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-        let updated = relax_edges(g, &dist, &heavy_sources, |w| !light(w));
-        for (v, d) in updated {
-            queue.insert_or_decrease(v, d);
-        }
-    }
 
+        out_dist = dist.snapshot(n);
+    }
+    scratch.return_bucket(queue);
     DeltaSteppingResult {
-        dist: dist.iter().map(|d| d.load()).collect(),
+        dist: out_dist,
         buckets,
         phases,
         max_phases_in_bucket: max_phases,
         relaxations,
+        scratch_reused: scratch.finish(),
     }
 }
 
 /// Relaxes the `keep`-filtered out-edges of `sources` in parallel;
 /// returns each improved vertex once with its new tentative distance.
+/// `claimed` must arrive all-clear and is handed back all-clear (bits are
+/// reset for exactly the touched vertices), so one scratch bitset serves
+/// every phase without an `O(n)` sweep.
 fn relax_edges<F>(
     g: &CsrGraph,
-    dist: &[rs_par::AtomicMinU64],
+    dist: &EpochMinArray,
+    claimed: &AtomicBitset,
     sources: &[VertexId],
     keep: F,
 ) -> Vec<(VertexId, Dist)>
 where
     F: Fn(Weight) -> bool + Sync,
 {
-    let claimed = AtomicBitset::new(g.num_vertices());
     // Snapshot source distances so each phase is synchronous and the phase
     // count is schedule-independent.
     let snapshot: Vec<(VertexId, Dist)> =
-        sources.iter().map(|&u| (u, dist[u as usize].load())).collect();
+        sources.iter().map(|&u| (u, dist.load(u as usize))).collect();
     let relax_one = |acc: &mut Vec<VertexId>, (u, du): (VertexId, Dist)| {
         for (v, w) in g.edges(u) {
-            if keep(w) && dist[v as usize].write_min(du + w as Dist) && claimed.set(v as usize) {
+            if keep(w) && dist.write_min(v as usize, du + w as Dist) && claimed.set(v as usize) {
                 acc.push(v);
             }
         }
@@ -154,7 +185,13 @@ where
                 a
             })
     };
-    touched.into_iter().map(|v| (v, dist[v as usize].load())).collect()
+    touched
+        .into_iter()
+        .map(|v| {
+            claimed.clear(v as usize);
+            (v, dist.load(v as usize))
+        })
+        .collect()
 }
 
 #[cfg(test)]

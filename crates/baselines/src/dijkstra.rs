@@ -11,15 +11,19 @@ use rs_graph::{CsrGraph, Dist, VertexId, INF};
 /// The one relaxation loop behind every public variant (the same
 /// worker-plus-wrappers shape as `bfs_par_to_goal` and
 /// `delta_stepping_to_goal`): optionally stops once `goal` is popped, and
-/// reports the pops (settled count) and attempted edge relaxations.
-pub fn dijkstra_with_goal<H: DecreaseKeyHeap>(
+/// reports the pops (settled count) and attempted edge relaxations. The
+/// heap is caller-provided (and must arrive empty with capacity ≥ `n`) so
+/// batch workloads can reuse one heap across sources — see
+/// [`rs_core::SolverScratch`].
+pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
     g: &CsrGraph,
     s: VertexId,
     goal: Option<VertexId>,
+    heap: &mut H,
 ) -> (Vec<Dist>, usize, u64) {
     let n = g.num_vertices();
+    debug_assert!(heap.is_empty() && heap.capacity() >= n, "heap must arrive empty and sized");
     let mut dist = vec![INF; n];
-    let mut heap = H::with_capacity(n);
     let mut settled = 0;
     let mut relaxations = 0u64;
     dist[s as usize] = 0;
@@ -40,6 +44,15 @@ pub fn dijkstra_with_goal<H: DecreaseKeyHeap>(
         }
     }
     (dist, settled, relaxations)
+}
+
+/// [`dijkstra_into_heap`] with a freshly allocated heap.
+pub fn dijkstra_with_goal<H: DecreaseKeyHeap>(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: Option<VertexId>,
+) -> (Vec<Dist>, usize, u64) {
+    dijkstra_into_heap(g, s, goal, &mut H::with_capacity(g.num_vertices()))
 }
 
 /// Single-source shortest paths with heap `H`; `dist[v] = INF` if

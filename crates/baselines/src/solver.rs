@@ -17,17 +17,19 @@
 //! | Bellman–Ford   | 1 (paper framing)  | relaxation rounds |
 //! | BFS            | levels             | = steps           |
 
+use rs_core::scratch::ScratchHeap;
 use rs_core::solver::{
     Algorithm, HeapKind, RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
 };
 use rs_core::stats::{SsspResult, StepStats};
-use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
+use rs_core::SolverScratch;
+use rs_ds::{DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap};
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-use crate::bellman_ford::bellman_ford_to_goal;
-use crate::bfs::bfs_par_to_goal;
-use crate::delta_stepping::{delta_stepping_to_goal, DeltaSteppingResult};
-use crate::dijkstra::dijkstra_with_goal;
+use crate::bellman_ford::{bellman_ford_scratch, bellman_ford_to_goal};
+use crate::bfs::{bfs_par_to_goal, bfs_scratch};
+use crate::delta_stepping::{delta_stepping_scratch, delta_stepping_to_goal, DeltaSteppingResult};
+use crate::dijkstra::{dijkstra_into_heap, dijkstra_with_goal};
 
 /// Completes [`SolverBuilder`] with a `build()` covering every
 /// [`Algorithm`] variant (the baseline adapters are defined here, above
@@ -80,12 +82,13 @@ pub struct DijkstraSolver<'g> {
 }
 
 impl DijkstraSolver<'_> {
-    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
-        let (dist, settled, relaxations) = match self.heap {
-            HeapKind::Dary => dijkstra_with_goal::<DaryHeap>(&self.graph, source, goal),
-            HeapKind::Pairing => dijkstra_with_goal::<PairingHeap>(&self.graph, source, goal),
-            HeapKind::Fibonacci => dijkstra_with_goal::<FibonacciHeap>(&self.graph, source, goal),
-        };
+    fn finish(
+        &self,
+        dist: Vec<Dist>,
+        settled: usize,
+        relaxations: u64,
+        reused: bool,
+    ) -> SsspResult {
         // Dijkstra settles one vertex per extraction: steps = settled.
         let stats = StepStats {
             steps: settled,
@@ -93,9 +96,31 @@ impl DijkstraSolver<'_> {
             max_substeps_in_step: settled.min(1),
             relaxations,
             settled,
+            scratch_reused: reused,
             trace: None,
         };
         self.config.finish(&self.graph, SsspResult::new(dist, stats))
+    }
+
+    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
+        let (dist, settled, relaxations) = match self.heap {
+            HeapKind::Dary => dijkstra_with_goal::<DaryHeap>(&self.graph, source, goal),
+            HeapKind::Pairing => dijkstra_with_goal::<PairingHeap>(&self.graph, source, goal),
+            HeapKind::Fibonacci => dijkstra_with_goal::<FibonacciHeap>(&self.graph, source, goal),
+        };
+        self.finish(dist, settled, relaxations, false)
+    }
+
+    fn run_scratch<H: ScratchHeap + DecreaseKeyHeap>(
+        &self,
+        source: VertexId,
+        scratch: &mut SolverScratch,
+    ) -> (Vec<Dist>, usize, u64, bool) {
+        scratch.begin(self.graph.num_vertices());
+        let mut heap: H = scratch.checkout_heap();
+        let (dist, settled, relaxations) = dijkstra_into_heap(&self.graph, source, None, &mut heap);
+        scratch.return_heap(heap);
+        (dist, settled, relaxations, scratch.finish())
     }
 }
 
@@ -115,6 +140,15 @@ impl SsspSolver for DijkstraSolver<'_> {
     fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
         self.run(source, Some(goal))
     }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        let (dist, settled, relaxations, reused) = match self.heap {
+            HeapKind::Dary => self.run_scratch::<DaryHeap>(source, scratch),
+            HeapKind::Pairing => self.run_scratch::<PairingHeap>(source, scratch),
+            HeapKind::Fibonacci => self.run_scratch::<FibonacciHeap>(source, scratch),
+        };
+        self.finish(dist, settled, relaxations, reused)
+    }
 }
 
 /// Meyer–Sanders ∆-stepping behind the solver interface.
@@ -133,6 +167,7 @@ impl DeltaSteppingSolver<'_> {
             max_substeps_in_step: out.max_phases_in_bucket,
             relaxations: out.relaxations,
             settled,
+            scratch_reused: out.scratch_reused,
             trace: None,
         };
         self.config.finish(&self.graph, SsspResult::new(out.dist, stats))
@@ -154,6 +189,10 @@ impl SsspSolver for DeltaSteppingSolver<'_> {
 
     fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
         self.finish(delta_stepping_to_goal(&self.graph, source, self.delta, Some(goal)))
+    }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        self.finish(delta_stepping_scratch(&self.graph, source, self.delta, None, scratch))
     }
 }
 
@@ -182,6 +221,10 @@ impl SsspSolver for BellmanFordSolver<'_> {
 
     fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
         self.config.finish(&self.graph, bellman_ford_to_goal(&self.graph, source, Some(goal)))
+    }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        self.config.finish(&self.graph, bellman_ford_scratch(&self.graph, source, None, scratch))
     }
 }
 
@@ -220,6 +263,10 @@ impl SsspSolver for BfsSolver<'_> {
 
     fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
         self.config.finish(&self.graph, bfs_par_to_goal(&self.graph, source, Some(goal)))
+    }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        self.config.finish(&self.graph, bfs_scratch(&self.graph, source, None, scratch))
     }
 }
 

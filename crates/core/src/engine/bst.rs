@@ -17,10 +17,11 @@
 use rayon::prelude::*;
 
 use rs_ds::Treap;
-use rs_graph::{CsrGraph, Dist, VertexId, INF};
-use rs_par::{atomic_vec, AtomicBitset};
+use rs_graph::{CsrGraph, Dist, VertexId};
+use rs_par::{AtomicBitset, EpochMinArray};
 
 use crate::radii::RadiiSpec;
+use crate::scratch::SolverScratch;
 use crate::stats::{SsspResult, StepStats, StepTrace};
 use crate::EngineConfig;
 
@@ -32,150 +33,175 @@ pub(crate) fn run(
     source: VertexId,
     config: EngineConfig,
 ) -> SsspResult {
+    run_with(g, radii, source, config, &mut SolverScratch::new())
+}
+
+pub(crate) fn run_with(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
     let n = g.num_vertices();
-    let dist = atomic_vec(n, INF);
-    let settled = AtomicBitset::new(n);
-    let in_active = AtomicBitset::new(n);
-    let touched = AtomicBitset::new(n);
-    // Membership + current key of each vertex in Q (and, shifted by r, R).
-    let in_q = AtomicBitset::new(n);
-    let mut qkey: Vec<Dist> = vec![INF; n];
-
+    crate::scratch::assert_distance_range(g);
+    scratch.begin(n);
     let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
+    let out_dist;
+    {
+        let view = scratch.view();
+        let dist = view.dist;
+        let settled = view.settled;
+        let in_active = view.mark_a;
+        let touched = view.mark_b;
+        // Membership + current key of each vertex in Q (and, shifted by r,
+        // R). `qkey` is the scratch's stale distance buffer: an entry is
+        // only read while its `in_q` bit is set, and the bit is only set
+        // after the entry was written this solve.
+        let in_q = view.mark_c;
+        let qkey = view.dists;
+        let active = view.verts_a;
 
-    // Lines 1–4: settle the source; Q/R seeded with its neighbours.
-    dist[source as usize].store(0);
-    settled.set(source as usize);
-    stats.settled = 1;
-    stats.relaxations += g.degree(source) as u64;
-    let mut q_inserts: Vec<(Dist, VertexId)> = Vec::new();
-    for (v, w) in g.edges(source) {
-        dist[v as usize].write_min(w as Dist);
-        if in_q.set(v as usize) {
-            qkey[v as usize] = w as Dist;
-            q_inserts.push((w as Dist, v));
-        }
-    }
-    q_inserts.sort_unstable();
-    let mut q = Treap::from_sorted(&q_inserts);
-    let mut r_inserts: Vec<(Dist, VertexId)> =
-        q_inserts.iter().map(|&(d, v)| (radii.key(v, d), v)).collect();
-    r_inserts.sort_unstable();
-    let mut r = Treap::from_sorted(&r_inserts);
-
-    while !q.is_empty() {
-        debug_assert_eq!(q.len(), r.len(), "Q and R must stay in lockstep");
-        // Early exit for goal-bounded solves (settled distances are final).
-        if config.goal.is_some_and(|g| settled.get(g as usize)) {
-            break;
-        }
-        // Line 6: d_i from R's minimum (the lead vertex attains it).
-        let di = r.min().expect("Q nonempty implies R nonempty").0;
-
-        // Line 7: {A_i, Q} = Q.split(d_i).
-        let a_i = q.split_at_most(di);
-        let mut active: Vec<VertexId> = a_i.to_vec().iter().map(|&(_, v)| v).collect();
-        // Line 8: remove A_i's entries from R (batched difference).
-        let mut r_removals: Vec<(Dist, VertexId)> =
-            active.iter().map(|&v| (radii.key(v, qkey[v as usize]), v)).collect();
-        r_removals.sort_unstable();
-        r = Treap::difference(r, Treap::from_sorted(&r_removals));
-        for &v in &active {
-            in_q.clear(v as usize);
-            in_active.set(v as usize);
-        }
-
-        // Lines 9–19: substeps.
-        let mut dirty: Vec<VertexId> = active.clone();
-        let mut substeps = 0;
-        loop {
-            substeps += 1;
-            stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-            // Synchronous substep: snapshot source distances first, so the
-            // substep count is schedule-independent (as in `frontier`).
-            let snapshot: Vec<(VertexId, Dist)> =
-                dirty.iter().map(|&u| (u, dist[u as usize].load())).collect();
-            let claimed = relax_parallel(g, &dist, &settled, &touched, &snapshot);
-
-            // Apply phase: reconcile every claimed vertex with Q/R, exactly
-            // the three cases of §3.3.
-            let mut next_dirty: Vec<VertexId> = Vec::new();
-            let mut any_le = false;
-            let mut q_remove: Vec<(Dist, VertexId)> = Vec::new();
-            let mut r_remove: Vec<(Dist, VertexId)> = Vec::new();
-            let mut q_insert: Vec<(Dist, VertexId)> = Vec::new();
-            let mut r_insert: Vec<(Dist, VertexId)> = Vec::new();
-            for &v in &claimed {
-                touched.clear(v as usize);
-                let new = dist[v as usize].load();
-                if new <= di {
-                    any_le = true;
-                }
-                if in_active.get(v as usize) {
-                    // Case (1): already active — only its δ changed.
-                    debug_assert!(new <= di);
-                    next_dirty.push(v);
-                    continue;
-                }
-                let was_in_q = in_q.get(v as usize);
-                if was_in_q {
-                    q_remove.push((qkey[v as usize], v));
-                    r_remove.push((radii.key(v, qkey[v as usize]), v));
-                }
-                if new <= di {
-                    // Case (2): crossed the round distance — joins A_i.
-                    in_q.clear(v as usize);
-                    in_active.set(v as usize);
-                    active.push(v);
-                    next_dirty.push(v);
-                } else {
-                    // Case (3): decrease-key in Q and R (or fresh insert).
-                    q_insert.push((new, v));
-                    r_insert.push((radii.key(v, new), v));
-                    qkey[v as usize] = new;
-                    in_q.set(v as usize);
-                }
+        // Lines 1–4: settle the source; Q/R seeded with its neighbours.
+        dist.store(source as usize, 0);
+        settled.set(source as usize);
+        stats.settled = 1;
+        stats.relaxations += g.degree(source) as u64;
+        let mut q_inserts: Vec<(Dist, VertexId)> = Vec::new();
+        for (v, w) in g.edges(source) {
+            dist.write_min(v as usize, w as Dist);
+            if in_q.set(v as usize) {
+                qkey[v as usize] = w as Dist;
+                q_inserts.push((w as Dist, v));
             }
-            if !q_remove.is_empty() {
-                q_remove.sort_unstable();
-                r_remove.sort_unstable();
-                q = Treap::difference(q, Treap::from_sorted(&q_remove));
-                r = Treap::difference(r, Treap::from_sorted(&r_remove));
-            }
-            if !q_insert.is_empty() {
-                q_insert.sort_unstable();
-                r_insert.sort_unstable();
-                q = Treap::union(q, Treap::from_sorted(&q_insert));
-                r = Treap::union(r, Treap::from_sorted(&r_insert));
-            }
-            dirty = next_dirty;
-            if !any_le {
+        }
+        q_inserts.sort_unstable();
+        let mut q = Treap::from_sorted(&q_inserts);
+        let mut r_inserts: Vec<(Dist, VertexId)> =
+            q_inserts.iter().map(|&(d, v)| (radii.key(v, d), v)).collect();
+        r_inserts.sort_unstable();
+        let mut r = Treap::from_sorted(&r_inserts);
+
+        while !q.is_empty() {
+            debug_assert_eq!(q.len(), r.len(), "Q and R must stay in lockstep");
+            // Early exit for goal-bounded solves (settled distances are
+            // final).
+            if config.goal.is_some_and(|g| settled.get(g as usize)) {
                 break;
             }
+            // Line 6: d_i from R's minimum (the lead vertex attains it).
+            let di = r.min().expect("Q nonempty implies R nonempty").0;
+
+            // Line 7: {A_i, Q} = Q.split(d_i).
+            let a_i = q.split_at_most(di);
+            active.clear();
+            active.extend(a_i.to_vec().iter().map(|&(_, v)| v));
+            // Line 8: remove A_i's entries from R (batched difference).
+            let mut r_removals: Vec<(Dist, VertexId)> =
+                active.iter().map(|&v| (radii.key(v, qkey[v as usize]), v)).collect();
+            r_removals.sort_unstable();
+            r = Treap::difference(r, Treap::from_sorted(&r_removals));
+            for &v in active.iter() {
+                in_q.clear(v as usize);
+                in_active.set(v as usize);
+            }
+
+            // Lines 9–19: substeps.
+            let mut dirty: Vec<VertexId> = active.clone();
+            let mut substeps = 0;
+            loop {
+                substeps += 1;
+                stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+                // Synchronous substep: snapshot source distances first, so
+                // the substep count is schedule-independent (as in
+                // `frontier`).
+                let snapshot: Vec<(VertexId, Dist)> =
+                    dirty.iter().map(|&u| (u, dist.load(u as usize))).collect();
+                let claimed = relax_parallel(g, dist, settled, touched, &snapshot);
+
+                // Apply phase: reconcile every claimed vertex with Q/R,
+                // exactly the three cases of §3.3.
+                let mut next_dirty: Vec<VertexId> = Vec::new();
+                let mut any_le = false;
+                let mut q_remove: Vec<(Dist, VertexId)> = Vec::new();
+                let mut r_remove: Vec<(Dist, VertexId)> = Vec::new();
+                let mut q_insert: Vec<(Dist, VertexId)> = Vec::new();
+                let mut r_insert: Vec<(Dist, VertexId)> = Vec::new();
+                for &v in &claimed {
+                    touched.clear(v as usize);
+                    let new = dist.load(v as usize);
+                    if new <= di {
+                        any_le = true;
+                    }
+                    if in_active.get(v as usize) {
+                        // Case (1): already active — only its δ changed.
+                        debug_assert!(new <= di);
+                        next_dirty.push(v);
+                        continue;
+                    }
+                    let was_in_q = in_q.get(v as usize);
+                    if was_in_q {
+                        q_remove.push((qkey[v as usize], v));
+                        r_remove.push((radii.key(v, qkey[v as usize]), v));
+                    }
+                    if new <= di {
+                        // Case (2): crossed the round distance — joins A_i.
+                        in_q.clear(v as usize);
+                        in_active.set(v as usize);
+                        active.push(v);
+                        next_dirty.push(v);
+                    } else {
+                        // Case (3): decrease-key in Q and R (or fresh
+                        // insert).
+                        q_insert.push((new, v));
+                        r_insert.push((radii.key(v, new), v));
+                        qkey[v as usize] = new;
+                        in_q.set(v as usize);
+                    }
+                }
+                if !q_remove.is_empty() {
+                    q_remove.sort_unstable();
+                    r_remove.sort_unstable();
+                    q = Treap::difference(q, Treap::from_sorted(&q_remove));
+                    r = Treap::difference(r, Treap::from_sorted(&r_remove));
+                }
+                if !q_insert.is_empty() {
+                    q_insert.sort_unstable();
+                    r_insert.sort_unstable();
+                    q = Treap::union(q, Treap::from_sorted(&q_insert));
+                    r = Treap::union(r, Treap::from_sorted(&r_insert));
+                }
+                dirty = next_dirty;
+                if !any_le {
+                    break;
+                }
+            }
+
+            // Settle the active set.
+            for &v in active.iter() {
+                settled.set(v as usize);
+                in_active.clear(v as usize);
+                debug_assert!(dist.load(v as usize) <= di);
+            }
+            stats.record_step(Some(StepTrace {
+                d_i: di,
+                settled: active.len(),
+                substeps,
+                active_size: active.len(),
+            }));
         }
 
-        // Settle the active set.
-        for &v in &active {
-            settled.set(v as usize);
-            in_active.clear(v as usize);
-            debug_assert!(dist[v as usize].load() <= di);
-        }
-        stats.record_step(Some(StepTrace {
-            d_i: di,
-            settled: active.len(),
-            substeps,
-            active_size: active.len(),
-        }));
+        out_dist = dist.snapshot(n);
     }
-
-    SsspResult::new(dist.iter().map(|d| d.load()).collect(), stats)
+    stats.scratch_reused = scratch.finish();
+    SsspResult::new(out_dist, stats)
 }
 
 /// Parallel relaxation of `dirty`'s out-edges; returns the set of vertices
 /// whose δ dropped, each claimed exactly once via the `touched` bitset.
 fn relax_parallel(
     g: &CsrGraph,
-    dist: &[rs_par::AtomicMinU64],
+    dist: &EpochMinArray,
     settled: &AtomicBitset,
     touched: &AtomicBitset,
     dirty: &[(VertexId, Dist)],
@@ -185,7 +211,7 @@ fn relax_parallel(
             if settled.get(v as usize) {
                 continue;
             }
-            if dist[v as usize].write_min(du + w as Dist) && touched.set(v as usize) {
+            if dist.write_min(v as usize, du + w as Dist) && touched.set(v as usize) {
                 acc.push(v);
             }
         }

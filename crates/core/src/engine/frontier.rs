@@ -22,10 +22,11 @@
 
 use rayon::prelude::*;
 
-use rs_graph::{CsrGraph, Dist, VertexId, INF};
-use rs_par::{atomic_vec, par_min, AtomicBitset};
+use rs_graph::{CsrGraph, Dist, VertexId};
+use rs_par::{par_min, AtomicBitset, EpochMinArray};
 
 use crate::radii::RadiiSpec;
+use crate::scratch::SolverScratch;
 use crate::stats::{SsspResult, StepStats, StepTrace};
 use crate::EngineConfig;
 
@@ -39,98 +40,120 @@ pub(crate) fn run(
     source: VertexId,
     config: EngineConfig,
 ) -> SsspResult {
+    run_with(g, radii, source, config, &mut SolverScratch::new())
+}
+
+pub(crate) fn run_with(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
     let n = g.num_vertices();
-    let dist = atomic_vec(n, INF);
-    let settled = AtomicBitset::new(n);
-    let in_fringe = AtomicBitset::new(n);
-    let in_active = AtomicBitset::new(n);
-    let dirty_mark = AtomicBitset::new(n);
-
+    crate::scratch::assert_distance_range(g);
+    scratch.begin(n);
     let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
+    let out_dist;
+    {
+        let view = scratch.view();
+        let dist = view.dist;
+        let settled = view.settled;
+        let in_fringe = view.mark_a;
+        let in_active = view.mark_b;
+        let dirty_mark = view.mark_c;
+        let fringe = view.verts_a;
+        let active = view.verts_b;
 
-    // Line 1–2: settle the source, relax its neighbours into the fringe.
-    dist[source as usize].store(0);
-    settled.set(source as usize);
-    stats.settled = 1;
-    let mut fringe: Vec<VertexId> = Vec::new();
-    for (v, w) in g.edges(source) {
-        dist[v as usize].write_min(w as Dist);
-        if in_fringe.set(v as usize) {
-            fringe.push(v);
-        }
-    }
-    stats.relaxations += g.degree(source) as u64;
-
-    let mut prev_di: Dist = 0;
-    while !fringe.is_empty() {
-        // Early exit for goal-bounded solves: once the goal is settled its
-        // distance is final (Theorem 3.1's invariant).
-        if config.goal.is_some_and(|g| settled.get(g as usize)) {
-            break;
-        }
-        // Line 4: d_i = min over the fringe of δ(v) + r(v).
-        let di = par_min(fringe.len(), |i| {
-            let v = fringe[i];
-            radii.key(v, dist[v as usize].load())
-        });
-        debug_assert!(stats.steps == 0 || di > prev_di, "round distances must strictly increase");
-        prev_di = di;
-
-        // Active set: fringe vertices with δ ≤ d_i (non-empty: the argmin
-        // vertex has δ ≤ δ + r = d_i).
-        let mut active: Vec<VertexId> =
-            fringe.iter().copied().filter(|&v| dist[v as usize].load() <= di).collect();
-        for &v in &active {
-            in_active.set(v as usize);
-        }
-
-        // Lines 5–9: Bellman–Ford substeps over the annulus. Each substep
-        // relaxes from a snapshot of its sources' distances (synchronous /
-        // Jacobi semantics), so the substep count matches the paper's
-        // definition and is independent of scheduling.
-        let mut dirty: Vec<VertexId> = active.clone();
-        let mut fringe_adds: Vec<VertexId> = Vec::new();
-        let mut substeps = 0;
-        loop {
-            substeps += 1;
-            stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-            let snapshot: Vec<(VertexId, Dist)> =
-                dirty.iter().map(|&u| (u, dist[u as usize].load())).collect();
-            let (next_dirty, adds, any_le) =
-                relax_substep(g, &dist, &settled, &in_fringe, &dirty_mark, &snapshot, di);
-            fringe_adds.extend(adds);
-            for &v in &next_dirty {
-                dirty_mark.clear(v as usize);
-                if in_active.set(v as usize) {
-                    active.push(v);
-                }
+        // Line 1–2: settle the source, relax its neighbours into the fringe.
+        dist.store(source as usize, 0);
+        settled.set(source as usize);
+        stats.settled = 1;
+        for (v, w) in g.edges(source) {
+            dist.write_min(v as usize, w as Dist);
+            if in_fringe.set(v as usize) {
+                fringe.push(v);
             }
-            dirty = next_dirty;
-            if !any_le {
+        }
+        stats.relaxations += g.degree(source) as u64;
+
+        let mut prev_di: Dist = 0;
+        while !fringe.is_empty() {
+            // Early exit for goal-bounded solves: once the goal is settled
+            // its distance is final (Theorem 3.1's invariant).
+            if config.goal.is_some_and(|g| settled.get(g as usize)) {
                 break;
             }
+            // Line 4: d_i = min over the fringe of δ(v) + r(v).
+            let di = par_min(fringe.len(), |i| {
+                let v = fringe[i];
+                radii.key(v, dist.load(v as usize))
+            });
+            debug_assert!(
+                stats.steps == 0 || di > prev_di,
+                "round distances must strictly increase"
+            );
+            prev_di = di;
+
+            // Active set: fringe vertices with δ ≤ d_i (non-empty: the
+            // argmin vertex has δ ≤ δ + r = d_i).
+            active.clear();
+            active.extend(fringe.iter().copied().filter(|&v| dist.load(v as usize) <= di));
+            for &v in active.iter() {
+                in_active.set(v as usize);
+            }
+
+            // Lines 5–9: Bellman–Ford substeps over the annulus. Each
+            // substep relaxes from a snapshot of its sources' distances
+            // (synchronous / Jacobi semantics), so the substep count
+            // matches the paper's definition and is independent of
+            // scheduling.
+            let mut dirty: Vec<VertexId> = active.clone();
+            let mut fringe_adds: Vec<VertexId> = Vec::new();
+            let mut substeps = 0;
+            loop {
+                substeps += 1;
+                stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+                let snapshot: Vec<(VertexId, Dist)> =
+                    dirty.iter().map(|&u| (u, dist.load(u as usize))).collect();
+                let (next_dirty, adds, any_le) =
+                    relax_substep(g, dist, settled, in_fringe, dirty_mark, &snapshot, di);
+                fringe_adds.extend(adds);
+                for &v in &next_dirty {
+                    dirty_mark.clear(v as usize);
+                    if in_active.set(v as usize) {
+                        active.push(v);
+                    }
+                }
+                dirty = next_dirty;
+                if !any_le {
+                    break;
+                }
+            }
+
+            // Line 10: S_i ← S_{i-1} ∪ A_i.
+            for &v in active.iter() {
+                settled.set(v as usize);
+                in_active.clear(v as usize);
+                debug_assert!(dist.load(v as usize) <= di);
+            }
+
+            // Maintain the fringe: drop settled, add newly reached.
+            fringe.retain(|&v| !settled.get(v as usize));
+            fringe.extend(fringe_adds.into_iter().filter(|&v| !settled.get(v as usize)));
+
+            stats.record_step(Some(StepTrace {
+                d_i: di,
+                settled: active.len(),
+                substeps,
+                active_size: active.len(),
+            }));
         }
 
-        // Line 10: S_i ← S_{i-1} ∪ A_i.
-        for &v in &active {
-            settled.set(v as usize);
-            in_active.clear(v as usize);
-            debug_assert!(dist[v as usize].load() <= di);
-        }
-
-        // Maintain the fringe: drop settled, add newly reached.
-        fringe.retain(|&v| !settled.get(v as usize));
-        fringe.extend(fringe_adds.into_iter().filter(|&v| !settled.get(v as usize)));
-
-        stats.record_step(Some(StepTrace {
-            d_i: di,
-            settled: active.len(),
-            substeps,
-            active_size: active.len(),
-        }));
+        out_dist = dist.snapshot(n);
     }
-
-    SsspResult::new(dist.iter().map(|d| d.load()).collect(), stats)
+    stats.scratch_reused = scratch.finish();
+    SsspResult::new(out_dist, stats)
 }
 
 /// One substep: relax all out-edges of `dirty` (given as `(vertex, δ)`
@@ -141,7 +164,7 @@ pub(crate) fn run(
 #[allow(clippy::too_many_arguments)]
 fn relax_substep(
     g: &CsrGraph,
-    dist: &[rs_par::AtomicMinU64],
+    dist: &EpochMinArray,
     settled: &AtomicBitset,
     in_fringe: &AtomicBitset,
     dirty_mark: &AtomicBitset,
@@ -161,7 +184,7 @@ fn relax_substep(
                 continue;
             }
             let cand = du + w as Dist;
-            if dist[v as usize].write_min(cand) {
+            if dist.write_min(v as usize, cand) {
                 if cand <= di {
                     acc.any_le = true;
                     if dirty_mark.set(v as usize) {
@@ -200,10 +223,34 @@ fn relax_substep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rs_graph::{gen, weights, EdgeListBuilder, WeightModel};
+    use rs_graph::{gen, weights, EdgeListBuilder, WeightModel, INF};
 
     fn solve(g: &CsrGraph, radii: &RadiiSpec, s: VertexId) -> SsspResult {
         run(g, radii, s, EngineConfig::with_trace())
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_warm() {
+        let g = weights::reweight(&gen::grid2d(9, 9), WeightModel::paper_weighted(), 3);
+        let mut scratch = SolverScratch::new();
+        // Interleave sources on one scratch; every run must equal a fresh
+        // solve, and every run after the first must be allocation-free.
+        for (i, s) in [0u32, 80, 40, 0, 13].into_iter().enumerate() {
+            let warm = run_with(
+                &g,
+                &RadiiSpec::Constant(700),
+                s,
+                EngineConfig::with_trace(),
+                &mut scratch,
+            );
+            let cold = solve(&g, &RadiiSpec::Constant(700), s);
+            assert_eq!(warm.dist, cold.dist, "source {s}");
+            assert_eq!(warm.stats.steps, cold.stats.steps);
+            assert_eq!(warm.stats.substeps, cold.stats.substeps);
+            assert_eq!(warm.stats.scratch_reused, i > 0, "solve {i}");
+        }
+        assert_eq!(scratch.solves(), 5);
+        assert_eq!(scratch.reuses(), 4);
     }
 
     #[test]

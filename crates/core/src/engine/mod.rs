@@ -19,6 +19,7 @@ pub mod unweighted;
 use rs_graph::{CsrGraph, VertexId};
 
 use crate::radii::RadiiSpec;
+use crate::scratch::SolverScratch;
 use crate::stats::SsspResult;
 
 /// Engine selector.
@@ -83,6 +84,26 @@ pub fn radius_stepping_with(
         EngineKind::Frontier => frontier::run(g, radii, source, config),
         EngineKind::Bst => bst::run(g, radii, source, config),
         EngineKind::Unweighted => unweighted::run(g, radii, source, config),
+    }
+}
+
+/// [`radius_stepping_with`] on reusable scratch state: identical results
+/// (bit-for-bit, asserted by the conformance suite), but the working
+/// arrays come from `scratch` — the batch-serving entry point behind
+/// [`crate::solver::SsspSolver::solve_with_scratch`].
+pub fn radius_stepping_with_scratch(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    kind: EngineKind,
+    config: EngineConfig,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
+    assert!((source as usize) < g.num_vertices(), "source out of range");
+    match kind {
+        EngineKind::Frontier => frontier::run_with(g, radii, source, config, scratch),
+        EngineKind::Bst => bst::run_with(g, radii, source, config, scratch),
+        EngineKind::Unweighted => unweighted::run_with(g, radii, source, config, scratch),
     }
 }
 

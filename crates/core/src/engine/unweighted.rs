@@ -13,9 +13,10 @@
 //! engines on unit-weight inputs (asserted in tests).
 
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
-use rs_par::{par_min, AtomicBitset, VertexSubset};
+use rs_par::{par_min, VertexSubset};
 
 use crate::radii::RadiiSpec;
+use crate::scratch::SolverScratch;
 use crate::stats::{SsspResult, StepStats, StepTrace};
 use crate::EngineConfig;
 
@@ -25,65 +26,82 @@ pub(crate) fn run(
     source: VertexId,
     config: EngineConfig,
 ) -> SsspResult {
+    run_with(g, radii, source, config, &mut SolverScratch::new())
+}
+
+pub(crate) fn run_with(
+    g: &CsrGraph,
+    radii: &RadiiSpec,
+    source: VertexId,
+    config: EngineConfig,
+    scratch: &mut SolverScratch,
+) -> SsspResult {
     assert!(
         g.is_unit_weighted(),
         "the unweighted engine requires unit weights; use the frontier engine instead"
     );
     let n = g.num_vertices();
-    let visited = AtomicBitset::new(n);
-    let mut dist = vec![INF; n];
+    scratch.begin(n);
     let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
+    // The level array doubles as the result (the output copy other engines
+    // pay separately), so only the visited set and its clearing come from
+    // the scratch here — the lean accessor, not the full view, keeps a
+    // BFS-only scratch free of the unused distance structures.
+    let mut dist = vec![INF; n];
+    {
+        let visited = scratch.visited_set();
 
-    visited.set(source as usize);
-    dist[source as usize] = 0;
-    stats.settled = 1;
+        visited.set(source as usize);
+        dist[source as usize] = 0;
+        stats.settled = 1;
 
-    // Frontier = the unsettled BFS level ℓ (all at distance ℓ).
-    let mut frontier: Vec<VertexId> = g.neighbors(source).to_vec();
-    for &v in &frontier {
-        visited.set(v as usize);
-    }
-    stats.relaxations += g.degree(source) as u64;
-    let mut level: Dist = 1;
-
-    while !frontier.is_empty() {
-        // Early exit for goal-bounded solves: a vertex's distance is final
-        // as soon as it is assigned (levels settle in order).
-        if config.goal.is_some_and(|g| dist[g as usize] != INF) {
-            break;
+        // Frontier = the unsettled BFS level ℓ (all at distance ℓ).
+        let mut frontier: Vec<VertexId> = g.neighbors(source).to_vec();
+        for &v in &frontier {
+            visited.set(v as usize);
         }
-        // d_i = ℓ + min r(v) over the frontier (line 4 specialised).
-        let di = par_min(frontier.len(), |i| radii.key(frontier[i], 0)).saturating_add(level);
-        let mut substeps = 0;
-        let mut settled_this_step = 0usize;
+        stats.relaxations += g.degree(source) as u64;
+        let mut level: Dist = 1;
 
-        // Expand levels ℓ..=d_i; each expansion is one substep.
-        while level <= di && !frontier.is_empty() {
-            substeps += 1;
-            for &v in &frontier {
-                dist[v as usize] = level;
+        while !frontier.is_empty() {
+            // Early exit for goal-bounded solves: a vertex's distance is
+            // final as soon as it is assigned (levels settle in order).
+            if config.goal.is_some_and(|g| dist[g as usize] != INF) {
+                break;
             }
-            settled_this_step += frontier.len();
-            stats.relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-            let subset = VertexSubset::from_ids(n, std::mem::take(&mut frontier));
-            frontier = edge_map(
-                g,
-                &subset,
-                |_, v, _| visited.set(v as usize),
-                |v| !visited.get(v as usize),
-            )
-            .to_ids();
-            level += 1;
+            // d_i = ℓ + min r(v) over the frontier (line 4 specialised).
+            let di = par_min(frontier.len(), |i| radii.key(frontier[i], 0)).saturating_add(level);
+            let mut substeps = 0;
+            let mut settled_this_step = 0usize;
+
+            // Expand levels ℓ..=d_i; each expansion is one substep.
+            while level <= di && !frontier.is_empty() {
+                substeps += 1;
+                for &v in &frontier {
+                    dist[v as usize] = level;
+                }
+                settled_this_step += frontier.len();
+                stats.relaxations += frontier.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+                let subset = VertexSubset::from_ids(n, std::mem::take(&mut frontier));
+                frontier = edge_map(
+                    g,
+                    &subset,
+                    |_, v, _| visited.set(v as usize),
+                    |v| !visited.get(v as usize),
+                )
+                .to_ids();
+                level += 1;
+            }
+
+            stats.record_step(Some(StepTrace {
+                d_i: di,
+                settled: settled_this_step,
+                substeps,
+                active_size: settled_this_step,
+            }));
         }
-
-        stats.record_step(Some(StepTrace {
-            d_i: di,
-            settled: settled_this_step,
-            substeps,
-            active_size: settled_this_step,
-        }));
     }
-
+    stats.scratch_reused = scratch.finish();
     SsspResult::new(dist, stats)
 }
 

@@ -33,12 +33,19 @@
 pub mod engine;
 pub mod preprocess;
 pub mod radii;
+pub mod scratch;
 pub mod solver;
 pub mod stats;
 pub mod verify;
 
-pub use engine::{radius_stepping, radius_stepping_with, EngineConfig, EngineKind};
+pub use engine::{
+    radius_stepping, radius_stepping_with, radius_stepping_with_scratch, EngineConfig, EngineKind,
+};
 pub use preprocess::{PreprocessConfig, Preprocessed};
 pub use radii::RadiiSpec;
-pub use solver::{Algorithm, HeapKind, Radii, SolverBuilder, SolverConfig, SsspSolver};
+pub use scratch::SolverScratch;
+pub use solver::{
+    Algorithm, BatchOutcome, BatchPlan, BatchStats, HeapKind, Radii, SolverBuilder, SolverConfig,
+    SsspSolver,
+};
 pub use stats::{derive_parents, extract_path, SsspResult, StepStats, StepTrace};

@@ -108,6 +108,11 @@ pub struct Preprocessed {
     pub radii: Vec<Dist>,
     /// Parameters used.
     pub config: PreprocessConfig,
+    /// [`CsrGraph::content_hash`] of the *input* graph (pre-shortcut).
+    /// Persisted in the cache header so `preprocess_cached` detects a
+    /// mutated-but-same-size graph and rebuilds instead of serving stale
+    /// shortcuts.
+    pub input_hash: u64,
     /// Measurements.
     pub stats: PreprocessStats,
 }
@@ -122,6 +127,7 @@ impl Preprocessed {
             graph,
             radii,
             config: *cfg,
+            input_hash: g.content_hash(),
             stats: PreprocessStats { effective_new_edges: effective, ..stats },
         }
     }
@@ -148,7 +154,10 @@ impl Preprocessed {
     pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
         use std::io::Write;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        w.write_all(b"RSPP")?;
+        // "RSP2": format 2 added the input-graph content hash. Format-1
+        // ("RSPP") files fail to load and are transparently rebuilt.
+        w.write_all(b"RSP2")?;
+        w.write_all(&self.input_hash.to_le_bytes())?;
         w.write_all(&self.config.k.to_le_bytes())?;
         w.write_all(&(self.config.rho as u64).to_le_bytes())?;
         let h: u8 = match self.config.heuristic {
@@ -181,11 +190,13 @@ impl Preprocessed {
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
-        if &magic != b"RSPP" {
-            return Err(bad("not a saved preprocessing"));
+        if &magic != b"RSP2" {
+            return Err(bad("not a saved preprocessing (or an old format)"));
         }
         let mut b4 = [0u8; 4];
         let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let input_hash = u64::from_le_bytes(b8);
         r.read_exact(&mut b4)?;
         let k = u32::from_le_bytes(b4);
         r.read_exact(&mut b8)?;
@@ -218,6 +229,7 @@ impl Preprocessed {
             graph,
             radii,
             config: PreprocessConfig { k, rho, heuristic },
+            input_hash,
             stats: PreprocessStats {
                 raw_shortcuts: nums[0] as usize,
                 effective_new_edges: nums[1] as usize,
@@ -375,6 +387,7 @@ mod tests {
         assert_eq!(loaded.radii, pre.radii);
         assert_eq!(loaded.config, pre.config);
         assert_eq!(loaded.stats, pre.stats);
+        assert_eq!(loaded.input_hash, g.content_hash(), "header records the input hash");
         assert_eq!(loaded.sssp(9).dist, pre.sssp(9).dist);
     }
 

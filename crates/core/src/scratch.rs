@@ -1,0 +1,430 @@
+//! Reusable per-solve scratch state for batch workloads.
+//!
+//! The paper's motivating use case (§5.4) runs SSSP "from multiple
+//! sources" over one preprocessed graph; a serving system runs it from
+//! millions. Allocating a fresh tentative-distance array, membership
+//! bitsets, frontier buffers, a heap and a bucket queue for every source is
+//! exactly the cost that dominates small queries — so [`SolverScratch`]
+//! owns all of it once and every solver re-enters through
+//! [`crate::solver::SsspSolver::solve_with_scratch`].
+//!
+//! Reset costs per solve, after warmup:
+//!
+//! * the tentative-distance array is an [`EpochMinArray`] — epoch-based
+//!   reset, **O(1)** (stale entries read as `∞` until overwritten), not an
+//!   `O(n)` refill;
+//! * membership bitsets are cleared wordwise (64 vertices per word, a
+//!   memset 64× denser than the distance array they shadow);
+//! * vertex buffers are `clear()`ed (length reset, capacity kept);
+//! * heaps and the bucket queue are `clear()`ed through the `rs_ds`
+//!   capacity-preserving contract.
+//!
+//! Nothing about a previous solve can leak into the next one: the epoch
+//! advance plus the wordwise clears restore every structure to its initial
+//! logical state, and the conformance suite interleaves solvers on one
+//! scratch to prove it bit-identical with fresh-solver runs.
+//!
+//! What is *not* reused is the result itself: every
+//! [`crate::SsspResult`] owns its `dist` vector, so one `O(n)` output copy
+//! per solve is inherent to the API. The "no per-source distance-array
+//! allocation" guarantee is about the *working* arrays, and is surfaced as
+//! [`crate::StepStats::scratch_reused`] plus the [`SolverScratch::solves`]
+//! / [`SolverScratch::reuses`] counters.
+//!
+//! The epoch encoding caps finite distances at 2⁴⁸ − 1
+//! ([`rs_par::epoch::MAX_STORABLE`]); with `u32` edge weights this allows
+//! shortest paths of ~65 000 maximum-weight hops, far beyond every graph
+//! in the workspace, and debug builds assert the cap.
+
+use rs_ds::{BucketQueue, DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap};
+use rs_graph::{CsrGraph, Dist, VertexId};
+use rs_par::{AtomicBitset, EpochMinArray};
+
+/// Release-mode guard for the epoch encoding's 48-bit finite range: every
+/// solver that stores tentative distances in the scratch's
+/// [`EpochMinArray`] calls this with the graph's
+/// [`CsrGraph::distance_bound`] before solving. Without it, a graph whose
+/// distances could exceed 2⁴⁸ − 1 would silently drop relaxations (the
+/// write-min treats over-range candidates as `∞`) and report wrong
+/// results; failing loudly here turns that into a panic. The bound is
+/// `n · L + 1`, i.e. ~65 000 maximum-`u32`-weight hops — far beyond every
+/// graph in the workspace.
+pub fn assert_distance_range(g: &CsrGraph) {
+    assert!(
+        g.distance_bound() <= rs_par::epoch::MAX_STORABLE,
+        "graph distance bound {} exceeds the scratch epoch array's 48-bit range {}; \
+         rescale the weights",
+        g.distance_bound(),
+        rs_par::epoch::MAX_STORABLE,
+    );
+}
+
+/// The heap slot: at most one decrease-key heap is cached, of whichever
+/// kind the last checkout used. Switching kinds on the same scratch simply
+/// reallocates once.
+#[derive(Debug, Default)]
+pub enum HeapSlot {
+    #[default]
+    Empty,
+    Dary(DaryHeap),
+    Pairing(PairingHeap),
+    Fibonacci(FibonacciHeap),
+}
+
+/// Heaps that can live in a [`SolverScratch`]'s [`HeapSlot`].
+pub trait ScratchHeap: DecreaseKeyHeap + Sized {
+    /// Takes the cached heap out of the slot if it is of this type.
+    fn take(slot: &mut HeapSlot) -> Option<Self>;
+
+    /// Stores this heap back into the slot for the next solve.
+    fn put(self, slot: &mut HeapSlot);
+}
+
+macro_rules! impl_scratch_heap {
+    ($heap:ty, $variant:ident) => {
+        impl ScratchHeap for $heap {
+            fn take(slot: &mut HeapSlot) -> Option<Self> {
+                match std::mem::take(slot) {
+                    HeapSlot::$variant(h) => Some(h),
+                    other => {
+                        *slot = other;
+                        None
+                    }
+                }
+            }
+
+            fn put(self, slot: &mut HeapSlot) {
+                *slot = HeapSlot::$variant(self);
+            }
+        }
+    };
+}
+
+impl_scratch_heap!(DaryHeap, Dary);
+impl_scratch_heap!(PairingHeap, Pairing);
+impl_scratch_heap!(FibonacciHeap, Fibonacci);
+
+/// Borrowed per-solve working state, produced by [`SolverScratch::view`].
+///
+/// The atomic pieces are shared references (they are written concurrently
+/// inside substeps); the plain buffers are exclusive. `dists` keeps stale
+/// content between solves by design — every engine that uses it writes an
+/// entry before reading it.
+pub struct ScratchView<'a> {
+    /// Tentative distances, logically all-`∞` at view time (epoch-reset).
+    pub dist: &'a EpochMinArray,
+    /// Settled / visited flags, cleared at view time.
+    pub settled: &'a AtomicBitset,
+    /// Engine-specific membership flags, cleared at view time.
+    pub mark_a: &'a AtomicBitset,
+    /// Engine-specific membership flags, cleared at view time.
+    pub mark_b: &'a AtomicBitset,
+    /// Engine-specific membership flags, cleared at view time.
+    pub mark_c: &'a AtomicBitset,
+    /// Reusable vertex buffer (emptied at view time, capacity kept).
+    pub verts_a: &'a mut Vec<VertexId>,
+    /// Reusable vertex buffer (emptied at view time, capacity kept).
+    pub verts_b: &'a mut Vec<VertexId>,
+    /// `n`-sized distance buffer with **stale** content (snapshots, `qkey`).
+    pub dists: &'a mut Vec<Dist>,
+}
+
+/// Reusable working state for any [`crate::solver::SsspSolver`].
+///
+/// Protocol (what every `solve_with_scratch` implementation does):
+///
+/// 1. [`SolverScratch::begin`] with the graph's vertex count;
+/// 2. borrow what the algorithm needs — [`SolverScratch::view`] for the
+///    atomic arrays/buffers, [`SolverScratch::checkout_heap`] /
+///    [`SolverScratch::checkout_bucket`] for the owned structures (returned
+///    with the matching `return_*` call);
+/// 3. [`SolverScratch::finish`], whose return value — `true` iff the solve
+///    ran entirely on pre-allocated state — lands in
+///    [`crate::StepStats::scratch_reused`].
+///
+/// A scratch adapts to whatever is thrown at it: bigger graphs or a
+/// different algorithm family trigger one reallocation (a "cold" solve)
+/// and everything after runs warm.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    n: usize,
+    in_solve: bool,
+    allocated: bool,
+    solves: u64,
+    reuses: u64,
+    dist: EpochMinArray,
+    settled: AtomicBitset,
+    mark_a: AtomicBitset,
+    mark_b: AtomicBitset,
+    mark_c: AtomicBitset,
+    verts_a: Vec<VertexId>,
+    verts_b: Vec<VertexId>,
+    dists: Vec<Dist>,
+    heap: HeapSlot,
+    bucket: Option<BucketQueue>,
+}
+
+impl SolverScratch {
+    /// An empty scratch; structures materialise on first use.
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+
+    /// A scratch pre-sized for graphs of `n` vertices (the first solve
+    /// still counts as cold only if it has to allocate more).
+    pub fn for_vertices(n: usize) -> Self {
+        let mut s = SolverScratch::new();
+        s.begin(n);
+        let _ = s.view();
+        s.in_solve = false;
+        s.solves = 0;
+        s
+    }
+
+    /// Opens a solve over `n` vertices. Must precede any borrow.
+    pub fn begin(&mut self, n: usize) {
+        debug_assert!(!self.in_solve, "begin() without finish()");
+        self.n = n;
+        self.in_solve = true;
+        self.allocated = false;
+        self.solves += 1;
+    }
+
+    /// Closes the solve; returns `true` iff no scratch-managed allocation
+    /// happened since [`SolverScratch::begin`] (the value of
+    /// [`crate::StepStats::scratch_reused`]).
+    pub fn finish(&mut self) -> bool {
+        debug_assert!(self.in_solve, "finish() without begin()");
+        self.in_solve = false;
+        let reused = !self.allocated;
+        self.reuses += u64::from(reused);
+        reused
+    }
+
+    /// Solves opened so far (counts the one in flight).
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Solves that completed without any scratch-managed allocation.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Materialises and resets only the settled/visited bitset — the lean
+    /// path for solvers that need nothing else (BFS, the unweighted
+    /// engine), so a BFS-only scratch never pays for the 16-bytes-per-
+    /// vertex distance structures of [`SolverScratch::view`].
+    pub fn visited_set(&mut self) -> &AtomicBitset {
+        debug_assert!(self.in_solve, "visited_set() outside begin()/finish()");
+        if self.settled.len() < self.n {
+            self.settled = AtomicBitset::new(self.n);
+            self.allocated = true;
+        } else {
+            self.settled.clear_all();
+        }
+        &self.settled
+    }
+
+    /// Materialises and resets the shared working state for this solve.
+    /// Call at most once per [`SolverScratch::begin`] (each call resets).
+    pub fn view(&mut self) -> ScratchView<'_> {
+        debug_assert!(self.in_solve, "view() outside begin()/finish()");
+        let n = self.n;
+        self.allocated |= self.dist.ensure(n);
+        self.dist.advance();
+        for bits in [&mut self.settled, &mut self.mark_a, &mut self.mark_b, &mut self.mark_c] {
+            if bits.len() < n {
+                *bits = AtomicBitset::new(n);
+                self.allocated = true;
+            } else {
+                bits.clear_all();
+            }
+        }
+        if self.dists.len() < n {
+            self.dists.resize(n, 0);
+            self.allocated = true;
+        }
+        self.verts_a.clear();
+        self.verts_b.clear();
+        ScratchView {
+            dist: &self.dist,
+            settled: &self.settled,
+            mark_a: &self.mark_a,
+            mark_b: &self.mark_b,
+            mark_c: &self.mark_c,
+            verts_a: &mut self.verts_a,
+            verts_b: &mut self.verts_b,
+            dists: &mut self.dists,
+        }
+    }
+
+    /// Checks out a cleared decrease-key heap covering the current vertex
+    /// count, reusing the cached one when type and capacity match. Return
+    /// it with [`SolverScratch::return_heap`] so the next solve can reuse
+    /// it.
+    pub fn checkout_heap<H: ScratchHeap>(&mut self) -> H {
+        debug_assert!(self.in_solve, "checkout_heap() outside begin()/finish()");
+        match H::take(&mut self.heap) {
+            Some(mut h) if h.capacity() >= self.n => {
+                h.clear();
+                h
+            }
+            _ => {
+                self.allocated = true;
+                H::with_capacity(self.n)
+            }
+        }
+    }
+
+    /// Returns a heap checked out with [`SolverScratch::checkout_heap`].
+    pub fn return_heap<H: ScratchHeap>(&mut self, heap: H) {
+        heap.put(&mut self.heap);
+    }
+
+    /// Checks out a cleared ∆-stepping bucket queue compatible with
+    /// `(current n, delta, max_weight)`, reusing the cached one when it
+    /// fits. Return it with [`SolverScratch::return_bucket`].
+    pub fn checkout_bucket(&mut self, delta: u64, max_weight: u64) -> BucketQueue {
+        debug_assert!(self.in_solve, "checkout_bucket() outside begin()/finish()");
+        match self.bucket.take() {
+            Some(mut q) if q.fits(self.n, delta, max_weight) => {
+                q.clear();
+                q
+            }
+            _ => {
+                self.allocated = true;
+                BucketQueue::new(self.n, delta, max_weight)
+            }
+        }
+    }
+
+    /// Returns a bucket queue checked out with
+    /// [`SolverScratch::checkout_bucket`].
+    pub fn return_bucket(&mut self, queue: BucketQueue) {
+        self.bucket = Some(queue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_warm() {
+        let mut s = SolverScratch::new();
+        s.begin(100);
+        let view = s.view();
+        view.dist.store(3, 7);
+        assert!(view.settled.set(5));
+        view.verts_a.push(9);
+        assert!(!s.finish(), "first solve allocates");
+        assert_eq!((s.solves(), s.reuses()), (1, 0));
+
+        s.begin(100);
+        let view = s.view();
+        assert_eq!(view.dist.load(3), u64::MAX, "epoch reset");
+        assert!(!view.settled.get(5), "bitset cleared");
+        assert!(view.verts_a.is_empty(), "buffer emptied");
+        assert!(s.finish(), "second solve reuses everything");
+        assert_eq!((s.solves(), s.reuses()), (2, 1));
+
+        // A smaller graph also runs warm.
+        s.begin(10);
+        let _ = s.view();
+        assert!(s.finish());
+
+        // A bigger graph reallocates once, then runs warm again.
+        s.begin(1000);
+        let _ = s.view();
+        assert!(!s.finish());
+        s.begin(1000);
+        let _ = s.view();
+        assert!(s.finish());
+    }
+
+    #[test]
+    fn visited_set_is_lean_and_cleared() {
+        let mut s = SolverScratch::new();
+        s.begin(100);
+        assert!(s.visited_set().set(7));
+        assert!(!s.finish(), "first solve allocates the bitset");
+        s.begin(100);
+        assert!(!s.visited_set().get(7), "cleared per solve");
+        assert!(s.finish(), "bitset-only reuse is warm");
+    }
+
+    #[test]
+    fn distance_range_guard_accepts_normal_graphs() {
+        let g = rs_graph::gen::grid2d(10, 10);
+        assert_distance_range(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "48-bit range")]
+    fn distance_range_guard_rejects_oversized_bounds() {
+        // n · L + 1 ≈ 3.0e14 > 2^48 − 1 ≈ 2.8e14: distances on this graph
+        // could overflow the epoch encoding, so solvers must refuse it
+        // loudly instead of silently dropping relaxations in release.
+        let mut b = rs_graph::EdgeListBuilder::new(70_000);
+        b.add_edge(0, 1, u32::MAX);
+        assert_distance_range(&b.build());
+    }
+
+    #[test]
+    fn for_vertices_prewarms() {
+        let mut s = SolverScratch::for_vertices(64);
+        assert_eq!(s.solves(), 0);
+        s.begin(64);
+        let _ = s.view();
+        assert!(s.finish(), "pre-sized scratch starts warm");
+    }
+
+    #[test]
+    fn heap_slot_reuse_and_type_switch() {
+        let mut s = SolverScratch::new();
+        s.begin(50);
+        let mut h: DaryHeap = s.checkout_heap();
+        h.push_or_decrease(1, 10);
+        s.return_heap(h);
+        assert!(!s.finish(), "cold: heap allocated");
+
+        s.begin(50);
+        let h: DaryHeap = s.checkout_heap();
+        assert!(h.is_empty(), "checked-out heap is cleared");
+        assert_eq!(h.capacity(), 50);
+        s.return_heap(h);
+        assert!(s.finish(), "warm: heap reused");
+
+        s.begin(50);
+        let h: PairingHeap = s.checkout_heap();
+        s.return_heap(h);
+        assert!(!s.finish(), "switching heap kinds reallocates once");
+
+        s.begin(50);
+        let h: PairingHeap = s.checkout_heap();
+        s.return_heap(h);
+        assert!(s.finish());
+    }
+
+    #[test]
+    fn bucket_reuse_keyed_on_parameters() {
+        let mut s = SolverScratch::new();
+        s.begin(40);
+        let q = s.checkout_bucket(5, 100);
+        s.return_bucket(q);
+        assert!(!s.finish());
+
+        s.begin(40);
+        let mut q = s.checkout_bucket(5, 100);
+        assert!(q.is_empty());
+        q.insert_or_decrease(3, 12);
+        s.return_bucket(q);
+        assert!(s.finish(), "same parameters reuse the queue");
+
+        s.begin(40);
+        let q = s.checkout_bucket(7, 100);
+        s.return_bucket(q);
+        assert!(!s.finish(), "different delta reallocates");
+    }
+}

@@ -6,13 +6,18 @@
 //! shape: every algorithm is an [`SsspSolver`] producing a
 //! [`crate::SsspResult`], constructed through one fluent [`SolverBuilder`].
 //!
-//! * [`SsspSolver`] — `solve`, goal-bounded `solve_to_goal`, and
-//!   rayon-parallel multi-source [`SsspSolver::solve_batch`].
+//! * [`SsspSolver`] — `solve`, goal-bounded `solve_to_goal`,
+//!   scratch-reusing [`SsspSolver::solve_with_scratch`], and the
+//!   batch-aware multi-source [`SsspSolver::solve_batch`].
 //! * [`Algorithm`] — the algorithm selector (`RadiusStepping { engine,
 //!   radii }`, `Dijkstra { heap }`, `DeltaStepping { delta }`,
 //!   `BellmanFord`, `Bfs`).
 //! * [`SolverBuilder`] — picks the algorithm, optionally attaches
 //!   (k, ρ)-preprocessing, and toggles tracing / parent recording.
+//! * [`BatchPlan`] — the multi-source execution layer: deduplicates the
+//!   source set, fans the unique solves over the work-stealing pool with
+//!   one reusable [`SolverScratch`] per pool task, and aggregates the
+//!   batch's [`crate::StepStats`] into a [`BatchStats`].
 //!
 //! This module defines the trait, the configuration types, and the
 //! radius-stepping solvers. The baseline adapters live in
@@ -34,13 +39,12 @@
 //! assert!(out.extract_path(143).is_some(), "parents recorded uniformly");
 //! ```
 
-use rayon::prelude::*;
-
 use rs_graph::{CsrGraph, Dist, VertexId};
 
-use crate::engine::{radius_stepping_with, EngineConfig, EngineKind};
+use crate::engine::{radius_stepping_with, radius_stepping_with_scratch, EngineConfig, EngineKind};
 use crate::preprocess::{PreprocessConfig, Preprocessed};
 use crate::radii::RadiiSpec;
+use crate::scratch::SolverScratch;
 use crate::stats::SsspResult;
 
 /// A single-source shortest-path solver bound to one graph.
@@ -72,12 +76,194 @@ pub trait SsspSolver: Sync {
         self.solve(source)
     }
 
+    /// Like [`SsspSolver::solve`], but running on caller-provided
+    /// [`SolverScratch`] state: after the first (cold) solve on a scratch,
+    /// no working distance array, bitset, heap or bucket queue is
+    /// allocated again — the serving-path entry point the batch layer fans
+    /// out. Results are bit-identical to [`SsspSolver::solve`] (asserted
+    /// by the conformance suite); the only observable difference is
+    /// [`crate::StepStats::scratch_reused`].
+    ///
+    /// The default implementation ignores the scratch and delegates to
+    /// `solve` (always correct, never warm); every solver in this
+    /// workspace overrides it.
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        let _ = scratch;
+        self.solve(source)
+    }
+
     /// Solves from every source, fanning out across the rayon pool — the
     /// paper's motivating workload (§5.4: preprocessing is paid once, then
-    /// "Sssp will be run from multiple sources"). Each item is a whole
-    /// solve, so parallelism pays from two sources up (`with_min_len(1)`).
+    /// "Sssp will be run from multiple sources").
+    ///
+    /// This is the batch-aware path: duplicate sources are answered once
+    /// and cloned ([`BatchPlan`] dedup — observationally invisible), and
+    /// each pool task reuses one [`SolverScratch`] across every solve it
+    /// claims, so an `N`-source batch performs at most
+    /// `min(threads, unique sources)` working-state allocations. Use
+    /// [`BatchPlan::execute`] directly to also get the aggregated
+    /// [`BatchStats`].
     fn solve_batch(&self, sources: &[VertexId]) -> Vec<SsspResult> {
-        (0..sources.len()).into_par_iter().with_min_len(1).map(|i| self.solve(sources[i])).collect()
+        BatchPlan::new(sources).execute(self).into_results()
+    }
+}
+
+/// A prepared multi-source batch: the dedup layer of
+/// [`SsspSolver::solve_batch`], reusable across solvers.
+///
+/// Construction groups the requested sources into their unique set
+/// (first-occurrence order) and remembers, for every requested slot, which
+/// unique solve answers it. [`BatchPlan::execute`] then fans the unique
+/// solves over the pool via [`rs_par::worker_map`] — one lazily-created
+/// [`SolverScratch`] per pool task, dynamic load balancing via a shared
+/// work counter — and expands the answers back to request order.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// The requested sources, in request order.
+    sources: Vec<VertexId>,
+    /// Unique sources, in first-occurrence order.
+    unique: Vec<VertexId>,
+    /// `rep[i]` = index into `unique` answering `sources[i]`.
+    rep: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Plans a batch over `sources` (duplicates allowed, order preserved).
+    pub fn new(sources: &[VertexId]) -> Self {
+        let mut first_slot: std::collections::HashMap<VertexId, usize> =
+            std::collections::HashMap::with_capacity(sources.len());
+        let mut unique = Vec::with_capacity(sources.len());
+        let mut rep = Vec::with_capacity(sources.len());
+        for &s in sources {
+            let slot = *first_slot.entry(s).or_insert_with(|| {
+                unique.push(s);
+                unique.len() - 1
+            });
+            rep.push(slot);
+        }
+        BatchPlan { sources: sources.to_vec(), unique, rep }
+    }
+
+    /// Number of requested sources (including duplicates).
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when the batch requests nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The requested sources, in request order.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// The deduplicated sources actually solved.
+    pub fn unique_sources(&self) -> &[VertexId] {
+        &self.unique
+    }
+
+    /// Requested solves answered by cloning another slot's result.
+    pub fn deduplicated(&self) -> usize {
+        self.sources.len() - self.unique.len()
+    }
+
+    /// Runs the batch on `solver`: unique solves fan out over the pool
+    /// with per-task scratch reuse, results land in request order.
+    pub fn execute<S: SsspSolver + ?Sized>(&self, solver: &S) -> BatchOutcome {
+        let unique_results: Vec<SsspResult> =
+            rs_par::worker_map(self.unique.len(), SolverScratch::new, |scratch, i| {
+                solver.solve_with_scratch(self.unique[i], scratch)
+            });
+        let stats = BatchStats::collect(&unique_results, &self.rep);
+        let results = if self.unique.len() == self.sources.len() {
+            unique_results
+        } else {
+            self.rep.iter().map(|&u| unique_results[u].clone()).collect()
+        };
+        BatchOutcome { results, stats }
+    }
+}
+
+/// What [`BatchPlan::execute`] returns: per-source results (request order)
+/// plus the batch-level aggregates.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One result per requested source, in request order (duplicates are
+    /// clones of their unique solve).
+    pub results: Vec<SsspResult>,
+    /// Aggregated counters for the whole batch.
+    pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// Drops the aggregates, keeping the per-source results.
+    pub fn into_results(self) -> Vec<SsspResult> {
+        self.results
+    }
+}
+
+/// Per-batch aggregate of the solves' [`crate::StepStats`].
+///
+/// Step/substep/relaxation totals are summed over the *delivered* results
+/// (a deduplicated source counts once per request, so means stay faithful
+/// to the requested workload); the scratch counters describe the *unique*
+/// solves actually executed — the physical allocation events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requested sources (including duplicates).
+    pub solves: usize,
+    /// Unique solves actually executed.
+    pub unique_solves: usize,
+    /// Unique solves that ran entirely on pre-allocated scratch state.
+    pub scratch_reuses: usize,
+    /// Unique solves that had to allocate (at most one per pool task).
+    pub cold_solves: usize,
+    /// Total steps over delivered results.
+    pub steps: usize,
+    /// Total substeps over delivered results.
+    pub substeps: usize,
+    /// Largest `max_substeps_in_step` over delivered results.
+    pub max_substeps_in_step: usize,
+    /// Total relaxations over delivered results.
+    pub relaxations: u64,
+    /// Total settled vertices over delivered results.
+    pub settled: usize,
+}
+
+impl BatchStats {
+    fn collect(unique_results: &[SsspResult], rep: &[usize]) -> BatchStats {
+        let mut stats = BatchStats {
+            solves: rep.len(),
+            unique_solves: unique_results.len(),
+            ..Default::default()
+        };
+        for r in unique_results {
+            if r.stats.scratch_reused {
+                stats.scratch_reuses += 1;
+            } else {
+                stats.cold_solves += 1;
+            }
+        }
+        for &u in rep {
+            let s = &unique_results[u].stats;
+            stats.steps += s.steps;
+            stats.substeps += s.substeps;
+            stats.max_substeps_in_step = stats.max_substeps_in_step.max(s.max_substeps_in_step);
+            stats.relaxations += s.relaxations;
+            stats.settled += s.settled;
+        }
+        stats
+    }
+
+    /// Mean steps per requested source.
+    pub fn mean_steps(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.solves as f64
+        }
     }
 }
 
@@ -341,13 +527,15 @@ impl<'g> BuilderParts<'g> {
 
 /// Loads a compatible preprocessing from `cache`, or builds one (saving it
 /// back to `cache`, best-effort, when a path is given). A cached file is
-/// compatible when its parameters match `cfg` exactly and its recorded
-/// input shape (vertex and pre-shortcut edge counts) matches `g`; anything
-/// else — missing file, garbage, stale parameters, a different graph —
-/// falls back to a rebuild rather than an error. A same-shape graph with
-/// different weights or wiring can still slip through (ROADMAP: a content
-/// hash in the header would make this airtight), so key cache paths by
-/// graph identity.
+/// compatible when its parameters match `cfg` exactly and the content hash
+/// of the input graph recorded in its header
+/// ([`Preprocessed::input_hash`], computed by
+/// [`CsrGraph::content_hash`]) matches `g` — so a mutated graph of the
+/// same shape (same vertex and edge counts, different wiring or weights)
+/// triggers a rebuild instead of silently serving stale shortcuts.
+/// Anything else — missing file, garbage, an old-format file, stale
+/// parameters, a different graph — falls back to a rebuild rather than an
+/// error.
 pub fn resolve_preprocessed(
     g: &CsrGraph,
     cfg: &PreprocessConfig,
@@ -357,7 +545,7 @@ pub fn resolve_preprocessed(
         if let Ok(pre) = Preprocessed::load(path) {
             if pre.config == *cfg
                 && pre.graph.num_vertices() == g.num_vertices()
-                && pre.stats.original_edges == g.num_edges()
+                && pre.input_hash == g.content_hash()
             {
                 return pre;
             }
@@ -435,6 +623,18 @@ impl<'g> RadiusSteppingSolver<'g> {
         );
         self.config.finish(&self.graph, out)
     }
+
+    fn run_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        let out = radius_stepping_with_scratch(
+            &self.graph,
+            &self.radii.as_spec(),
+            source,
+            self.engine,
+            self.config.engine_config(None),
+            scratch,
+        );
+        self.config.finish(&self.graph, out)
+    }
 }
 
 impl SsspSolver for RadiusSteppingSolver<'_> {
@@ -462,6 +662,10 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
     fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
         self.run(source, Some(goal))
     }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        self.run_scratch(source, scratch)
+    }
 }
 
 /// [`Preprocessed`] is itself a solver: `solve` is `sssp` on the
@@ -486,6 +690,17 @@ impl SsspSolver for Preprocessed {
             source,
             EngineKind::Frontier,
             EngineConfig::with_goal(goal),
+        )
+    }
+
+    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
+        radius_stepping_with_scratch(
+            &self.graph,
+            &RadiiSpec::PerVertex(&self.radii),
+            source,
+            EngineKind::Frontier,
+            EngineConfig::default(),
+            scratch,
         )
     }
 }
@@ -552,6 +767,113 @@ mod tests {
         for (i, &s) in sources.iter().enumerate() {
             assert_eq!(batch[i].dist, pre.solve(s).dist);
         }
+    }
+
+    #[test]
+    fn batch_plan_dedups_and_orders() {
+        let plan = BatchPlan::new(&[7, 3, 7, 7, 1, 3]);
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.sources(), &[7, 3, 7, 7, 1, 3]);
+        assert_eq!(plan.unique_sources(), &[7, 3, 1], "first-occurrence order");
+        assert_eq!(plan.deduplicated(), 3);
+
+        let empty = BatchPlan::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.unique_sources(), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn batch_execute_reports_aggregates_and_dedup_is_invisible() {
+        let g = grid();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let sources = [5u32, 9, 5, 77, 9, 5];
+        let outcome = BatchPlan::new(&sources).execute(&solver);
+        assert_eq!(outcome.stats.solves, 6);
+        assert_eq!(outcome.stats.unique_solves, 3);
+        assert_eq!(
+            outcome.stats.cold_solves + outcome.stats.scratch_reuses,
+            outcome.stats.unique_solves
+        );
+        assert!(
+            outcome.stats.cold_solves <= rs_par::num_threads().min(3),
+            "at most one cold solve per pool task"
+        );
+        // Aggregates sum over delivered results (duplicates re-counted).
+        let per_source: Vec<SsspResult> = sources.iter().map(|&s| solver.solve(s)).collect();
+        let steps: usize = per_source.iter().map(|r| r.stats.steps).sum();
+        assert_eq!(outcome.stats.steps, steps);
+        assert!((outcome.stats.mean_steps() - steps as f64 / 6.0).abs() < 1e-12);
+        // Dedup is observationally invisible.
+        for (out, reference) in outcome.results.iter().zip(&per_source) {
+            assert_eq!(out.dist, reference.dist);
+        }
+
+        // Empty and singleton batches.
+        let empty = BatchPlan::new(&[]).execute(&solver);
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.stats, BatchStats::default());
+        let single = BatchPlan::new(&[33]).execute(&solver);
+        assert_eq!(single.results.len(), 1);
+        assert_eq!(single.results[0].dist, solver.solve(33).dist);
+        assert_eq!(single.stats.unique_solves, 1);
+    }
+
+    #[test]
+    fn solve_with_scratch_interleaved_matches_fresh() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .record_parents(true)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Constant(1_500));
+        let mut scratch = SolverScratch::new();
+        for s in [0u32, 80, 40, 0, 17] {
+            let warm = solver.solve_with_scratch(s, &mut scratch);
+            let fresh = solver.solve(s);
+            assert_eq!(warm.dist, fresh.dist, "source {s}");
+            assert_eq!(warm.parent, fresh.parent, "source {s}: parents recorded on both paths");
+        }
+        assert_eq!(scratch.reuses(), 4);
+    }
+
+    #[test]
+    fn cache_rebuilds_on_mutated_same_size_graph() {
+        // Same vertex AND edge counts, different weights: the old
+        // shape-based staleness check accepted this cache; the content
+        // hash in the header must reject it.
+        let g1 = grid();
+        let g2 = rs_graph::weights::reweight(
+            &rs_graph::gen::grid2d(9, 9),
+            rs_graph::WeightModel::paper_weighted(),
+            99, // different weight seed, same topology
+        );
+        assert_eq!(g1.num_vertices(), g2.num_vertices());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_ne!(g1.content_hash(), g2.content_hash());
+
+        let cfg = PreprocessConfig::new(1, 8);
+        let path = std::env::temp_dir().join(format!(
+            "rs_hash_cache_{}_{:p}.bin",
+            std::process::id(),
+            &g1
+        ));
+        std::fs::remove_file(&path).ok();
+
+        let pre1 = resolve_preprocessed(&g1, &cfg, Some(&path));
+        assert_eq!(pre1.input_hash, g1.content_hash());
+        assert_eq!(Preprocessed::load(&path).unwrap().input_hash, g1.content_hash());
+
+        // Mutated graph, same shape: must rebuild (and refresh the file).
+        let pre2 = resolve_preprocessed(&g2, &cfg, Some(&path));
+        assert_eq!(pre2.input_hash, g2.content_hash(), "stale cache served for mutated graph");
+        assert_eq!(Preprocessed::load(&path).unwrap().input_hash, g2.content_hash());
+        let direct =
+            SolverBuilder::new(&g2).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        assert_eq!(pre2.solve(5).dist, direct.solve(5).dist);
+
+        // Unchanged graph: served from cache (hash matches).
+        let pre1_again = resolve_preprocessed(&g2, &cfg, Some(&path));
+        assert_eq!(pre1_again.input_hash, g2.content_hash());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

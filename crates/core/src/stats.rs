@@ -136,6 +136,11 @@ pub struct StepStats {
     pub relaxations: u64,
     /// Vertices settled (equals reachable vertices on termination).
     pub settled: usize,
+    /// True iff this solve ran entirely on pre-allocated
+    /// [`crate::SolverScratch`] state (no working-array allocation) — the
+    /// per-result face of the batch path's warm-scratch guarantee. Always
+    /// `false` for plain `solve()` calls, which build a fresh scratch.
+    pub scratch_reused: bool,
     /// Per-step trace, when requested via
     /// [`crate::EngineConfig::with_trace`].
     pub trace: Option<Vec<StepTrace>>,

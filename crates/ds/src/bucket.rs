@@ -26,7 +26,7 @@ impl BucketQueue {
     /// more than `max_weight` (the graph's heaviest edge `L`).
     pub fn new(capacity: usize, delta: u64, max_weight: u64) -> Self {
         assert!(delta > 0);
-        let span = (max_weight / delta + 3) as usize;
+        let span = Self::span_for(delta, max_weight);
         BucketQueue {
             delta,
             slots: (0..span).map(|_| Vec::new()).collect(),
@@ -36,9 +36,53 @@ impl BucketQueue {
         }
     }
 
+    /// The one sizing rule: cyclic window (slot count) needed for bucket
+    /// width `delta` and heaviest edge `max_weight`. Shared by
+    /// [`BucketQueue::new`] and [`BucketQueue::fits`] so they cannot
+    /// diverge.
+    fn span_for(delta: u64, max_weight: u64) -> usize {
+        (max_weight / delta + 3) as usize
+    }
+
     /// Bucket width ∆.
     pub fn delta(&self) -> u64 {
         self.delta
+    }
+
+    /// The item universe the queue was created for (`0..capacity`).
+    pub fn capacity(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when this queue can be reused (after [`BucketQueue::clear`])
+    /// for a run over `capacity` items with bucket width `delta` and
+    /// heaviest edge `max_weight` — the compatibility test scratch pools
+    /// key on.
+    pub fn fits(&self, capacity: usize, delta: u64, max_weight: u64) -> bool {
+        delta > 0
+            && self.delta == delta
+            && self.pos.len() >= capacity
+            && self.slots.len() >= Self::span_for(delta, max_weight)
+    }
+
+    /// Removes every item (live and stale) and rewinds the scan position
+    /// to bucket 0, preserving all allocations: `O(entries + span)` where
+    /// span = `⌈L/∆⌉ + 3` is the (small, constant) cyclic window — not
+    /// `O(capacity)`, because `pos` is only reset for items actually
+    /// queued. The classic ∆-stepping loop previously had to reallocate
+    /// the whole queue per source; after `clear()` it reuses one queue for
+    /// an entire batch.
+    pub fn clear(&mut self) {
+        for i in 0..self.slots.len() {
+            let mut slot = std::mem::take(&mut self.slots[i]);
+            for &item in &slot {
+                self.pos[item as usize] = NONE;
+            }
+            slot.clear();
+            self.slots[i] = slot;
+        }
+        self.cur = 0;
+        self.len = 0;
     }
 
     /// Number of queued items.
@@ -202,6 +246,46 @@ mod tests {
         }
         assert_eq!(popped.len(), 50);
         assert!(popped.windows(2).all(|w| w[0].1 <= w[1].1), "monotone buckets");
+    }
+
+    #[test]
+    fn clear_rewinds_and_preserves_capacity() {
+        let mut q = BucketQueue::new(8, 10, 100);
+        // Dirty state: live items, a stale (moved) entry, and an advanced
+        // scan position.
+        q.insert_or_decrease(1, 95);
+        q.insert_or_decrease(1, 15); // stale entry left in bucket 9
+        q.insert_or_decrease(2, 25);
+        q.insert_or_decrease(3, 5);
+        assert_eq!(q.next_nonempty_bucket(), Some(0));
+        assert_eq!(q.take_bucket(0), vec![3]);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 8);
+        assert_eq!(q.next_nonempty_bucket(), None);
+        // The cleared queue accepts priorities from 0 again (scan rewound)
+        // and behaves exactly like a fresh one.
+        let mut fresh = BucketQueue::new(8, 10, 100);
+        for (item, p) in [(4u32, 12u64), (5, 3), (1, 44)] {
+            assert_eq!(q.insert_or_decrease(item, p), fresh.insert_or_decrease(item, p));
+        }
+        while let Some(b) = q.next_nonempty_bucket() {
+            assert_eq!(Some(b), fresh.next_nonempty_bucket());
+            assert_eq!(q.take_bucket(b), fresh.take_bucket(b));
+        }
+        assert_eq!(fresh.next_nonempty_bucket(), None);
+    }
+
+    #[test]
+    fn fits_checks_all_parameters() {
+        let q = BucketQueue::new(10, 5, 20);
+        assert!(q.fits(10, 5, 20));
+        assert!(q.fits(4, 5, 20), "smaller universe fits");
+        assert!(q.fits(10, 5, 10), "lighter edges fit");
+        assert!(!q.fits(11, 5, 20), "larger universe does not fit");
+        assert!(!q.fits(10, 4, 20), "different delta does not fit");
+        assert!(!q.fits(10, 5, 500), "wider cyclic window does not fit");
+        assert!(!q.fits(10, 0, 20), "zero delta is invalid");
     }
 
     #[test]

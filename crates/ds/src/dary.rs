@@ -67,6 +67,10 @@ impl DecreaseKeyHeap for DaryHeap {
         DaryHeap { slots: Vec::new(), pos: vec![NONE; capacity] }
     }
 
+    fn capacity(&self) -> usize {
+        self.pos.len()
+    }
+
     fn len(&self) -> usize {
         self.slots.len()
     }
@@ -155,6 +159,23 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.key_of(2), None);
         assert!(h.push_or_decrease(2, 7), "reinsertion after clear works");
+    }
+
+    #[test]
+    fn clear_reuse_matches_fresh_heap() {
+        run_clear_reuse::<DaryHeap>(5, 80);
+    }
+
+    #[test]
+    fn clear_keeps_slot_allocation() {
+        let mut h = DaryHeap::with_capacity(64);
+        for i in 0..64u32 {
+            h.push_or_decrease(i, i as u64);
+        }
+        let cap = h.slots.capacity();
+        h.clear();
+        assert_eq!(h.capacity(), 64);
+        assert_eq!(h.slots.capacity(), cap, "clear must not release the slot storage");
     }
 
     #[test]

@@ -192,6 +192,10 @@ impl DecreaseKeyHeap for FibonacciHeap {
         }
     }
 
+    fn capacity(&self) -> usize {
+        self.slot.len()
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -322,6 +326,25 @@ mod tests {
             assert!(k <= h.pop_min().map(|(_, k2)| k2).unwrap_or(u64::MAX) || h.is_empty());
         }
         assert_eq!(h.len(), 80);
+    }
+
+    #[test]
+    fn clear_reuse_matches_fresh_heap() {
+        run_clear_reuse::<FibonacciHeap>(24, 80);
+    }
+
+    #[test]
+    fn clear_keeps_arena_allocation() {
+        let mut h = FibonacciHeap::with_capacity(64);
+        for i in 0..64u32 {
+            h.push_or_decrease(i, i as u64);
+        }
+        h.pop_min(); // force consolidation structure before clearing
+        let cap = h.nodes.capacity();
+        h.clear();
+        assert_eq!(h.capacity(), 64);
+        assert_eq!(h.nodes.capacity(), cap, "clear must not release the node arena");
+        assert_eq!(h.pop_min(), None);
     }
 
     #[test]

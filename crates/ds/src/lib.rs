@@ -36,6 +36,12 @@ pub trait DecreaseKeyHeap {
     /// Creates a heap for items `0..capacity`.
     fn with_capacity(capacity: usize) -> Self;
 
+    /// The item universe the heap was created for (`0..capacity`).
+    /// Preserved by [`DecreaseKeyHeap::clear`], so a cleared heap can be
+    /// reused for any graph with at most this many vertices without
+    /// reallocating.
+    fn capacity(&self) -> usize;
+
     /// Number of items currently queued.
     fn len(&self) -> usize;
 
@@ -55,7 +61,9 @@ pub trait DecreaseKeyHeap {
     /// Current key of `item`, if queued.
     fn key_of(&self, item: u32) -> Option<u64>;
 
-    /// Removes all items, keeping capacity.
+    /// Removes all items, keeping capacity: after `clear()` the heap
+    /// behaves exactly like `with_capacity(self.capacity())` but performs
+    /// no allocation on reuse (asserted by the shared clear-reuse battery).
     fn clear(&mut self);
 }
 
@@ -128,6 +136,51 @@ pub(crate) mod heap_test_support {
             drained.push(k);
         }
         assert_eq!(drained, keys);
+    }
+
+    /// Clear-reuse battery: after `clear()` a heap must behave exactly
+    /// like a freshly constructed one of the same capacity — same drain
+    /// sequence (up to arbitrary tie order), `key_of` misses everywhere,
+    /// and the capacity preserved — across several fill/clear cycles,
+    /// including a clear of a half-drained (dirty) heap.
+    pub fn run_clear_reuse<H: DecreaseKeyHeap>(seed: u64, universe: u32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut reused = H::with_capacity(universe as usize);
+        for cycle in 0..4 {
+            // Dirty the heap (leave it half-drained on odd cycles).
+            for i in 0..universe {
+                reused.push_or_decrease(i, rng.random_range(0..10_000));
+            }
+            if cycle % 2 == 1 {
+                for _ in 0..universe / 2 {
+                    reused.pop_min();
+                }
+            }
+            reused.clear();
+            assert_eq!(reused.len(), 0);
+            assert!(reused.is_empty());
+            assert_eq!(reused.capacity(), universe as usize, "clear must keep capacity");
+            for i in 0..universe {
+                assert_eq!(reused.key_of(i), None, "cycle {cycle}: item {i} leaked");
+            }
+            // The cleared heap and a fresh heap must drain identically.
+            let mut fresh = H::with_capacity(universe as usize);
+            let keys: Vec<u64> = (0..universe).map(|_| rng.random_range(0..1_000u64)).collect();
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(
+                    reused.push_or_decrease(i as u32, k),
+                    fresh.push_or_decrease(i as u32, k)
+                );
+            }
+            let mut a: Vec<(u64, u32)> =
+                std::iter::from_fn(|| reused.pop_min()).map(|(i, k)| (k, i)).collect();
+            let mut b: Vec<(u64, u32)> =
+                std::iter::from_fn(|| fresh.pop_min()).map(|(i, k)| (k, i)).collect();
+            assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "drain must be key-sorted");
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "cycle {cycle}: cleared heap diverged from fresh heap");
+        }
     }
 
     /// Exercises decrease-key cascades: keys only ever decrease.

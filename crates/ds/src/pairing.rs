@@ -113,6 +113,10 @@ impl DecreaseKeyHeap for PairingHeap {
         }
     }
 
+    fn capacity(&self) -> usize {
+        self.slot.len()
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -218,6 +222,23 @@ mod tests {
         // Arena should have reused the freed slot: 2 live nodes, ≤ 2 allocations...
         assert_eq!(h.nodes.len(), 2, "freed node must be reused");
         assert_eq!(h.pop_min(), Some((1, 2)));
+    }
+
+    #[test]
+    fn clear_reuse_matches_fresh_heap() {
+        run_clear_reuse::<PairingHeap>(14, 80);
+    }
+
+    #[test]
+    fn clear_keeps_arena_allocation() {
+        let mut h = PairingHeap::with_capacity(64);
+        for i in 0..64u32 {
+            h.push_or_decrease(i, i as u64);
+        }
+        let cap = h.nodes.capacity();
+        h.clear();
+        assert_eq!(h.capacity(), 64);
+        assert_eq!(h.nodes.capacity(), cap, "clear must not release the node arena");
     }
 
     #[test]

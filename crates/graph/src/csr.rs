@@ -137,6 +137,29 @@ impl CsrGraph {
         self.num_vertices() as Dist * self.max_weight as Dist + 1
     }
 
+    /// A 64-bit content hash of the full topology and weights (FNV-1a over
+    /// the CSR arrays). Two graphs hash equal iff their CSR forms are
+    /// identical (modulo the usual 2⁻⁶⁴ collision caveat) — unlike
+    /// vertex/edge counts, a changed weight or rewired edge changes the
+    /// hash. Used by preprocessing caches to detect stale entries.
+    pub fn content_hash(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.num_vertices() as u64);
+        mix(self.targets.len() as u64);
+        for &o in &self.offsets {
+            mix(o as u64);
+        }
+        for (&t, &w) in self.targets.iter().zip(&self.weights) {
+            mix(((t as u64) << 32) | w as u64);
+        }
+        h
+    }
+
     /// Returns a copy whose adjacency lists are sorted by `(weight, target)`
     /// instead of by target.
     ///
@@ -278,5 +301,30 @@ mod tests {
     #[should_panic(expected = "target out of range")]
     fn from_parts_validates_targets() {
         CsrGraph::from_parts(vec![0, 1], vec![5], vec![1]);
+    }
+
+    #[test]
+    fn content_hash_sees_weights_and_wiring() {
+        let g = triangle();
+        assert_eq!(g.content_hash(), triangle().content_hash(), "deterministic");
+        // Same shape (n, m), one weight changed: different hash.
+        let mut b = crate::EdgeListBuilder::new(3);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 0, 8); // triangle() uses 9 here
+        let reweighted = b.build();
+        assert_eq!(reweighted.num_vertices(), g.num_vertices());
+        assert_eq!(reweighted.num_edges(), g.num_edges());
+        assert_ne!(reweighted.content_hash(), g.content_hash());
+        // Same shape, rewired: different hash.
+        let mut b = crate::EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let a = b.build();
+        let mut b = crate::EdgeListBuilder::new(4);
+        b.add_edge(0, 2, 1);
+        b.add_edge(1, 3, 1);
+        let c = b.build();
+        assert_ne!(a.content_hash(), c.content_hash());
     }
 }

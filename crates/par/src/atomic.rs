@@ -74,6 +74,13 @@ pub struct AtomicBitset {
     len: usize,
 }
 
+impl Default for AtomicBitset {
+    /// The zero-length bitset (grow by replacing with a sized one).
+    fn default() -> Self {
+        AtomicBitset::new(0)
+    }
+}
+
 impl AtomicBitset {
     /// Creates a bitset of `len` bits, all clear.
     pub fn new(len: usize) -> Self {

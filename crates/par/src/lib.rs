@@ -11,24 +11,33 @@
 //! * [`pack`] — parallel filter/pack of indices or values by a predicate.
 //! * [`atomic`] — the paper's *priority-write* (`WriteMin`) on `u64`
 //!   distances, plus an atomic bitset for concurrent membership flags.
+//! * [`epoch`] — the priority-write array with epoch-tagged entries, whose
+//!   logical reset to all-`∞` is O(1): the substrate of reusable solver
+//!   scratch state for batch workloads.
 //! * [`reduce`] — parallel min/argmin reductions used to select the round
 //!   distance `d_i = min(δ(v) + r(v))`.
 //! * [`frontier`] — Ligra-style vertex subsets with sparse/dense duality.
+//! * [`worker`] — per-worker state handout ([`worker_map`]): fan a batch of
+//!   items over the pool with one lazily-created, reused state per task.
 //!
 //! All primitives are deterministic given deterministic input (the atomics
 //! resolve races to the same fixed point regardless of scheduling).
 
 pub mod atomic;
+pub mod epoch;
 pub mod frontier;
 pub mod pack;
 pub mod reduce;
 pub mod scan;
+pub mod worker;
 
 pub use atomic::{atomic_vec, AtomicBitset, AtomicMinU64};
+pub use epoch::EpochMinArray;
 pub use frontier::VertexSubset;
 pub use pack::{pack_indices, pack_values};
 pub use reduce::{par_min, par_min_by_key};
 pub use scan::{exclusive_scan, exclusive_scan_in_place};
+pub use worker::worker_map;
 
 /// Sequential-fallback threshold: below this many items the parallel
 /// primitives run sequentially to avoid fork-join overhead.

@@ -1,0 +1,86 @@
+//! Serving many queries: the batch API end to end.
+//!
+//! A query server pays three one-time costs — building the graph, the
+//! (k, ρ)-preprocessing, and warming a `SolverScratch` per worker — and
+//! then answers every request on reused state:
+//!
+//! * **Batch requests** go through `BatchPlan`: duplicate sources are
+//!   answered once and cloned (think: popular origins in a routing
+//!   service), unique solves fan out over the thread pool with one scratch
+//!   per pool task, and the per-batch `BatchStats` aggregate reports steps,
+//!   relaxations and the warm/cold scratch split.
+//! * **Single requests** on a dedicated worker loop reuse one long-lived
+//!   scratch via `solve_with_scratch` — after the first request, no
+//!   working distance array, bitset, heap or bucket queue is allocated
+//!   again (`StepStats::scratch_reused`).
+//!
+//! ```text
+//! cargo run --release --example query_server
+//! ```
+
+use std::time::Instant;
+
+use radius_stepping::prelude::*;
+
+fn main() {
+    // One-time: a ~46k-junction road network with travel-time weights.
+    let topology = graph::gen::road_network(220, 11);
+    let g = graph::weights::reweight(&topology, WeightModel::paper_weighted(), 5);
+    let n = g.num_vertices() as u32;
+    println!("graph: {} vertices, {} edges", n, g.num_edges());
+
+    // One-time: preprocessing sized for a many-source workload (§5.4).
+    let t = Instant::now();
+    let solver = SolverBuilder::new(&g).preprocess(PreprocessConfig::new(1, 64)).build();
+    println!("build ({}): {:.2}s\n", solver.name(), t.elapsed().as_secs_f64());
+
+    // --- Batch endpoint -------------------------------------------------
+    // 256 requests, deliberately skewed: a few hot origins dominate, as in
+    // real query logs. BatchPlan solves each distinct origin once.
+    let requests: Vec<VertexId> =
+        (0..256u32).map(|i| if i % 3 == 0 { 42 } else { (i * 977) % n }).collect();
+    let plan = BatchPlan::new(&requests);
+    println!(
+        "batch: {} requests, {} unique origins ({} served by dedup)",
+        plan.len(),
+        plan.unique_sources().len(),
+        plan.deduplicated()
+    );
+    let t = Instant::now();
+    let outcome = plan.execute(&*solver);
+    println!(
+        "answered in {:.2}s on {} pool threads: {} cold solves (one per worker scratch), \
+         {} warm reuses, mean {:.1} steps/request",
+        t.elapsed().as_secs_f64(),
+        par::num_threads(),
+        outcome.stats.cold_solves,
+        outcome.stats.scratch_reuses,
+        outcome.stats.mean_steps(),
+    );
+    let sample = &outcome.results[0];
+    println!(
+        "sample answer (origin {}): {} reachable, farthest travel time {}\n",
+        requests[0],
+        sample.dist.iter().filter(|&&d| d != INF).count(),
+        sample.dist.iter().filter(|&&d| d != INF).max().unwrap()
+    );
+
+    // --- Single-request worker loop -------------------------------------
+    // A long-lived worker owns one scratch and streams requests through
+    // it; everything after request #1 runs allocation-free.
+    let mut scratch = SolverScratch::new();
+    let t = Instant::now();
+    let mut warm = 0u32;
+    for i in 0..64u32 {
+        let origin = (i * 131) % n;
+        let out = solver.solve_with_scratch(origin, &mut scratch);
+        warm += u32::from(out.stats.scratch_reused);
+    }
+    println!(
+        "worker loop: 64 requests in {:.2}s, {} on warm scratch (scratch: {} solves, {} reuses)",
+        t.elapsed().as_secs_f64(),
+        warm,
+        scratch.solves(),
+        scratch.reuses(),
+    );
+}

@@ -1,8 +1,9 @@
 //! Road-network routing: the paper's motivating workload for multi-source
 //! use. Preprocessing is paid once at `build()`; every subsequent source
 //! amortises it (§5.4: "since preprocessing is only run once, if Sssp will
-//! be run from multiple sources, we suggest increasing ρ"), and
-//! `solve_batch` fans the depots out across the thread pool.
+//! be run from multiple sources, we suggest increasing ρ"), and a
+//! `BatchPlan` fans the depots out across the thread pool — each pool
+//! task reusing one `SolverScratch`, with per-batch aggregated stats.
 //!
 //! ```text
 //! cargo run --release --example road_trip
@@ -34,14 +35,13 @@ fn main() {
     );
 
     // A fleet of depots runs shortest paths to plan deliveries — one
-    // parallel batch over the shared preprocessed structure.
-    let depots = [0u32, (n / 3) as u32, (n / 2) as u32, (n - 1) as u32];
+    // parallel batch over the shared preprocessed structure. BatchPlan
+    // dedups repeated depots and reuses one scratch per pool worker.
+    let depots = [0u32, (n / 3) as u32, (n / 2) as u32, (n - 1) as u32, 0u32];
     let t = Instant::now();
-    let results = solver.solve_batch(&depots);
+    let outcome = BatchPlan::new(&depots).execute(&*solver);
     let rs_time = t.elapsed().as_secs_f64();
-    let mut total_steps = 0;
-    for (out, &depot) in results.iter().zip(&depots) {
-        total_steps += out.stats.steps;
+    for (out, &depot) in outcome.results.iter().zip(&depots) {
         let reachable = out.dist.iter().filter(|&&d| d != INF).count();
         println!(
             "depot {depot:>6}: {} junctions reachable, {} steps, farthest travel time {}",
@@ -50,6 +50,14 @@ fn main() {
             out.dist.iter().filter(|&&d| d != INF).max().unwrap()
         );
     }
+    let total_steps = outcome.stats.steps;
+    println!(
+        "batch: {} requested, {} unique solved ({} deduped), {} warm scratch reuses",
+        outcome.stats.solves,
+        outcome.stats.unique_solves,
+        outcome.stats.solves - outcome.stats.unique_solves,
+        outcome.stats.scratch_reuses,
+    );
 
     // Compare against per-source sequential Dijkstra via the same trait.
     let dijkstra =

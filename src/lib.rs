@@ -49,9 +49,16 @@
 //! let bounded = solver.solve_to_goal(0, 820);
 //! assert_eq!(bounded.dist[820], result.dist[820]);
 //!
-//! // Multi-source fan-out across the thread pool.
-//! let batch = solver.solve_batch(&[0, 40, 1599]);
+//! // Multi-source fan-out across the thread pool: duplicates answered
+//! // once (dedup is observationally invisible), one reusable
+//! // SolverScratch per pool worker — no per-source working-array
+//! // allocation after warmup. BatchPlan::execute additionally reports
+//! // per-batch aggregates (BatchStats).
+//! let batch = solver.solve_batch(&[0, 40, 1599, 40]);
 //! assert_eq!(batch[2].dist[0], result.dist[1599]);
+//! assert_eq!(batch[1].dist, batch[3].dist);
+//! let outcome = BatchPlan::new(&[0, 40, 40]).execute(&*solver);
+//! assert_eq!(outcome.stats.unique_solves, 2);
 //!
 //! // Same answer as the sequential baseline, through the same interface.
 //! let dijkstra = SolverBuilder::new(&g)
@@ -72,10 +79,11 @@ pub mod prelude {
     pub use rs_baselines::solver::BuildSolver;
     pub use rs_core::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
     pub use rs_core::solver::{
-        Algorithm, HeapKind, Radii, SolverBuilder, SolverConfig, SsspSolver,
+        Algorithm, BatchOutcome, BatchPlan, BatchStats, HeapKind, Radii, SolverBuilder,
+        SolverConfig, SsspSolver,
     };
     pub use rs_core::{
-        radius_stepping, EngineConfig, EngineKind, RadiiSpec, SsspResult, StepStats,
+        radius_stepping, EngineConfig, EngineKind, RadiiSpec, SolverScratch, SsspResult, StepStats,
     };
     pub use rs_graph::{CsrGraph, Dist, EdgeListBuilder, VertexId, Weight, WeightModel, INF};
 }

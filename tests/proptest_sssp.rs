@@ -105,4 +105,86 @@ proptest! {
         prop_assert_eq!(baselines::delta_stepping(&g, 0, delta).dist, reference.clone());
         prop_assert_eq!(baselines::bellman_ford(&g, 0).dist, reference);
     }
+
+    // Batch dedup must be observationally invisible: for ANY source
+    // multiset — duplicates, repeats, arbitrary order — `solve_batch`
+    // returns exactly what per-source `solve` returns, slot for slot, and
+    // the `BatchPlan` bookkeeping stays consistent.
+    #[test]
+    fn solve_batch_with_duplicates_matches_per_source(
+        g in arb_connected_graph(),
+        raw_sources in proptest::collection::vec(0u32..1000, 0..24),
+        algo_pick in 0usize..4,
+    ) {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<VertexId> = raw_sources.iter().map(|&s| s % n).collect();
+        let algorithm = [
+            Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(40) },
+            Algorithm::Dijkstra { heap: HeapKind::Dary },
+            Algorithm::DeltaStepping { delta: 60 },
+            Algorithm::BellmanFord,
+        ][algo_pick].clone();
+        let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+
+        let plan = BatchPlan::new(&sources);
+        let unique: std::collections::HashSet<VertexId> = sources.iter().copied().collect();
+        prop_assert_eq!(plan.len(), sources.len());
+        prop_assert_eq!(plan.unique_sources().len(), unique.len());
+        prop_assert_eq!(plan.deduplicated(), sources.len() - unique.len());
+
+        let outcome = plan.execute(&*solver);
+        prop_assert_eq!(outcome.results.len(), sources.len());
+        prop_assert_eq!(outcome.stats.solves, sources.len());
+        prop_assert_eq!(outcome.stats.unique_solves, unique.len());
+        prop_assert_eq!(
+            outcome.stats.cold_solves + outcome.stats.scratch_reuses,
+            outcome.stats.unique_solves
+        );
+        for (out, &s) in outcome.results.iter().zip(&sources) {
+            prop_assert_eq!(&out.dist, &solver.solve(s).dist, "source {}", s);
+        }
+    }
+
+    // Empty and singleton batches are well-behaved for every algorithm,
+    // and a singleton's result equals the plain solve.
+    #[test]
+    fn solve_batch_empty_and_singleton(g in arb_connected_graph(), s in 0u32..1000) {
+        let n = g.num_vertices() as u32;
+        let s = s % n;
+        let solver = SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero })
+            .build();
+        prop_assert!(solver.solve_batch(&[]).is_empty());
+        let single = solver.solve_batch(&[s]);
+        prop_assert_eq!(single.len(), 1);
+        prop_assert_eq!(&single[0].dist, &solver.solve(s).dist);
+        // All-duplicates batch: one unique solve, three identical answers.
+        let dup = BatchPlan::new(&[s, s, s]);
+        prop_assert_eq!(dup.unique_sources(), &[s][..]);
+        let outcome = dup.execute(&*solver);
+        prop_assert_eq!(outcome.stats.unique_solves, 1);
+        for out in &outcome.results {
+            prop_assert_eq!(&out.dist, &outcome.results[0].dist);
+        }
+    }
+
+    // One scratch, interleaved random sources: results must stay
+    // bit-identical to fresh solves no matter the order (stale-state
+    // fuzzing for the epoch reset).
+    #[test]
+    fn scratch_reuse_never_leaks_state(
+        g in arb_connected_graph(),
+        schedule in proptest::collection::vec(0u32..1000, 1..10),
+    ) {
+        let n = g.num_vertices() as u32;
+        let solver = SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(25) })
+            .build();
+        let mut scratch = SolverScratch::new();
+        for s in schedule {
+            let s = s % n;
+            let warm = solver.solve_with_scratch(s, &mut scratch);
+            prop_assert_eq!(&warm.dist, &solver.solve(s).dist, "source {}", s);
+        }
+    }
 }

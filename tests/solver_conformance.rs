@@ -5,8 +5,18 @@
 //! * `solve` produces distances identical to the Dijkstra reference;
 //! * `solve_to_goal` settles the goal exactly and returns upper bounds
 //!   elsewhere (the full solve's settled prefix is preserved);
-//! * `solve_batch` matches per-source solves;
+//! * `solve_batch` matches per-source solves, deduplicates invisibly, and
+//!   reuses per-worker scratch state (no working-array allocation after
+//!   warmup);
+//! * `solve_with_scratch` on one long-lived scratch is bit-identical to
+//!   fresh per-source solvers, for every algorithm × heap — interleaved,
+//!   so any state leaking from a previous solve is caught;
 //! * recorded parent trees telescope to the distances.
+//!
+//! Batch results are deterministic for any pool size (the engines resolve
+//! relaxation races to the same fixpoint), so the RS_NUM_THREADS=1 and
+//! nproc runs of this suite in CI's `batch` job assert the sequential ==
+//! parallel regression by transitivity through the per-source reference.
 
 use radius_stepping::prelude::*;
 
@@ -148,6 +158,170 @@ fn solve_batch_matches_per_source_solves() {
             for (out, &s) in batch.iter().zip(&sources) {
                 assert_eq!(out.dist, solver.solve(s).dist, "{name}: {} source {s}", solver.name());
             }
+        }
+    }
+}
+
+/// The stale-state-leak hunt: ONE scratch serves interleaved solves from
+/// different sources — with revisits — for every solver family (including
+/// every Dijkstra heap). Any distance, bitset, heap or bucket entry
+/// surviving a previous solve shows up as a diverging result here.
+#[test]
+fn interleaved_scratch_reuse_is_bit_identical() {
+    let (name, g) = weighted_graphs().swap_remove(2);
+    let n = g.num_vertices() as u32;
+    let schedule: Vec<VertexId> = vec![0, n - 1, n / 2, 0, 7 % n, n - 1, 3 % n];
+    for solver in weighted_solvers(&g) {
+        let mut scratch = SolverScratch::new();
+        for (i, &s) in schedule.iter().enumerate() {
+            let warm = solver.solve_with_scratch(s, &mut scratch);
+            let fresh = solver.solve(s);
+            assert_eq!(
+                warm.dist,
+                fresh.dist,
+                "{name}: {} solve {i} from {s} diverged on a reused scratch",
+                solver.name()
+            );
+            assert_eq!(warm.stats.steps, fresh.stats.steps, "{name}: {}", solver.name());
+            assert_eq!(warm.stats.substeps, fresh.stats.substeps, "{name}: {}", solver.name());
+            assert_eq!(warm.stats.settled, fresh.stats.settled, "{name}: {}", solver.name());
+            if i > 0 {
+                assert!(
+                    warm.stats.scratch_reused,
+                    "{name}: {} solve {i} reallocated on a warm scratch",
+                    solver.name()
+                );
+            }
+        }
+    }
+}
+
+/// The same hunt on unit-weight graphs for the BFS-only solvers.
+#[test]
+fn interleaved_scratch_reuse_on_unit_graphs() {
+    let (name, g) = ("grid".to_string(), graph::gen::grid2d(14, 13));
+    let solvers: Vec<Box<dyn SsspSolver>> = vec![
+        SolverBuilder::new(&g).algorithm(Algorithm::Bfs).build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Unweighted,
+                radii: Radii::Constant(2),
+            })
+            .build(),
+    ];
+    for solver in solvers {
+        let mut scratch = SolverScratch::new();
+        for (i, s) in [0u32, 181, 90, 0, 11].into_iter().enumerate() {
+            let warm = solver.solve_with_scratch(s, &mut scratch);
+            let fresh = solver.solve(s);
+            assert_eq!(warm.dist, fresh.dist, "{name}: {} solve {i}", solver.name());
+            assert_eq!(warm.stats.scratch_reused, i > 0, "{name}: {}", solver.name());
+        }
+    }
+}
+
+/// Duplicate-heavy batches: dedup answers each duplicate by cloning one
+/// unique solve, which must be observationally invisible across every
+/// solver; empty and singleton batches behave.
+#[test]
+fn solve_batch_dedup_is_invisible() {
+    let (name, g) = weighted_graphs().swap_remove(0);
+    let n = g.num_vertices() as u32;
+    let sources: Vec<VertexId> = vec![4, n / 2, 4, 4, n - 1, n / 2, 4];
+    for solver in weighted_solvers(&g).into_iter().take(6) {
+        let batch = solver.solve_batch(&sources);
+        assert_eq!(batch.len(), sources.len());
+        for (out, &s) in batch.iter().zip(&sources) {
+            assert_eq!(out.dist, solver.solve(s).dist, "{name}: {} source {s}", solver.name());
+        }
+        assert!(solver.solve_batch(&[]).is_empty(), "{name}: {}", solver.name());
+        let single = solver.solve_batch(&[n / 3]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].dist, solver.solve(n / 3).dist, "{name}: {}", solver.name());
+    }
+}
+
+/// The acceptance bar: a 64-source batch over a ~100k-vertex graph must
+/// perform no per-source *working* distance-array allocation after warmup
+/// — i.e. at most one cold solve per pool task, everything else on reused
+/// scratch (`StepStats::scratch_reused`) — while staying bit-identical to
+/// per-source solves. (The per-result output copy in `SsspResult::dist` is
+/// the API's ownership contract and is not a working array.)
+#[test]
+fn batch_on_100k_graph_reuses_scratch_after_warmup() {
+    let g = graph::gen::grid2d(320, 320); // 102 400 vertices
+    assert!(g.num_vertices() >= 100_000);
+    let sources: Vec<VertexId> =
+        (0..64u32).map(|i| (i * 1_601) % g.num_vertices() as u32).collect();
+    let solvers: Vec<Box<dyn SsspSolver>> = vec![
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Frontier,
+                radii: Radii::Constant(40),
+            })
+            .build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Unweighted,
+                radii: Radii::Constant(40),
+            })
+            .build(),
+        SolverBuilder::new(&g).algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary }).build(),
+        SolverBuilder::new(&g).algorithm(Algorithm::DeltaStepping { delta: 3 }).build(),
+    ];
+    let threads = par::num_threads();
+    for solver in solvers {
+        let outcome = BatchPlan::new(&sources).execute(&*solver);
+        assert_eq!(outcome.stats.solves, 64, "{}", solver.name());
+        assert_eq!(outcome.stats.unique_solves, 64, "{}", solver.name());
+        assert!(
+            outcome.stats.cold_solves <= threads.min(64),
+            "{}: {} cold solves for {} pool tasks — per-source allocation after warmup",
+            solver.name(),
+            outcome.stats.cold_solves,
+            threads
+        );
+        assert_eq!(
+            outcome.stats.scratch_reuses,
+            64 - outcome.stats.cold_solves,
+            "{}",
+            solver.name()
+        );
+        // Spot-check bit-identity against cold per-source solves.
+        for &i in &[0usize, 31, 63] {
+            assert_eq!(
+                outcome.results[i].dist,
+                solver.solve(sources[i]).dist,
+                "{} source {}",
+                solver.name(),
+                sources[i]
+            );
+        }
+    }
+}
+
+/// `solve_batch` must equal the sequential per-source reference at every
+/// pool size. RS_NUM_THREADS is pinned once at pool creation, so the 1-
+/// vs-nproc comparison runs as two processes (CI's `batch` job); within
+/// one process this asserts batch == sequential reference, which makes the
+/// two CI runs transitively equal.
+#[test]
+fn solve_batch_equals_sequential_reference_at_any_thread_count() {
+    let (name, g) = weighted_graphs().swap_remove(1);
+    let n = g.num_vertices() as u32;
+    let sources: Vec<VertexId> = (0..16).map(|i| (i * 37) % n).collect();
+    for solver in weighted_solvers(&g) {
+        let reference: Vec<Vec<Dist>> =
+            sources.iter().map(|&s| baselines::dijkstra_default(solver.graph(), s)).collect();
+        let batch = solver.solve_batch(&sources);
+        for ((out, &s), expect) in batch.iter().zip(&sources).zip(&reference) {
+            assert_eq!(
+                &out.dist,
+                expect,
+                "{name}: {} source {s} (RS_NUM_THREADS={})",
+                solver.name(),
+                par::num_threads()
+            );
         }
     }
 }
