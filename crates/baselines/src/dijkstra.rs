@@ -14,12 +14,16 @@ use rs_graph::{CsrGraph, Dist, VertexId, INF};
 /// reports the pops (settled count) and attempted edge relaxations. The
 /// heap is caller-provided (and must arrive empty with capacity ≥ `n`) so
 /// batch workloads can reuse one heap across sources — see
-/// [`rs_core::SolverScratch`].
-pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
+/// [`rs_core::SolverScratch`]. With `parent` supplied (a `u32::MAX`-filled
+/// `n`-slice), the shortest-path tree is recorded inline — O(1) per
+/// relaxation, no post-pass — covering every improved vertex (settled
+/// entries telescope exactly).
+pub fn dijkstra_into_heap_with_parents<H: DecreaseKeyHeap>(
     g: &CsrGraph,
     s: VertexId,
     goal: Option<VertexId>,
     heap: &mut H,
+    mut parent: Option<&mut [VertexId]>,
 ) -> (Vec<Dist>, usize, u64) {
     let n = g.num_vertices();
     debug_assert!(heap.is_empty() && heap.capacity() >= n, "heap must arrive empty and sized");
@@ -27,6 +31,9 @@ pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
     let mut settled = 0;
     let mut relaxations = 0u64;
     dist[s as usize] = 0;
+    if let Some(p) = parent.as_deref_mut() {
+        p[s as usize] = s;
+    }
     heap.push_or_decrease(s, 0);
     while let Some((u, du)) = heap.pop_min() {
         debug_assert_eq!(du, dist[u as usize]);
@@ -39,11 +46,24 @@ pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
             let cand = du + w as Dist;
             if cand < dist[v as usize] {
                 dist[v as usize] = cand;
+                if let Some(p) = parent.as_deref_mut() {
+                    p[v as usize] = u;
+                }
                 heap.push_or_decrease(v, cand);
             }
         }
     }
     (dist, settled, relaxations)
+}
+
+/// [`dijkstra_into_heap_with_parents`] without parent recording.
+pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
+    g: &CsrGraph,
+    s: VertexId,
+    goal: Option<VertexId>,
+    heap: &mut H,
+) -> (Vec<Dist>, usize, u64) {
+    dijkstra_into_heap_with_parents(g, s, goal, heap, None)
 }
 
 /// [`dijkstra_into_heap`] with a freshly allocated heap.

@@ -19,17 +19,18 @@
 
 use rs_core::scratch::ScratchHeap;
 use rs_core::solver::{
-    Algorithm, HeapKind, RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
+    Algorithm, HeapKind, Query, QueryResponse, RadiusSteppingSolver, SolverBuilder, SolverConfig,
+    SolverGraph, SsspSolver,
 };
 use rs_core::stats::{SsspResult, StepStats};
 use rs_core::SolverScratch;
-use rs_ds::{DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap};
-use rs_graph::{CsrGraph, Dist, VertexId, INF};
+use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
+use rs_graph::{CsrGraph, Dist, INF};
 
-use crate::bellman_ford::{bellman_ford_scratch, bellman_ford_to_goal};
-use crate::bfs::{bfs_par_to_goal, bfs_scratch};
-use crate::delta_stepping::{delta_stepping_scratch, delta_stepping_to_goal, DeltaSteppingResult};
-use crate::dijkstra::{dijkstra_into_heap, dijkstra_with_goal};
+use crate::bellman_ford::bellman_ford_scratch;
+use crate::bfs::bfs_scratch;
+use crate::delta_stepping::{delta_stepping_scratch, DeltaSteppingResult};
+use crate::dijkstra::dijkstra_into_heap_with_parents;
 
 /// Completes [`SolverBuilder`] with a `build()` covering every
 /// [`Algorithm`] variant (the baseline adapters are defined here, above
@@ -82,13 +83,25 @@ pub struct DijkstraSolver<'g> {
 }
 
 impl DijkstraSolver<'_> {
-    fn finish(
+    fn run_scratch<H: ScratchHeap>(
         &self,
-        dist: Vec<Dist>,
-        settled: usize,
-        relaxations: u64,
-        reused: bool,
-    ) -> SsspResult {
+        query: &Query,
+        scratch: &mut SolverScratch,
+    ) -> QueryResponse {
+        let n = self.graph.num_vertices();
+        scratch.begin(n);
+        let mut heap: H = scratch.checkout_heap();
+        // Dijkstra is sequential, so parents are always recorded inline
+        // (deterministic, O(1) per relaxation) — never by post-pass.
+        let mut parent = self.config.wants_paths(query).then(|| vec![u32::MAX; n]);
+        let (dist, settled, relaxations) = dijkstra_into_heap_with_parents(
+            &self.graph,
+            query.source(),
+            query.goal(),
+            &mut heap,
+            parent.as_deref_mut(),
+        );
+        scratch.return_heap(heap);
         // Dijkstra settles one vertex per extraction: steps = settled.
         let stats = StepStats {
             steps: settled,
@@ -96,31 +109,12 @@ impl DijkstraSolver<'_> {
             max_substeps_in_step: settled.min(1),
             relaxations,
             settled,
-            scratch_reused: reused,
+            scratch_reused: scratch.finish(),
             trace: None,
         };
-        self.config.finish(&self.graph, SsspResult::new(dist, stats))
-    }
-
-    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
-        let (dist, settled, relaxations) = match self.heap {
-            HeapKind::Dary => dijkstra_with_goal::<DaryHeap>(&self.graph, source, goal),
-            HeapKind::Pairing => dijkstra_with_goal::<PairingHeap>(&self.graph, source, goal),
-            HeapKind::Fibonacci => dijkstra_with_goal::<FibonacciHeap>(&self.graph, source, goal),
-        };
-        self.finish(dist, settled, relaxations, false)
-    }
-
-    fn run_scratch<H: ScratchHeap + DecreaseKeyHeap>(
-        &self,
-        source: VertexId,
-        scratch: &mut SolverScratch,
-    ) -> (Vec<Dist>, usize, u64, bool) {
-        scratch.begin(self.graph.num_vertices());
-        let mut heap: H = scratch.checkout_heap();
-        let (dist, settled, relaxations) = dijkstra_into_heap(&self.graph, source, None, &mut heap);
-        scratch.return_heap(heap);
-        (dist, settled, relaxations, scratch.finish())
+        let mut result = SsspResult::new(dist, stats);
+        result.parent = parent;
+        QueryResponse { query: *query, result }
     }
 }
 
@@ -133,21 +127,22 @@ impl SsspSolver for DijkstraSolver<'_> {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.run(source, None)
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        match self.heap {
+            HeapKind::Dary => self.run_scratch::<DaryHeap>(query, scratch),
+            HeapKind::Pairing => self.run_scratch::<PairingHeap>(query, scratch),
+            HeapKind::Fibonacci => self.run_scratch::<FibonacciHeap>(query, scratch),
+        }
     }
 
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        self.run(source, Some(goal))
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        let (dist, settled, relaxations, reused) = match self.heap {
-            HeapKind::Dary => self.run_scratch::<DaryHeap>(source, scratch),
-            HeapKind::Pairing => self.run_scratch::<PairingHeap>(source, scratch),
-            HeapKind::Fibonacci => self.run_scratch::<FibonacciHeap>(source, scratch),
-        };
-        self.finish(dist, settled, relaxations, reused)
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        scratch.warm_up(&self.graph);
+        let n = self.graph.num_vertices();
+        match self.heap {
+            HeapKind::Dary => scratch.warm_heap::<DaryHeap>(n),
+            HeapKind::Pairing => scratch.warm_heap::<PairingHeap>(n),
+            HeapKind::Fibonacci => scratch.warm_heap::<FibonacciHeap>(n),
+        }
     }
 }
 
@@ -159,7 +154,7 @@ pub struct DeltaSteppingSolver<'g> {
 }
 
 impl DeltaSteppingSolver<'_> {
-    fn finish(&self, out: DeltaSteppingResult) -> SsspResult {
+    fn to_result(&self, out: DeltaSteppingResult) -> SsspResult {
         let settled = out.dist.iter().filter(|&&d| d != INF).count();
         let stats = StepStats {
             steps: out.buckets,
@@ -170,7 +165,7 @@ impl DeltaSteppingSolver<'_> {
             scratch_reused: out.scratch_reused,
             trace: None,
         };
-        self.config.finish(&self.graph, SsspResult::new(out.dist, stats))
+        SsspResult::new(out.dist, stats)
     }
 }
 
@@ -183,16 +178,19 @@ impl SsspSolver for DeltaSteppingSolver<'_> {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.finish(delta_stepping_to_goal(&self.graph, source, self.delta, None))
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let out =
+            delta_stepping_scratch(&self.graph, query.source(), self.delta, query.goal(), scratch);
+        // The parallel bucket phases carry no per-writer identity, so
+        // `want_paths` is answered by finish_paths: the goal-path walk for
+        // point-to-point, the parallel derivation for full solves.
+        let result = self.config.finish_paths(&self.graph, query, self.to_result(out));
+        QueryResponse { query: *query, result }
     }
 
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        self.finish(delta_stepping_to_goal(&self.graph, source, self.delta, Some(goal)))
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        self.finish(delta_stepping_scratch(&self.graph, source, self.delta, None, scratch))
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        scratch.warm_up(&self.graph);
+        scratch.warm_bucket(self.graph.num_vertices(), self.delta, self.graph.max_weight() as u64);
     }
 }
 
@@ -215,16 +213,10 @@ impl SsspSolver for BellmanFordSolver<'_> {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.config.finish(&self.graph, bellman_ford_to_goal(&self.graph, source, None))
-    }
-
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        self.config.finish(&self.graph, bellman_ford_to_goal(&self.graph, source, Some(goal)))
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        self.config.finish(&self.graph, bellman_ford_scratch(&self.graph, source, None, scratch))
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let out = bellman_ford_scratch(&self.graph, query.source(), query.goal(), scratch);
+        let result = self.config.finish_paths(&self.graph, query, out);
+        QueryResponse { query: *query, result }
     }
 }
 
@@ -257,16 +249,16 @@ impl SsspSolver for BfsSolver<'_> {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.config.finish(&self.graph, bfs_par_to_goal(&self.graph, source, None))
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let out = bfs_scratch(&self.graph, query.source(), query.goal(), scratch);
+        let result = self.config.finish_paths(&self.graph, query, out);
+        QueryResponse { query: *query, result }
     }
 
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        self.config.finish(&self.graph, bfs_par_to_goal(&self.graph, source, Some(goal)))
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        self.config.finish(&self.graph, bfs_scratch(&self.graph, source, None, scratch))
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        // BFS touches only the visited bitset — skip the 16 B/vertex
+        // distance structures the default warm-up would materialise.
+        scratch.warm_up_lean(&self.graph);
     }
 }
 

@@ -16,7 +16,7 @@
 
 use rs_baselines::solver::BuildSolver;
 use rs_core::preprocess::compute_radii;
-use rs_core::solver::{Algorithm, BatchPlan, Radii, SolverBuilder};
+use rs_core::solver::{Algorithm, QueryBatch, Radii, SolverBuilder};
 use rs_core::EngineKind;
 use rs_graph::{CsrGraph, VertexId};
 
@@ -28,10 +28,10 @@ use crate::table::{fmt_count, Table};
 use super::ExpConfig;
 
 /// Mean number of steps over `sources`, with `r(v) = r_ρ(v)`: one solver
-/// built per (graph, ρ), sources fanned out through a [`BatchPlan`] —
+/// built per (graph, ρ), sources fanned out through a [`QueryBatch`] —
 /// duplicate samples are answered once, every pool task reuses one
-/// scratch, and the mean comes straight from the batch's aggregated
-/// [`rs_core::StepStats`].
+/// pre-warmed scratch, and the mean comes straight from the batch's
+/// aggregated [`rs_core::StepStats`].
 pub fn mean_steps(g: &CsrGraph, rho: usize, sources: &[VertexId]) -> f64 {
     let radii = if rho == 1 {
         // r_1(v) = 0 for every v (the source itself is its closest vertex):
@@ -43,7 +43,7 @@ pub fn mean_steps(g: &CsrGraph, rho: usize, sources: &[VertexId]) -> f64 {
     let solver = SolverBuilder::new(g)
         .algorithm(Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii })
         .build();
-    BatchPlan::new(sources).execute(&*solver).stats.mean_steps()
+    QueryBatch::from_sources(sources).execute(&*solver).stats.mean_steps()
 }
 
 /// One suite graph's step-count column over a ρ grid (`None` = skipped

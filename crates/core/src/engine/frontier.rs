@@ -26,7 +26,7 @@ use rs_graph::{CsrGraph, Dist, VertexId};
 use rs_par::{par_min, AtomicBitset, EpochMinArray};
 
 use crate::radii::RadiiSpec;
-use crate::scratch::SolverScratch;
+use crate::scratch::{ParentClaim, SolverScratch};
 use crate::stats::{SsspResult, StepStats, StepTrace};
 use crate::EngineConfig;
 
@@ -54,6 +54,10 @@ pub(crate) fn run_with(
     crate::scratch::assert_distance_range(g);
     scratch.begin(n);
     let mut stats = StepStats { trace: config.trace.then(Vec::new), ..Default::default() };
+    // The parent tree is part of the *result* (owned by the caller like
+    // `dist`), not working state: claims are resolved into it at substep
+    // end, so a settled vertex's parent always matches the winning writer.
+    let mut parent: Option<Vec<VertexId>> = config.record_parents.then(|| vec![u32::MAX; n]);
     let out_dist;
     {
         let view = scratch.view();
@@ -64,13 +68,26 @@ pub(crate) fn run_with(
         let dirty_mark = view.mark_c;
         let fringe = view.verts_a;
         let active = view.verts_b;
+        let dirty = view.verts_c;
+        let next_dirty = view.verts_d;
+        let fringe_adds = view.verts_e;
+        let snapshot = view.pairs;
+        let claims = view.claims;
+        let record = parent.is_some();
 
         // Line 1–2: settle the source, relax its neighbours into the fringe.
         dist.store(source as usize, 0);
         settled.set(source as usize);
         stats.settled = 1;
+        if let Some(p) = parent.as_deref_mut() {
+            p[source as usize] = source;
+        }
         for (v, w) in g.edges(source) {
-            dist.write_min(v as usize, w as Dist);
+            if dist.write_min(v as usize, w as Dist) {
+                if let Some(p) = parent.as_deref_mut() {
+                    p[v as usize] = source;
+                }
+            }
             if in_fringe.set(v as usize) {
                 fringe.push(v);
             }
@@ -107,25 +124,44 @@ pub(crate) fn run_with(
             // substep relaxes from a snapshot of its sources' distances
             // (synchronous / Jacobi semantics), so the substep count
             // matches the paper's definition and is independent of
-            // scheduling.
-            let mut dirty: Vec<VertexId> = active.clone();
-            let mut fringe_adds: Vec<VertexId> = Vec::new();
+            // scheduling. All per-substep sets live in scratch buffers —
+            // no allocation inside the loop on a warm scratch (the
+            // parallel path's fold/reduce temporaries are the one
+            // rayon-owned exception).
+            dirty.clear();
+            dirty.extend_from_slice(active);
+            fringe_adds.clear();
             let mut substeps = 0;
             loop {
                 substeps += 1;
                 stats.relaxations += dirty.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
-                let snapshot: Vec<(VertexId, Dist)> =
-                    dirty.iter().map(|&u| (u, dist.load(u as usize))).collect();
-                let (next_dirty, adds, any_le) =
-                    relax_substep(g, dist, settled, in_fringe, dirty_mark, &snapshot, di);
-                fringe_adds.extend(adds);
-                for &v in &next_dirty {
+                snapshot.clear();
+                snapshot.extend(dirty.iter().map(|&u| (u, dist.load(u as usize))));
+                next_dirty.clear();
+                claims.clear();
+                let any_le = relax_substep(
+                    g,
+                    dist,
+                    settled,
+                    in_fringe,
+                    dirty_mark,
+                    snapshot,
+                    di,
+                    next_dirty,
+                    fringe_adds,
+                    claims,
+                    record,
+                );
+                if let Some(p) = parent.as_deref_mut() {
+                    crate::scratch::resolve_parent_claims(p, dist, claims);
+                }
+                for &v in next_dirty.iter() {
                     dirty_mark.clear(v as usize);
                     if in_active.set(v as usize) {
                         active.push(v);
                     }
                 }
-                dirty = next_dirty;
+                std::mem::swap(dirty, next_dirty);
                 if !any_le {
                     break;
                 }
@@ -140,7 +176,7 @@ pub(crate) fn run_with(
 
             // Maintain the fringe: drop settled, add newly reached.
             fringe.retain(|&v| !settled.get(v as usize));
-            fringe.extend(fringe_adds.into_iter().filter(|&v| !settled.get(v as usize)));
+            fringe.extend(fringe_adds.iter().copied().filter(|&v| !settled.get(v as usize)));
 
             stats.record_step(Some(StepTrace {
                 d_i: di,
@@ -151,16 +187,27 @@ pub(crate) fn run_with(
         }
 
         out_dist = dist.snapshot(n);
+        if config.goal.is_some() {
+            if let Some(p) = parent.as_deref_mut() {
+                crate::scratch::clear_unsettled_parents(p, settled);
+            }
+        }
     }
     stats.scratch_reused = scratch.finish();
-    SsspResult::new(out_dist, stats)
+    let mut result = SsspResult::new(out_dist, stats);
+    result.parent = parent;
+    result
 }
 
 /// One substep: relax all out-edges of `dirty` (given as `(vertex, δ)`
-/// pairs snapshotted at substep start), returning the vertices whose δ
-/// dropped to ≤ `di` (the next dirty set), the vertices newly reached
-/// above `di` (fringe additions), and whether any update ≤ `di` happened
-/// (the loop-termination signal of line 9).
+/// pairs snapshotted at substep start). Vertices whose δ dropped to ≤ `di`
+/// land in `next_dirty`, vertices newly reached above `di` are appended to
+/// `fringe_adds`, successful relaxations are appended to `claims` when
+/// `record` is set (one O(1) entry each — the inline-parent log), and the
+/// return value reports whether any update ≤ `di` happened (the
+/// loop-termination signal of line 9). The sequential path (< `SEQ_SUBSTEP`
+/// dirty vertices) writes straight into the caller's scratch buffers; the
+/// parallel path folds per-worker accumulators and appends them.
 #[allow(clippy::too_many_arguments)]
 fn relax_substep(
     g: &CsrGraph,
@@ -170,54 +217,70 @@ fn relax_substep(
     dirty_mark: &AtomicBitset,
     dirty: &[(VertexId, Dist)],
     di: Dist,
-) -> (Vec<VertexId>, Vec<VertexId>, bool) {
+    next_dirty: &mut Vec<VertexId>,
+    fringe_adds: &mut Vec<VertexId>,
+    claims: &mut Vec<ParentClaim>,
+    record: bool,
+) -> bool {
     #[derive(Default)]
     struct Acc {
         dirty: Vec<VertexId>,
         adds: Vec<VertexId>,
+        claims: Vec<ParentClaim>,
         any_le: bool,
     }
 
-    let relax_one = |acc: &mut Acc, (u, du): (VertexId, Dist)| {
+    let relax_one = |dirty_out: &mut Vec<VertexId>,
+                     adds_out: &mut Vec<VertexId>,
+                     claims_out: &mut Vec<ParentClaim>,
+                     any_le: &mut bool,
+                     (u, du): (VertexId, Dist)| {
         for (v, w) in g.edges(u) {
             if settled.get(v as usize) {
                 continue;
             }
             let cand = du + w as Dist;
             if dist.write_min(v as usize, cand) {
+                if record {
+                    claims_out.push((v, cand, u));
+                }
                 if cand <= di {
-                    acc.any_le = true;
+                    *any_le = true;
                     if dirty_mark.set(v as usize) {
-                        acc.dirty.push(v);
+                        dirty_out.push(v);
                     }
                 } else if in_fringe.set(v as usize) {
-                    acc.adds.push(v);
+                    adds_out.push(v);
                 }
             }
         }
     };
 
-    let acc = if dirty.len() < SEQ_SUBSTEP {
-        let mut acc = Acc::default();
+    if dirty.len() < SEQ_SUBSTEP {
+        let mut any_le = false;
         for &pair in dirty {
-            relax_one(&mut acc, pair);
+            relax_one(next_dirty, fringe_adds, claims, &mut any_le, pair);
         }
-        acc
+        any_le
     } else {
-        dirty
+        let mut acc = dirty
             .par_iter()
             .fold(Acc::default, |mut acc, &pair| {
-                relax_one(&mut acc, pair);
+                relax_one(&mut acc.dirty, &mut acc.adds, &mut acc.claims, &mut acc.any_le, pair);
                 acc
             })
             .reduce(Acc::default, |mut a, mut b| {
                 a.dirty.append(&mut b.dirty);
                 a.adds.append(&mut b.adds);
+                a.claims.append(&mut b.claims);
                 a.any_le |= b.any_le;
                 a
-            })
-    };
-    (acc.dirty, acc.adds, acc.any_le)
+            });
+        next_dirty.append(&mut acc.dirty);
+        fringe_adds.append(&mut acc.adds);
+        claims.append(&mut acc.claims);
+        acc.any_le
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +314,43 @@ mod tests {
         }
         assert_eq!(scratch.solves(), 5);
         assert_eq!(scratch.reuses(), 4);
+    }
+
+    #[test]
+    fn inline_parents_telescope_goal_bounded_and_full() {
+        let g = weights::reweight(&gen::grid2d(12, 12), WeightModel::paper_weighted(), 9);
+        let goal = 143u32;
+        let bounded = run(
+            &g,
+            &RadiiSpec::Constant(900),
+            0,
+            EngineConfig::with_goal(goal).record_parents(true),
+        );
+        let parent = bounded.parent.as_ref().expect("inline parents recorded");
+        let path = crate::stats::extract_path(parent, goal).expect("goal settled");
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), goal);
+        let mut acc = 0u64;
+        for w in path.windows(2) {
+            acc += g.arc_weight(w[0], w[1]).expect("path edge") as u64;
+        }
+        assert_eq!(acc, bounded.dist[goal as usize], "inline parents must telescope");
+
+        // Full solve with inline recording: every reachable vertex's
+        // parent telescopes exactly.
+        let full =
+            run(&g, &RadiiSpec::Constant(900), 0, EngineConfig::default().record_parents(true));
+        let parent = full.parent.as_ref().unwrap();
+        assert_eq!(parent[0], 0);
+        for v in 1..g.num_vertices() as u32 {
+            let p = parent[v as usize];
+            assert_ne!(p, u32::MAX, "vertex {v} settled but parentless");
+            assert_eq!(
+                full.dist[p as usize] + g.arc_weight(p, v).expect("tree edge") as u64,
+                full.dist[v as usize],
+                "parent of {v} does not telescope"
+            );
+        }
     }
 
     #[test]

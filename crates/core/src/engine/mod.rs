@@ -43,6 +43,14 @@ pub struct EngineConfig {
     /// Stop as soon as this vertex is settled (its distance is then exact;
     /// other vertices may hold tentative upper bounds or `INF`).
     pub goal: Option<VertexId>,
+    /// Record the shortest-path tree *inline*: the frontier and BST
+    /// engines log one parent claim per successful relaxation (O(1) each)
+    /// and resolve claims at substep end; the unweighted engine derives the
+    /// goal path by a backwards level walk. Settled vertices get
+    /// telescoping parents; unsettled ones (goal-bounded early exit) stay
+    /// `u32::MAX`. This replaces the all-edges `derive_parents` post-pass
+    /// on the goal-bounded serving path.
+    pub record_parents: bool,
 }
 
 impl EngineConfig {
@@ -59,6 +67,12 @@ impl EngineConfig {
     /// Sets the early-termination goal.
     pub fn goal(mut self, goal: VertexId) -> Self {
         self.goal = Some(goal);
+        self
+    }
+
+    /// Enables inline parent recording.
+    pub fn record_parents(mut self, on: bool) -> Self {
+        self.record_parents = on;
         self
     }
 }

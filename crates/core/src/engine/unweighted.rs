@@ -102,7 +102,18 @@ pub(crate) fn run_with(
         }
     }
     stats.scratch_reused = scratch.finish();
-    SsspResult::new(dist, stats)
+    let mut result = SsspResult::new(dist, stats);
+    if config.record_parents {
+        // Levels carry no per-relaxation writer identity (edge_map claims
+        // are anonymous), so "inline" here is the backwards level walk: a
+        // goal-bounded solve derives exactly the goal path (no all-edges
+        // post-pass), a full solve falls back to the parallel derivation.
+        result.parent = Some(match config.goal {
+            Some(goal) => crate::stats::goal_path_parents(g, &result.dist, goal),
+            None => crate::stats::derive_parents(g, &result.dist),
+        });
+    }
+    result
 }
 
 #[cfg(test)]

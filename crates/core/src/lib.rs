@@ -45,7 +45,9 @@ pub use preprocess::{PreprocessConfig, Preprocessed};
 pub use radii::RadiiSpec;
 pub use scratch::SolverScratch;
 pub use solver::{
-    Algorithm, BatchOutcome, BatchPlan, BatchStats, HeapKind, Radii, SolverBuilder, SolverConfig,
-    SsspSolver,
+    Algorithm, BatchOutcome, BatchStats, HeapKind, Query, QueryBatch, QueryResponse, QueryShape,
+    Radii, SolverBuilder, SolverConfig, SsspSolver,
 };
-pub use stats::{derive_parents, extract_path, SsspResult, StepStats, StepTrace};
+pub use stats::{
+    derive_parents, extract_path, goal_path_parents, SsspResult, StepStats, StepTrace,
+};

@@ -36,9 +36,45 @@
 //! shortest paths of ~65 000 maximum-weight hops, far beyond every graph
 //! in the workspace, and debug builds assert the cap.
 
-use rs_ds::{BucketQueue, DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap};
+use rs_ds::{BucketQueue, DaryHeap, DecreaseKeyHeap, FibonacciHeap, PairingHeap, TreapArena};
 use rs_graph::{CsrGraph, Dist, VertexId};
 use rs_par::{AtomicBitset, EpochMinArray};
+
+/// One successful relaxation recorded for inline parent derivation:
+/// `(vertex, candidate distance, relaxing predecessor)`. A claim is applied
+/// (`parent[v] = u`) only when the candidate still equals `dist[v]` at the
+/// end of the substep that produced it — i.e. when `u` turned out to be the
+/// winning writer.
+pub type ParentClaim = (VertexId, Dist, VertexId);
+
+/// Applies one substep's [`ParentClaim`] log: a claim whose candidate
+/// still equals the current `δ(v)` came from the winning writer, so its
+/// predecessor is recorded. Shared by the frontier and BST engines — the
+/// winning-writer invariant lives here, in one place.
+pub fn resolve_parent_claims(
+    parent: &mut [VertexId],
+    dist: &EpochMinArray,
+    claims: &[ParentClaim],
+) {
+    for &(v, cand, u) in claims {
+        if dist.load(v as usize) == cand {
+            parent[v as usize] = u;
+        }
+    }
+}
+
+/// Drops parents of unsettled vertices after a goal-bounded early exit:
+/// their claims may be stale (the claimed predecessor's own distance can
+/// have improved without re-relaxing), so only settled vertices keep
+/// parents — one O(n) sweep, the same order as the result's distance
+/// snapshot. Shared by the frontier and BST engines.
+pub fn clear_unsettled_parents(parent: &mut [VertexId], settled: &AtomicBitset) {
+    for (v, slot) in parent.iter_mut().enumerate() {
+        if *slot != u32::MAX && !settled.get(v) {
+            *slot = u32::MAX;
+        }
+    }
+}
 
 /// Release-mode guard for the epoch encoding's 48-bit finite range: every
 /// solver that stores tentative distances in the scratch's
@@ -125,6 +161,31 @@ pub struct ScratchView<'a> {
     pub verts_a: &'a mut Vec<VertexId>,
     /// Reusable vertex buffer (emptied at view time, capacity kept).
     pub verts_b: &'a mut Vec<VertexId>,
+    /// Reusable vertex buffer (emptied at view time, capacity kept) — the
+    /// engines' per-step `dirty` set, hoisted out of the substep loop.
+    pub verts_c: &'a mut Vec<VertexId>,
+    /// Reusable vertex buffer (emptied at view time, capacity kept) — the
+    /// engines' per-substep `next_dirty` set.
+    pub verts_d: &'a mut Vec<VertexId>,
+    /// Reusable vertex buffer (emptied at view time, capacity kept) — the
+    /// frontier engine's per-step fringe additions / the BST engine's
+    /// per-substep claimed set.
+    pub verts_e: &'a mut Vec<VertexId>,
+    /// Reusable `(vertex, distance)` buffer (emptied at view time) — the
+    /// synchronous-substep snapshot, hoisted out of the substep loop.
+    pub pairs: &'a mut Vec<(VertexId, Dist)>,
+    /// Reusable [`ParentClaim`] buffer (emptied at view time) — inline
+    /// parent recording for goal-bounded `want_paths` queries.
+    pub claims: &'a mut Vec<ParentClaim>,
+    /// Reusable `(distance, vertex)` key buffer (emptied at view time) —
+    /// the BST engine's per-substep treap batches.
+    pub keys_a: &'a mut Vec<(Dist, VertexId)>,
+    /// Reusable `(distance, vertex)` key buffer (emptied at view time).
+    pub keys_b: &'a mut Vec<(Dist, VertexId)>,
+    /// Reusable `(distance, vertex)` key buffer (emptied at view time).
+    pub keys_c: &'a mut Vec<(Dist, VertexId)>,
+    /// Reusable `(distance, vertex)` key buffer (emptied at view time).
+    pub keys_d: &'a mut Vec<(Dist, VertexId)>,
     /// `n`-sized distance buffer with **stale** content (snapshots, `qkey`).
     pub dists: &'a mut Vec<Dist>,
 }
@@ -159,9 +220,20 @@ pub struct SolverScratch {
     mark_c: AtomicBitset,
     verts_a: Vec<VertexId>,
     verts_b: Vec<VertexId>,
+    verts_c: Vec<VertexId>,
+    verts_d: Vec<VertexId>,
+    verts_e: Vec<VertexId>,
+    pairs: Vec<(VertexId, Dist)>,
+    claims: Vec<ParentClaim>,
+    keys_a: Vec<(Dist, VertexId)>,
+    keys_b: Vec<(Dist, VertexId)>,
+    keys_c: Vec<(Dist, VertexId)>,
+    keys_d: Vec<(Dist, VertexId)>,
     dists: Vec<Dist>,
     heap: HeapSlot,
     bucket: Option<BucketQueue>,
+    treap: TreapArena,
+    treap_mark: u64,
 }
 
 impl SolverScratch {
@@ -174,11 +246,78 @@ impl SolverScratch {
     /// still counts as cold only if it has to allocate more).
     pub fn for_vertices(n: usize) -> Self {
         let mut s = SolverScratch::new();
-        s.begin(n);
-        let _ = s.view();
-        s.in_solve = false;
-        s.solves = 0;
+        s.warm_up_n(n);
         s
+    }
+
+    /// A scratch warmed for `g` — see [`SolverScratch::warm_up`].
+    pub fn for_graph(g: &CsrGraph) -> Self {
+        let mut s = SolverScratch::new();
+        s.warm_up(g);
+        s
+    }
+
+    /// Pre-sizes the shared working structures for graphs of `g`'s vertex
+    /// count — the tentative-distance epoch array, all bitsets, and the
+    /// stale distance buffer — so a latency-critical *first* query runs
+    /// without the cold allocation spike and reports
+    /// [`crate::StepStats::scratch_reused`] `= true`. The batch layer
+    /// calls this (through `SsspSolver::warm_scratch`) when creating
+    /// per-worker scratches; algorithm-specific structures — the
+    /// engines' frontier/substep buffers
+    /// ([`SolverScratch::warm_engine_buffers`]), the heap, the bucket
+    /// queue, the treap arena — are warmed by the solvers' own
+    /// `warm_scratch` overrides (or sized on first use), so a Dijkstra or
+    /// Bellman–Ford worker never pays for buffers only the engines read.
+    pub fn warm_up(&mut self, g: &CsrGraph) {
+        self.warm_up_n(g.num_vertices());
+    }
+
+    fn warm_up_n(&mut self, n: usize) {
+        self.begin(n);
+        let _ = self.view();
+        // Warming is not a solve: undo begin()'s bookkeeping.
+        self.in_solve = false;
+        self.solves -= 1;
+    }
+
+    /// The lean counterpart of [`SolverScratch::warm_up`]: pre-sizes only
+    /// the visited bitset — all that BFS-style solvers
+    /// ([`SolverScratch::visited_set`]) ever touch — so their per-worker
+    /// scratches skip the 16-bytes-per-vertex distance structures
+    /// entirely.
+    pub fn warm_up_lean(&mut self, g: &CsrGraph) {
+        self.begin(g.num_vertices());
+        let _ = self.visited_set();
+        self.in_solve = false;
+        self.solves -= 1;
+    }
+
+    /// Reserves full-`n` capacity in every engine-side vertex/pair/claim/
+    /// key buffer — the engine half of [`SolverScratch::warm_up`], called
+    /// by the radius-stepping solvers' `warm_scratch`. The vertex and key
+    /// sets are bounded by `n`, so this covers them outright; the claims
+    /// log can exceed `n` in one substep on dense graphs (one entry per
+    /// *successful* relaxation), in which case it grows once to its
+    /// high-water capacity and stays there — amortised growth the scratch
+    /// counters deliberately do not flag (like all `Vec` capacity growth
+    /// here; the counters track the O(n) structures and the checked-out
+    /// heap/bucket/arena).
+    pub fn warm_engine_buffers(&mut self, n: usize) {
+        fn to_capacity<T>(v: &mut Vec<T>, n: usize) {
+            v.reserve(n.saturating_sub(v.len()));
+        }
+        to_capacity(&mut self.verts_a, n);
+        to_capacity(&mut self.verts_b, n);
+        to_capacity(&mut self.verts_c, n);
+        to_capacity(&mut self.verts_d, n);
+        to_capacity(&mut self.verts_e, n);
+        to_capacity(&mut self.pairs, n);
+        to_capacity(&mut self.claims, n);
+        to_capacity(&mut self.keys_a, n);
+        to_capacity(&mut self.keys_b, n);
+        to_capacity(&mut self.keys_c, n);
+        to_capacity(&mut self.keys_d, n);
     }
 
     /// Opens a solve over `n` vertices. Must precede any borrow.
@@ -247,6 +386,15 @@ impl SolverScratch {
         }
         self.verts_a.clear();
         self.verts_b.clear();
+        self.verts_c.clear();
+        self.verts_d.clear();
+        self.verts_e.clear();
+        self.pairs.clear();
+        self.claims.clear();
+        self.keys_a.clear();
+        self.keys_b.clear();
+        self.keys_c.clear();
+        self.keys_d.clear();
         ScratchView {
             dist: &self.dist,
             settled: &self.settled,
@@ -255,6 +403,15 @@ impl SolverScratch {
             mark_c: &self.mark_c,
             verts_a: &mut self.verts_a,
             verts_b: &mut self.verts_b,
+            verts_c: &mut self.verts_c,
+            verts_d: &mut self.verts_d,
+            verts_e: &mut self.verts_e,
+            pairs: &mut self.pairs,
+            claims: &mut self.claims,
+            keys_a: &mut self.keys_a,
+            keys_b: &mut self.keys_b,
+            keys_c: &mut self.keys_c,
+            keys_d: &mut self.keys_d,
             dists: &mut self.dists,
         }
     }
@@ -303,6 +460,54 @@ impl SolverScratch {
     /// [`SolverScratch::checkout_bucket`].
     pub fn return_bucket(&mut self, queue: BucketQueue) {
         self.bucket = Some(queue);
+    }
+
+    /// Checks out the treap node arena (the BST engine's `Q`/`R` node
+    /// pool). Return it with [`SolverScratch::return_treap_arena`], which
+    /// flags the solve cold iff the arena had to mint fresh nodes while
+    /// checked out.
+    pub fn checkout_treap_arena(&mut self) -> TreapArena {
+        debug_assert!(self.in_solve, "checkout_treap_arena() outside begin()/finish()");
+        self.treap_mark = self.treap.created();
+        std::mem::take(&mut self.treap)
+    }
+
+    /// Returns the arena checked out with
+    /// [`SolverScratch::checkout_treap_arena`]; node mints since checkout
+    /// count as scratch-managed allocations.
+    pub fn return_treap_arena(&mut self, arena: TreapArena) {
+        if arena.created() > self.treap_mark {
+            self.allocated = true;
+        }
+        self.treap = arena;
+    }
+
+    /// Pre-sizes the cached heap slot for graphs of `n` vertices without
+    /// opening a solve — the heap half of [`SolverScratch::warm_up`],
+    /// called by the Dijkstra solver's `warm_scratch` (only the solver
+    /// knows its heap kind).
+    pub fn warm_heap<H: ScratchHeap>(&mut self, n: usize) {
+        let heap = match H::take(&mut self.heap) {
+            Some(h) if h.capacity() >= n => h,
+            _ => H::with_capacity(n),
+        };
+        heap.put(&mut self.heap);
+    }
+
+    /// Pre-sizes the cached bucket queue without opening a solve — the
+    /// ∆-stepping half of [`SolverScratch::warm_up`].
+    pub fn warm_bucket(&mut self, n: usize, delta: u64, max_weight: u64) {
+        let queue = match self.bucket.take() {
+            Some(q) if q.fits(n, delta, max_weight) => q,
+            _ => BucketQueue::new(n, delta, max_weight),
+        };
+        self.bucket = Some(queue);
+    }
+
+    /// Pre-mints `nodes` treap-arena nodes without opening a solve — the
+    /// BST-engine half of [`SolverScratch::warm_up`].
+    pub fn warm_treap_arena(&mut self, nodes: usize) {
+        self.treap.reserve_nodes(nodes);
     }
 }
 
@@ -405,6 +610,66 @@ mod tests {
         let h: PairingHeap = s.checkout_heap();
         s.return_heap(h);
         assert!(s.finish());
+    }
+
+    #[test]
+    fn warm_up_makes_first_solve_warm() {
+        let g = rs_graph::gen::grid2d(20, 20);
+        let mut s = SolverScratch::for_graph(&g);
+        assert_eq!(s.solves(), 0, "warming is not a solve");
+        s.begin(g.num_vertices());
+        let view = s.view();
+        view.verts_c.push(7);
+        view.pairs.push((1, 2));
+        view.keys_d.push((3, 4));
+        assert!(s.finish(), "first query after warm_up must not allocate");
+        assert_eq!((s.solves(), s.reuses()), (1, 1));
+    }
+
+    #[test]
+    fn treap_arena_checkout_tracks_mints() {
+        let mut s = SolverScratch::new();
+        s.begin(10);
+        let mut arena = s.checkout_treap_arena();
+        let t = rs_ds::Treap::from_sorted_in(&[(1, 0), (2, 1)], &mut arena);
+        arena.recycle(t);
+        s.return_treap_arena(arena);
+        assert!(!s.finish(), "minting nodes is a cold solve");
+
+        s.begin(10);
+        let mut arena = s.checkout_treap_arena();
+        let t = rs_ds::Treap::from_sorted_in(&[(5, 0), (9, 1)], &mut arena);
+        arena.recycle(t);
+        s.return_treap_arena(arena);
+        assert!(s.finish(), "recycled nodes make the next solve warm");
+    }
+
+    #[test]
+    fn warm_treap_arena_prewarms_pool() {
+        let mut s = SolverScratch::new();
+        s.warm_treap_arena(4);
+        s.begin(10);
+        let mut arena = s.checkout_treap_arena();
+        let t = rs_ds::Treap::from_sorted_in(&[(1, 0), (2, 1), (3, 2)], &mut arena);
+        arena.recycle(t);
+        s.return_treap_arena(arena);
+        assert!(s.finish(), "prewarmed pool covers the solve");
+    }
+
+    #[test]
+    fn warm_heap_and_bucket_prewarm_slots() {
+        let mut s = SolverScratch::new();
+        s.warm_heap::<DaryHeap>(64);
+        s.begin(64);
+        let h: DaryHeap = s.checkout_heap();
+        s.return_heap(h);
+        assert!(s.finish(), "prewarmed heap checkout is warm");
+
+        s.warm_bucket(64, 5, 100);
+        s.begin(64);
+        let q = s.checkout_bucket(5, 100);
+        s.return_bucket(q);
+        assert!(s.finish(), "prewarmed bucket checkout is warm");
     }
 
     #[test]

@@ -1,23 +1,29 @@
-//! The unified SSSP solver API.
+//! The unified SSSP solver API: one query plane for every algorithm.
 //!
 //! The paper frames Dijkstra, Bellman–Ford, ∆-stepping and radius stepping
 //! as points on one spectrum — radii `Zero` / `Infinite` / `Constant(∆)`
 //! recover each baseline (§3) — and this module gives the code the same
-//! shape: every algorithm is an [`SsspSolver`] producing a
-//! [`crate::SsspResult`], constructed through one fluent [`SolverBuilder`].
+//! shape: every algorithm is an [`SsspSolver`] answering [`Query`]s,
+//! constructed through one fluent [`SolverBuilder`].
 //!
-//! * [`SsspSolver`] — `solve`, goal-bounded `solve_to_goal`,
-//!   scratch-reusing [`SsspSolver::solve_with_scratch`], and the
-//!   batch-aware multi-source [`SsspSolver::solve_batch`].
+//! * [`Query`] / [`QueryResponse`] — the request/response pair: a
+//!   [`QueryShape`] (`SingleSource` or the serving workhorse
+//!   `PointToPoint`) plus output options (`want_paths`, `want_trace`).
+//! * [`SsspSolver::execute`] — the single entry point every solver
+//!   implements: goal-bounded, scratch-reusing, with inline parent
+//!   recording on the point-to-point path. The legacy `solve` /
+//!   `solve_to_goal` / `solve_with_scratch` / `solve_batch` methods are
+//!   thin default wrappers over it.
 //! * [`Algorithm`] — the algorithm selector (`RadiusStepping { engine,
 //!   radii }`, `Dijkstra { heap }`, `DeltaStepping { delta }`,
 //!   `BellmanFord`, `Bfs`).
 //! * [`SolverBuilder`] — picks the algorithm, optionally attaches
 //!   (k, ρ)-preprocessing, and toggles tracing / parent recording.
-//! * [`BatchPlan`] — the multi-source execution layer: deduplicates the
-//!   source set, fans the unique solves over the work-stealing pool with
-//!   one reusable [`SolverScratch`] per pool task, and aggregates the
-//!   batch's [`crate::StepStats`] into a [`BatchStats`].
+//! * [`QueryBatch`] — the mixed-shape batch layer: deduplicates by full
+//!   query key, fans the unique queries over the work-stealing pool with
+//!   one pre-warmed [`SolverScratch`] per pool task, and aggregates the
+//!   batch's [`crate::StepStats`] into a [`BatchStats`] (including the
+//!   goal-bounded traffic counters).
 //!
 //! This module defines the trait, the configuration types, and the
 //! radius-stepping solvers. The baseline adapters live in
@@ -27,31 +33,187 @@
 //! `radius_stepping` facade's prelude re-exports the whole surface.
 //!
 //! ```
-//! use rs_core::solver::{Radii, SolverBuilder, SsspSolver};
+//! use rs_core::solver::{Query, Radii, SolverBuilder, SsspSolver};
+//! use rs_core::SolverScratch;
 //! use rs_graph::{gen, weights, WeightModel};
 //!
 //! let g = weights::reweight(&gen::grid2d(12, 12), WeightModel::paper_weighted(), 1);
 //! let solver = SolverBuilder::new(&g)
-//!     .record_parents(true)
 //!     .radius_stepping_solver(Default::default(), Radii::Constant(2_000));
-//! let out = solver.solve(0);
-//! assert_eq!(out.dist[0], 0);
-//! assert!(out.extract_path(143).is_some(), "parents recorded uniformly");
+//! let mut scratch = SolverScratch::new();
+//! let trip = solver.execute(&Query::point_to_point(0, 143).with_paths(), &mut scratch);
+//! let route = trip.goal_path().expect("grid is connected");
+//! assert_eq!((route[0], *route.last().unwrap()), (0, 143));
+//! // The same scratch serves the next query warm.
+//! let again = solver.execute(&Query::point_to_point(143, 0), &mut scratch);
+//! assert!(again.stats().scratch_reused);
 //! ```
 
-use rs_graph::{CsrGraph, Dist, VertexId};
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-use crate::engine::{radius_stepping_with, radius_stepping_with_scratch, EngineConfig, EngineKind};
+use crate::engine::{radius_stepping_with_scratch, EngineConfig, EngineKind};
 use crate::preprocess::{PreprocessConfig, Preprocessed};
 use crate::radii::RadiiSpec;
 use crate::scratch::SolverScratch;
-use crate::stats::SsspResult;
+use crate::stats::{SsspResult, StepStats};
+
+/// What one request asks a solver to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// Exact distances from `source` to every vertex.
+    SingleSource { source: VertexId },
+    /// Distances from `source` until `goal` is settled — the dominant
+    /// serving shape (point-to-point routing traffic). `dist[goal]` is
+    /// exact; every other finite entry is a valid upper bound.
+    PointToPoint { source: VertexId, goal: VertexId },
+}
+
+/// One request against an [`SsspSolver`]: a [`QueryShape`] plus output
+/// options. `Copy`, `Eq` and `Hash` so [`QueryBatch`] can deduplicate by
+/// the *full* query key (two requests are interchangeable only when shape
+/// *and* options agree).
+///
+/// ```
+/// use rs_core::solver::Query;
+/// let q = Query::point_to_point(3, 99).with_paths();
+/// assert_eq!(q.source(), 3);
+/// assert_eq!(q.goal(), Some(99));
+/// assert!(q.want_paths && !q.want_trace);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// What to compute.
+    pub shape: QueryShape,
+    /// Return a shortest-path tree. On a `PointToPoint` query parents are
+    /// recorded *inline* during relaxation (O(1) per relaxation, no
+    /// all-edges post-pass; see [`crate::EngineConfig::record_parents`]),
+    /// covering at least the goal path; on a `SingleSource` query the full
+    /// tree is derived by the parallel post-pass.
+    pub want_paths: bool,
+    /// Record a per-step trace where the algorithm supports one.
+    pub want_trace: bool,
+}
+
+impl Query {
+    /// A full single-source query.
+    pub fn single_source(source: VertexId) -> Query {
+        Query { shape: QueryShape::SingleSource { source }, want_paths: false, want_trace: false }
+    }
+
+    /// A goal-bounded point-to-point query.
+    pub fn point_to_point(source: VertexId, goal: VertexId) -> Query {
+        Query {
+            shape: QueryShape::PointToPoint { source, goal },
+            want_paths: false,
+            want_trace: false,
+        }
+    }
+
+    /// Requests path extraction on the response.
+    pub fn with_paths(mut self) -> Query {
+        self.want_paths = true;
+        self
+    }
+
+    /// Requests a per-step trace.
+    pub fn with_trace(mut self) -> Query {
+        self.want_trace = true;
+        self
+    }
+
+    /// The query's source vertex.
+    pub fn source(&self) -> VertexId {
+        match self.shape {
+            QueryShape::SingleSource { source } | QueryShape::PointToPoint { source, .. } => source,
+        }
+    }
+
+    /// The goal vertex of a point-to-point query.
+    pub fn goal(&self) -> Option<VertexId> {
+        match self.shape {
+            QueryShape::SingleSource { .. } => None,
+            QueryShape::PointToPoint { goal, .. } => Some(goal),
+        }
+    }
+
+    /// True for goal-bounded queries.
+    pub fn is_point_to_point(&self) -> bool {
+        matches!(self.shape, QueryShape::PointToPoint { .. })
+    }
+}
+
+/// What [`SsspSolver::execute`] returns: the executed [`Query`] (so batch
+/// consumers can correlate responses) plus the underlying
+/// [`crate::SsspResult`], with goal-aware conveniences on top.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The request this response answers.
+    pub query: Query,
+    /// Distances, optional parents, per-query [`StepStats`].
+    pub result: SsspResult,
+}
+
+impl QueryResponse {
+    /// The distance array (exact everywhere for `SingleSource`; exact at
+    /// the goal and an upper bound elsewhere for `PointToPoint`).
+    pub fn dist(&self) -> &[Dist] {
+        &self.result.dist
+    }
+
+    /// The per-query execution counters.
+    pub fn stats(&self) -> &StepStats {
+        &self.result.stats
+    }
+
+    /// The goal's exact distance, for a reachable `PointToPoint` query
+    /// (`None` for `SingleSource` queries and unreachable goals).
+    pub fn goal_distance(&self) -> Option<Dist> {
+        let goal = self.query.goal()?;
+        let d = self.result.dist[goal as usize];
+        (d != INF).then_some(d)
+    }
+
+    /// On-demand extraction of the `source → goal` path from the recorded
+    /// parents (requires `want_paths`; `None` for `SingleSource` queries
+    /// and unreachable goals). Costs O(path length).
+    ///
+    /// The path's edges are edges of [`SsspSolver::graph`]. For a solver
+    /// built with preprocessing that is the shortcut-augmented
+    /// (k, ρ)-graph: consecutive path vertices may be joined by a
+    /// *shortcut* edge — same total distance as the underlying hops (the
+    /// augmentation is distance-preserving) but not necessarily an edge of
+    /// the original input graph. Consumers that need input-graph hops
+    /// should query a non-preprocessed solver (or expand shortcuts
+    /// themselves; see the ROADMAP follow-up).
+    pub fn goal_path(&self) -> Option<Vec<VertexId>> {
+        self.result.extract_path(self.query.goal()?)
+    }
+
+    /// On-demand extraction of the path to any vertex the solve settled
+    /// (requires `want_paths`; point-to-point responses cover at least the
+    /// goal path). Paths are on [`SsspSolver::graph`] — see
+    /// [`QueryResponse::goal_path`] for the preprocessing caveat.
+    pub fn extract_path(&self, t: VertexId) -> Option<Vec<VertexId>> {
+        self.result.extract_path(t)
+    }
+
+    /// Unwraps into the legacy [`SsspResult`] (what the `solve_*` wrapper
+    /// methods return).
+    pub fn into_result(self) -> SsspResult {
+        self.result
+    }
+}
 
 /// A single-source shortest-path solver bound to one graph.
 ///
 /// Implementations are interchangeable: on the same graph every solver
 /// produces identical `dist` arrays (asserted by the cross-algorithm
 /// conformance tests). They differ only in their counters and costs.
+///
+/// The one required computation method is [`SsspSolver::execute`]; the
+/// legacy `solve_*` family are default wrappers over it, so downstream
+/// code migrates mechanically and every entry point shares the same
+/// goal-bounded, scratch-reusing machinery.
 pub trait SsspSolver: Sync {
     /// Human-readable algorithm name (for reports and error messages).
     fn name(&self) -> String;
@@ -61,203 +223,245 @@ pub trait SsspSolver: Sync {
     /// input graph's by construction.
     fn graph(&self) -> &CsrGraph;
 
-    /// Exact distances from `source` to every vertex.
-    fn solve(&self, source: VertexId) -> SsspResult;
-
-    /// Distances from `source`, stopping early once `goal` is settled.
+    /// Answers `query` on caller-provided [`SolverScratch`] state — the
+    /// single entry point behind every other method.
     ///
-    /// `dist[goal]` is exact; every other finite entry is a valid upper
-    /// bound (settled vertices are exact, unsettled ones tentative or
-    /// `INF`). The default implementation runs a full solve, which
-    /// trivially satisfies the contract; algorithms with a cheap settled
-    /// test override it.
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        let _ = goal;
-        self.solve(source)
+    /// * `SingleSource` queries produce exact distances everywhere.
+    /// * `PointToPoint` queries stop as soon as the goal is settled
+    ///   (`dist[goal]` exact, everything else an upper bound or `INF`),
+    ///   and with `want_paths` record parents inline during relaxation —
+    ///   no all-edges post-pass on the serving path.
+    /// * After the first (cold) query on a scratch, no working distance
+    ///   array, bitset, heap, bucket queue or treap node is allocated
+    ///   again ([`crate::StepStats::scratch_reused`]); pre-warm with
+    ///   [`SsspSolver::warm_scratch`] to make even the first query warm.
+    ///
+    /// Results are bit-identical across scratches (asserted by the
+    /// conformance suite): which scratch served a query is not observable
+    /// beyond `scratch_reused`.
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse;
+
+    /// Pre-sizes `scratch` for this solver so a latency-critical *first*
+    /// query skips the cold allocation spike. The default pre-sizes the
+    /// shared working structures for [`SsspSolver::graph`]; solvers with
+    /// private structures (Dijkstra's heap, ∆-stepping's bucket queue)
+    /// override it to warm those too. [`QueryBatch::execute`] calls this
+    /// when creating per-worker scratches.
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        scratch.warm_up(self.graph());
     }
 
-    /// Like [`SsspSolver::solve`], but running on caller-provided
-    /// [`SolverScratch`] state: after the first (cold) solve on a scratch,
-    /// no working distance array, bitset, heap or bucket queue is
-    /// allocated again — the serving-path entry point the batch layer fans
-    /// out. Results are bit-identical to [`SsspSolver::solve`] (asserted
-    /// by the conformance suite); the only observable difference is
-    /// [`crate::StepStats::scratch_reused`].
-    ///
-    /// The default implementation ignores the scratch and delegates to
-    /// `solve` (always correct, never warm); every solver in this
-    /// workspace overrides it.
+    /// Exact distances from `source` to every vertex (legacy wrapper over
+    /// [`SsspSolver::execute`] with a throwaway scratch).
+    fn solve(&self, source: VertexId) -> SsspResult {
+        self.execute(&Query::single_source(source), &mut SolverScratch::new()).into_result()
+    }
+
+    /// Distances from `source`, stopping early once `goal` is settled
+    /// (legacy wrapper; `dist[goal]` exact, other finite entries valid
+    /// upper bounds). Reuse a scratch via `execute` for serving traffic.
+    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
+        self.execute(&Query::point_to_point(source, goal), &mut SolverScratch::new()).into_result()
+    }
+
+    /// Like [`SsspSolver::solve`] on reusable scratch state (legacy
+    /// wrapper over [`SsspSolver::execute`]).
     fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        let _ = scratch;
-        self.solve(source)
+        self.execute(&Query::single_source(source), scratch).into_result()
     }
 
     /// Solves from every source, fanning out across the rayon pool — the
     /// paper's motivating workload (§5.4: preprocessing is paid once, then
     /// "Sssp will be run from multiple sources").
     ///
-    /// This is the batch-aware path: duplicate sources are answered once
-    /// and cloned ([`BatchPlan`] dedup — observationally invisible), and
-    /// each pool task reuses one [`SolverScratch`] across every solve it
-    /// claims, so an `N`-source batch performs at most
-    /// `min(threads, unique sources)` working-state allocations. Use
-    /// [`BatchPlan::execute`] directly to also get the aggregated
-    /// [`BatchStats`].
+    /// Legacy wrapper over [`QueryBatch`]: duplicate sources are answered
+    /// once and cloned (observationally invisible), and each pool task
+    /// reuses one pre-warmed [`SolverScratch`] across every query it
+    /// claims. Use [`QueryBatch::execute`] directly for mixed query shapes
+    /// and the aggregated [`BatchStats`].
     fn solve_batch(&self, sources: &[VertexId]) -> Vec<SsspResult> {
-        BatchPlan::new(sources).execute(self).into_results()
+        QueryBatch::from_sources(sources).execute(self).into_results()
     }
 }
 
-/// A prepared multi-source batch: the dedup layer of
-/// [`SsspSolver::solve_batch`], reusable across solvers.
+/// A prepared mixed-shape batch: the dedup layer behind
+/// [`SsspSolver::solve_batch`], reusable across solvers, accepting any
+/// mix of [`Query`] values.
 ///
-/// Construction groups the requested sources into their unique set
-/// (first-occurrence order) and remembers, for every requested slot, which
-/// unique solve answers it. [`BatchPlan::execute`] then fans the unique
-/// solves over the pool via [`rs_par::worker_map`] — one lazily-created
-/// [`SolverScratch`] per pool task, dynamic load balancing via a shared
-/// work counter — and expands the answers back to request order.
+/// Construction groups the requested queries into their unique set
+/// (first-occurrence order, keyed by the *full* query — shape and output
+/// options) and remembers, for every requested slot, which unique
+/// execution answers it. [`QueryBatch::execute`] then fans the unique
+/// queries over the pool via [`rs_par::worker_map`] — one lazily-created,
+/// pre-warmed [`SolverScratch`] per pool task, dynamic load balancing via
+/// a shared work counter — and expands the answers back to request order.
 #[derive(Debug, Clone)]
-pub struct BatchPlan {
-    /// The requested sources, in request order.
-    sources: Vec<VertexId>,
-    /// Unique sources, in first-occurrence order.
-    unique: Vec<VertexId>,
-    /// `rep[i]` = index into `unique` answering `sources[i]`.
+pub struct QueryBatch {
+    /// The requested queries, in request order.
+    queries: Vec<Query>,
+    /// Unique queries, in first-occurrence order.
+    unique: Vec<Query>,
+    /// `rep[i]` = index into `unique` answering `queries[i]`.
     rep: Vec<usize>,
 }
 
-impl BatchPlan {
-    /// Plans a batch over `sources` (duplicates allowed, order preserved).
-    pub fn new(sources: &[VertexId]) -> Self {
-        let mut first_slot: std::collections::HashMap<VertexId, usize> =
-            std::collections::HashMap::with_capacity(sources.len());
-        let mut unique = Vec::with_capacity(sources.len());
-        let mut rep = Vec::with_capacity(sources.len());
-        for &s in sources {
-            let slot = *first_slot.entry(s).or_insert_with(|| {
-                unique.push(s);
+impl QueryBatch {
+    /// Plans a batch over `queries` (duplicates allowed, order preserved).
+    pub fn new(queries: &[Query]) -> Self {
+        let mut first_slot: std::collections::HashMap<Query, usize> =
+            std::collections::HashMap::with_capacity(queries.len());
+        let mut unique = Vec::with_capacity(queries.len());
+        let mut rep = Vec::with_capacity(queries.len());
+        for &q in queries {
+            let slot = *first_slot.entry(q).or_insert_with(|| {
+                unique.push(q);
                 unique.len() - 1
             });
             rep.push(slot);
         }
-        BatchPlan { sources: sources.to_vec(), unique, rep }
+        QueryBatch { queries: queries.to_vec(), unique, rep }
     }
 
-    /// Number of requested sources (including duplicates).
+    /// Plans an all-targets batch: one `SingleSource` query per entry —
+    /// the [`SsspSolver::solve_batch`] shape.
+    pub fn from_sources(sources: &[VertexId]) -> Self {
+        let queries: Vec<Query> = sources.iter().map(|&s| Query::single_source(s)).collect();
+        QueryBatch::new(&queries)
+    }
+
+    /// Number of requested queries (including duplicates).
     pub fn len(&self) -> usize {
-        self.sources.len()
+        self.queries.len()
     }
 
     /// True when the batch requests nothing.
     pub fn is_empty(&self) -> bool {
-        self.sources.is_empty()
+        self.queries.is_empty()
     }
 
-    /// The requested sources, in request order.
-    pub fn sources(&self) -> &[VertexId] {
-        &self.sources
+    /// The requested queries, in request order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
     }
 
-    /// The deduplicated sources actually solved.
-    pub fn unique_sources(&self) -> &[VertexId] {
+    /// The deduplicated queries actually executed.
+    pub fn unique_queries(&self) -> &[Query] {
         &self.unique
     }
 
-    /// Requested solves answered by cloning another slot's result.
+    /// Requested queries answered by cloning another slot's response.
     pub fn deduplicated(&self) -> usize {
-        self.sources.len() - self.unique.len()
+        self.queries.len() - self.unique.len()
     }
 
-    /// Runs the batch on `solver`: unique solves fan out over the pool
-    /// with per-task scratch reuse, results land in request order.
+    /// Runs the batch on `solver`: unique queries fan out over the pool
+    /// with per-task pre-warmed scratch reuse ([`SsspSolver::warm_scratch`]
+    /// — first queries skip the cold allocation spike), responses land in
+    /// request order.
     pub fn execute<S: SsspSolver + ?Sized>(&self, solver: &S) -> BatchOutcome {
-        let unique_results: Vec<SsspResult> =
-            rs_par::worker_map(self.unique.len(), SolverScratch::new, |scratch, i| {
-                solver.solve_with_scratch(self.unique[i], scratch)
-            });
-        let stats = BatchStats::collect(&unique_results, &self.rep);
-        let results = if self.unique.len() == self.sources.len() {
-            unique_results
+        let unique_responses: Vec<QueryResponse> = rs_par::worker_map(
+            self.unique.len(),
+            || {
+                let mut scratch = SolverScratch::new();
+                solver.warm_scratch(&mut scratch);
+                scratch
+            },
+            |scratch, i| solver.execute(&self.unique[i], scratch),
+        );
+        let stats = BatchStats::collect(&unique_responses, &self.rep);
+        let responses = if self.unique.len() == self.queries.len() {
+            unique_responses
         } else {
-            self.rep.iter().map(|&u| unique_results[u].clone()).collect()
+            self.rep.iter().map(|&u| unique_responses[u].clone()).collect()
         };
-        BatchOutcome { results, stats }
+        BatchOutcome { responses, stats }
     }
 }
 
-/// What [`BatchPlan::execute`] returns: per-source results (request order)
-/// plus the batch-level aggregates.
+/// What [`QueryBatch::execute`] returns: per-query responses (request
+/// order) plus the batch-level aggregates.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
-    /// One result per requested source, in request order (duplicates are
-    /// clones of their unique solve).
-    pub results: Vec<SsspResult>,
+    /// One response per requested query, in request order (duplicates are
+    /// clones of their unique execution).
+    pub responses: Vec<QueryResponse>,
     /// Aggregated counters for the whole batch.
     pub stats: BatchStats,
 }
 
 impl BatchOutcome {
-    /// Drops the aggregates, keeping the per-source results.
+    /// Drops the aggregates and query keys, keeping the bare results.
     pub fn into_results(self) -> Vec<SsspResult> {
-        self.results
+        self.responses.into_iter().map(QueryResponse::into_result).collect()
     }
 }
 
-/// Per-batch aggregate of the solves' [`crate::StepStats`].
+/// Per-batch aggregate of the queries' [`crate::StepStats`].
 ///
-/// Step/substep/relaxation totals are summed over the *delivered* results
-/// (a deduplicated source counts once per request, so means stay faithful
-/// to the requested workload); the scratch counters describe the *unique*
-/// solves actually executed — the physical allocation events.
+/// Step/substep/relaxation totals are summed over the *delivered*
+/// responses (a deduplicated query counts once per request, so means stay
+/// faithful to the requested workload); the scratch counters describe the
+/// *unique* executions — the physical allocation events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchStats {
-    /// Requested sources (including duplicates).
+    /// Requested queries (including duplicates).
     pub solves: usize,
-    /// Unique solves actually executed.
+    /// Unique queries actually executed.
     pub unique_solves: usize,
-    /// Unique solves that ran entirely on pre-allocated scratch state.
+    /// Unique executions that ran entirely on pre-allocated scratch state.
     pub scratch_reuses: usize,
-    /// Unique solves that had to allocate (at most one per pool task).
+    /// Unique executions that had to allocate (at most one per pool task;
+    /// zero when [`SsspSolver::warm_scratch`] covers the algorithm).
     pub cold_solves: usize,
-    /// Total steps over delivered results.
+    /// Delivered point-to-point (goal-bounded) responses.
+    pub point_to_point: usize,
+    /// Delivered point-to-point responses whose goal was reachable.
+    pub goals_reached: usize,
+    /// Total steps over delivered responses.
     pub steps: usize,
-    /// Total substeps over delivered results.
+    /// Total substeps over delivered responses.
     pub substeps: usize,
-    /// Largest `max_substeps_in_step` over delivered results.
+    /// Largest `max_substeps_in_step` over delivered responses.
     pub max_substeps_in_step: usize,
-    /// Total relaxations over delivered results.
+    /// Total relaxations over delivered responses.
     pub relaxations: u64,
-    /// Total settled vertices over delivered results.
+    /// Total settled vertices over delivered responses.
     pub settled: usize,
 }
 
 impl BatchStats {
-    fn collect(unique_results: &[SsspResult], rep: &[usize]) -> BatchStats {
+    fn collect(unique_responses: &[QueryResponse], rep: &[usize]) -> BatchStats {
         let mut stats = BatchStats {
             solves: rep.len(),
-            unique_solves: unique_results.len(),
+            unique_solves: unique_responses.len(),
             ..Default::default()
         };
-        for r in unique_results {
-            if r.stats.scratch_reused {
+        for r in unique_responses {
+            if r.result.stats.scratch_reused {
                 stats.scratch_reuses += 1;
             } else {
                 stats.cold_solves += 1;
             }
         }
         for &u in rep {
-            let s = &unique_results[u].stats;
+            let r = &unique_responses[u];
+            let s = &r.result.stats;
             stats.steps += s.steps;
             stats.substeps += s.substeps;
             stats.max_substeps_in_step = stats.max_substeps_in_step.max(s.max_substeps_in_step);
             stats.relaxations += s.relaxations;
             stats.settled += s.settled;
+            if let Some(goal) = r.query.goal() {
+                stats.point_to_point += 1;
+                if r.result.dist[goal as usize] != INF {
+                    stats.goals_reached += 1;
+                }
+            }
         }
         stats
     }
 
-    /// Mean steps per requested source.
+    /// Mean steps per requested query.
     pub fn mean_steps(&self) -> f64 {
         if self.solves == 0 {
             0.0
@@ -339,18 +543,29 @@ pub struct SolverConfig {
 }
 
 impl SolverConfig {
-    /// Engine options for one solve.
-    pub fn engine_config(&self, goal: Option<VertexId>) -> EngineConfig {
-        EngineConfig { trace: self.trace, goal }
+    /// Whether `query` should come back with a shortest-path tree: the
+    /// query's own option ORed with the builder-level toggle.
+    pub fn wants_paths(&self, query: &Query) -> bool {
+        self.record_parents || query.want_paths
     }
 
-    /// Applies the post-solve options (currently: parent derivation).
-    pub fn finish(&self, g: &CsrGraph, result: SsspResult) -> SsspResult {
-        if self.record_parents {
-            result.with_parents(g)
-        } else {
-            result
+    /// Whether `query` should record a trace (same OR).
+    pub fn wants_trace(&self, query: &Query) -> bool {
+        self.trace || query.want_trace
+    }
+
+    /// Attaches the shortest-path tree to `result` if `query` asked for
+    /// one and the solve did not already record it inline: point-to-point
+    /// queries derive exactly the goal path (no all-edges post-pass),
+    /// single-source queries the full tree.
+    pub fn finish_paths(&self, g: &CsrGraph, query: &Query, mut result: SsspResult) -> SsspResult {
+        if self.wants_paths(query) && result.parent.is_none() {
+            result.parent = Some(match query.goal() {
+                Some(goal) => crate::stats::goal_path_parents(g, &result.dist, goal),
+                None => crate::stats::derive_parents(g, &result.dist),
+            });
         }
+        result
     }
 }
 
@@ -612,29 +827,6 @@ impl<'g> RadiusSteppingSolver<'g> {
             }
         }
     }
-
-    fn run(&self, source: VertexId, goal: Option<VertexId>) -> SsspResult {
-        let out = radius_stepping_with(
-            &self.graph,
-            &self.radii.as_spec(),
-            source,
-            self.engine,
-            self.config.engine_config(goal),
-        );
-        self.config.finish(&self.graph, out)
-    }
-
-    fn run_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        let out = radius_stepping_with_scratch(
-            &self.graph,
-            &self.radii.as_spec(),
-            source,
-            self.engine,
-            self.config.engine_config(None),
-            scratch,
-        );
-        self.config.finish(&self.graph, out)
-    }
 }
 
 impl SsspSolver for RadiusSteppingSolver<'_> {
@@ -655,21 +847,55 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.run(source, None)
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let goal = query.goal();
+        let want_paths = self.config.wants_paths(query);
+        let cfg = EngineConfig {
+            trace: self.config.wants_trace(query),
+            goal,
+            // Goal-bounded path requests record parents inline during
+            // relaxation; full solves keep the deterministic parallel
+            // derivation (applied below by finish_paths).
+            record_parents: want_paths && goal.is_some(),
+        };
+        let out = radius_stepping_with_scratch(
+            &self.graph,
+            &self.radii.as_spec(),
+            query.source(),
+            self.engine,
+            cfg,
+            scratch,
+        );
+        QueryResponse { query: *query, result: self.config.finish_paths(&self.graph, query, out) }
     }
 
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        self.run(source, Some(goal))
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        self.run_scratch(source, scratch)
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        warm_for_engine(scratch, &self.graph, self.engine);
     }
 }
 
-/// [`Preprocessed`] is itself a solver: `solve` is `sssp` on the
-/// (k, ρ)-graph with the derived radii.
+/// Engine-aware scratch warm-up: shared state plus the frontier/substep
+/// buffers for the two general engines, the treap node arena (its
+/// `3n + 4` peak bound) on top for the BST engine, and only the visited
+/// bitset for the unweighted engine (which never touches the distance
+/// structures — the lean BFS path).
+fn warm_for_engine(scratch: &mut SolverScratch, g: &CsrGraph, engine: EngineKind) {
+    match engine {
+        EngineKind::Frontier => {
+            scratch.warm_up(g);
+            scratch.warm_engine_buffers(g.num_vertices());
+        }
+        EngineKind::Bst => {
+            scratch.warm_up(g);
+            scratch.warm_engine_buffers(g.num_vertices());
+            scratch.warm_treap_arena(3 * g.num_vertices() + 4);
+        }
+        EngineKind::Unweighted => scratch.warm_up_lean(g),
+    }
+}
+
+/// [`Preprocessed`] is itself a solver: `execute` runs the frontier engine
+/// on the (k, ρ)-graph with the derived radii.
 impl SsspSolver for Preprocessed {
     fn name(&self) -> String {
         format!("radius-stepping (k={}, rho={})", self.config.k, self.config.rho)
@@ -679,29 +905,27 @@ impl SsspSolver for Preprocessed {
         &self.graph
     }
 
-    fn solve(&self, source: VertexId) -> SsspResult {
-        self.sssp(source)
-    }
-
-    fn solve_to_goal(&self, source: VertexId, goal: VertexId) -> SsspResult {
-        radius_stepping_with(
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let goal = query.goal();
+        let cfg = EngineConfig {
+            trace: query.want_trace,
+            goal,
+            record_parents: query.want_paths && goal.is_some(),
+        };
+        let out = radius_stepping_with_scratch(
             &self.graph,
             &RadiiSpec::PerVertex(&self.radii),
-            source,
+            query.source(),
             EngineKind::Frontier,
-            EngineConfig::with_goal(goal),
-        )
-    }
-
-    fn solve_with_scratch(&self, source: VertexId, scratch: &mut SolverScratch) -> SsspResult {
-        radius_stepping_with_scratch(
-            &self.graph,
-            &RadiiSpec::PerVertex(&self.radii),
-            source,
-            EngineKind::Frontier,
-            EngineConfig::default(),
+            cfg,
             scratch,
-        )
+        );
+        let result = SolverConfig::default().finish_paths(&self.graph, query, out);
+        QueryResponse { query: *query, result }
+    }
+
+    fn warm_scratch(&self, scratch: &mut SolverScratch) {
+        warm_for_engine(scratch, &self.graph, EngineKind::Frontier);
     }
 }
 
@@ -770,16 +994,37 @@ mod tests {
     }
 
     #[test]
-    fn batch_plan_dedups_and_orders() {
-        let plan = BatchPlan::new(&[7, 3, 7, 7, 1, 3]);
-        assert_eq!(plan.len(), 6);
-        assert_eq!(plan.sources(), &[7, 3, 7, 7, 1, 3]);
-        assert_eq!(plan.unique_sources(), &[7, 3, 1], "first-occurrence order");
-        assert_eq!(plan.deduplicated(), 3);
+    fn query_batch_dedups_by_full_key_and_orders() {
+        let queries = [
+            Query::point_to_point(7, 3),
+            Query::single_source(7),
+            Query::point_to_point(7, 3),
+            Query::point_to_point(7, 3).with_paths(), // options matter
+            Query::single_source(1),
+            Query::single_source(7),
+        ];
+        let batch = QueryBatch::new(&queries);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(batch.queries(), &queries);
+        assert_eq!(
+            batch.unique_queries(),
+            &[
+                Query::point_to_point(7, 3),
+                Query::single_source(7),
+                Query::point_to_point(7, 3).with_paths(),
+                Query::single_source(1),
+            ],
+            "first-occurrence order, keyed by shape AND options"
+        );
+        assert_eq!(batch.deduplicated(), 2);
 
-        let empty = BatchPlan::new(&[]);
+        let empty = QueryBatch::new(&[]);
         assert!(empty.is_empty());
-        assert_eq!(empty.unique_sources(), &[] as &[VertexId]);
+        assert_eq!(empty.unique_queries(), &[] as &[Query]);
+
+        // from_sources is the legacy all-targets shape.
+        let plan = QueryBatch::from_sources(&[7, 3, 7]);
+        assert_eq!(plan.unique_queries(), &[Query::single_source(7), Query::single_source(3)]);
     }
 
     #[test]
@@ -788,9 +1033,10 @@ mod tests {
         let solver =
             SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
         let sources = [5u32, 9, 5, 77, 9, 5];
-        let outcome = BatchPlan::new(&sources).execute(&solver);
+        let outcome = QueryBatch::from_sources(&sources).execute(&solver);
         assert_eq!(outcome.stats.solves, 6);
         assert_eq!(outcome.stats.unique_solves, 3);
+        assert_eq!(outcome.stats.point_to_point, 0);
         assert_eq!(
             outcome.stats.cold_solves + outcome.stats.scratch_reuses,
             outcome.stats.unique_solves
@@ -805,18 +1051,58 @@ mod tests {
         assert_eq!(outcome.stats.steps, steps);
         assert!((outcome.stats.mean_steps() - steps as f64 / 6.0).abs() < 1e-12);
         // Dedup is observationally invisible.
-        for (out, reference) in outcome.results.iter().zip(&per_source) {
-            assert_eq!(out.dist, reference.dist);
+        for (out, reference) in outcome.responses.iter().zip(&per_source) {
+            assert_eq!(out.dist(), reference.dist);
         }
 
         // Empty and singleton batches.
-        let empty = BatchPlan::new(&[]).execute(&solver);
-        assert!(empty.results.is_empty());
+        let empty = QueryBatch::new(&[]).execute(&solver);
+        assert!(empty.responses.is_empty());
         assert_eq!(empty.stats, BatchStats::default());
-        let single = BatchPlan::new(&[33]).execute(&solver);
-        assert_eq!(single.results.len(), 1);
-        assert_eq!(single.results[0].dist, solver.solve(33).dist);
+        let single = QueryBatch::from_sources(&[33]).execute(&solver);
+        assert_eq!(single.responses.len(), 1);
+        assert_eq!(single.responses[0].dist(), solver.solve(33).dist);
         assert_eq!(single.stats.unique_solves, 1);
+    }
+
+    #[test]
+    fn mixed_batch_counts_goal_bounded_traffic() {
+        let g = grid();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let queries = [
+            Query::point_to_point(0, 40),
+            Query::single_source(0),
+            Query::point_to_point(0, 40), // dedup'd
+            Query::point_to_point(5, 80).with_paths(),
+        ];
+        let outcome = QueryBatch::new(&queries).execute(&solver);
+        assert_eq!(outcome.stats.solves, 4);
+        assert_eq!(outcome.stats.unique_solves, 3);
+        assert_eq!(outcome.stats.point_to_point, 3, "delivered p2p responses");
+        assert_eq!(outcome.stats.goals_reached, 3, "grid is connected");
+        // Responses line up with their queries and are individually exact.
+        let full = solver.solve(0);
+        assert_eq!(outcome.responses[0].goal_distance(), Some(full.dist[40]));
+        assert_eq!(outcome.responses[1].dist(), full.dist);
+        assert_eq!(outcome.responses[2].dist(), outcome.responses[0].dist(), "clone of unique");
+        let path = outcome.responses[3].goal_path().expect("paths requested");
+        assert_eq!((path[0], *path.last().unwrap()), (5, 80));
+    }
+
+    #[test]
+    fn execute_point_to_point_warm_matches_cold() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Constant(1_500));
+        let mut scratch = SolverScratch::new();
+        for (i, (s, t)) in [(0u32, 80u32), (80, 0), (40, 13), (0, 80)].into_iter().enumerate() {
+            let warm = solver.execute(&Query::point_to_point(s, t), &mut scratch);
+            let cold = solver.execute(&Query::point_to_point(s, t), &mut SolverScratch::new());
+            assert_eq!(warm.dist(), cold.dist(), "query {i} diverged on a warm scratch");
+            assert_eq!(warm.stats().scratch_reused, i > 0);
+            assert_eq!(warm.goal_distance(), Some(solver.solve(s).dist[t as usize]));
+        }
     }
 
     #[test]

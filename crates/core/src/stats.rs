@@ -18,10 +18,15 @@ pub struct SsspResult {
     /// `dist[v]` = shortest-path distance from the source ([`rs_graph::INF`]
     /// if unreachable).
     pub dist: Vec<Dist>,
-    /// Shortest-path tree, when requested (e.g. via
+    /// Shortest-path tree, when requested (via `Query::with_paths` or
     /// `SolverBuilder::record_parents`): `parent[v]` is a predecessor of
-    /// `v` on a shortest path (`parent[source] = source`, `u32::MAX` if
-    /// unreachable or not yet settled by a goal-bounded solve).
+    /// `v` consistent with `dist` (`parent[source] = source`, `u32::MAX`
+    /// if unreachable), so every extracted path telescopes to `dist` of
+    /// its endpoint. After a goal-bounded solve the settled vertices —
+    /// in particular the whole goal path — are guaranteed covered;
+    /// unsettled vertices are either parentless (the parallel engines
+    /// clear them) or carry a predecessor telescoping to their tentative
+    /// upper bound (sequential Dijkstra, derived trees).
     pub parent: Option<Vec<VertexId>>,
     /// Execution counters.
     pub stats: StepStats,
@@ -79,9 +84,11 @@ pub fn derive_parents(g: &CsrGraph, dist: &[Dist]) -> Vec<VertexId> {
         .collect()
 }
 
-/// Reconstructs the shortest path `source → t` from a parent array, or
-/// `None` if `t` is unreachable (`parent[t] = u32::MAX`) or the chain is
-/// broken (goal-bounded solves leave unsettled vertices parentless).
+/// Reconstructs the path `source → t` from a parent array, or `None` if
+/// `t` is unreachable (`parent[t] = u32::MAX`) or the chain is broken
+/// (goal-bounded solves may leave unsettled vertices parentless). The
+/// returned path telescopes to `dist[t]` — exact for settled `t`, the
+/// tentative upper bound otherwise (see [`SsspResult::parent`]).
 pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
     if parent.get(t as usize).is_none_or(|&p| p == u32::MAX) {
         return None;
@@ -98,6 +105,28 @@ pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
     }
     path.reverse();
     Some(path)
+}
+
+/// Sparse parent array covering exactly the shortest `source → goal` path:
+/// the chain is derived by walking the distance array backwards from
+/// `goal` (`dist[u] + w(u, goal) == dist[goal]` certifies a predecessor —
+/// every vertex on a shortest path to an exactly-settled goal is itself
+/// exact, so the walk always closes), and every off-path vertex stays
+/// `u32::MAX`. Costs `O(n)` for the array plus `O(path length · degree)`
+/// for the walk — no all-edges post-pass — which is what the goal-bounded
+/// `want_paths` serving path needs from the solvers whose parallel
+/// relaxation has no per-writer claim log (∆-stepping, Bellman–Ford, BFS,
+/// the unweighted engine).
+pub fn goal_path_parents(g: &CsrGraph, dist: &[Dist], goal: VertexId) -> Vec<VertexId> {
+    let mut parent = vec![u32::MAX; g.num_vertices()];
+    let Some(path) = shortest_path_from_dist(g, dist, goal) else {
+        return parent;
+    };
+    parent[path[0] as usize] = path[0];
+    for w in path.windows(2) {
+        parent[w[1] as usize] = w[0];
+    }
+    parent
 }
 
 /// See [`SsspResult::path_to`].

@@ -25,7 +25,7 @@ pub use bucket::BucketQueue;
 pub use dary::DaryHeap;
 pub use fibonacci::FibonacciHeap;
 pub use pairing::PairingHeap;
-pub use treap::Treap;
+pub use treap::{Treap, TreapArena};
 
 /// A min-priority queue over items `0..capacity` with `u64` keys and
 /// decrease-key, the interface Dijkstra-style searches need.

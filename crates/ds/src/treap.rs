@@ -143,6 +143,183 @@ fn difference_links(a: Link, b: Link) -> Link {
     }
 }
 
+/// Recycling pool of treap nodes, so batch workloads (one treap build per
+/// radius-stepping substep, thousands per solve) stop hitting the global
+/// allocator after warmup.
+///
+/// The arena-threaded operations ([`Treap::from_sorted_in`],
+/// [`Treap::union_in`], [`Treap::difference_in`],
+/// [`Treap::split_at_most_in`], [`TreapArena::recycle`]) draw every node
+/// from — and release every discarded node back into — the pool. A fresh
+/// box is minted only when the pool is empty, and [`TreapArena::created`]
+/// counts exactly those mints, which is what
+/// `rs_core::SolverScratch::return_treap_arena` keys its reuse flag on.
+///
+/// The arena requires exclusive access, so the arena-threaded set
+/// operations recurse sequentially; the pool-less [`Treap::union`] /
+/// [`Treap::difference`] keep the parallel recursion for one-shot use.
+#[derive(Debug, Default)]
+// The boxes ARE the pooled resource: treap links are `Option<Box<Node>>`,
+// so only parked boxes can be handed back allocation-free (a `Vec<Node>`
+// would re-box on every alloc).
+#[allow(clippy::vec_box)]
+pub struct TreapArena {
+    free: Vec<Box<Node>>,
+    /// Reusable traversal stacks ([`TreapArena::recycle`] and the
+    /// `from_sorted_in` spine), kept here so recycling allocates nothing
+    /// after warmup either.
+    stack: Vec<Box<Node>>,
+    spine: Vec<Box<Node>>,
+    created: u64,
+}
+
+impl TreapArena {
+    /// An empty pool; nodes materialise on demand.
+    pub fn new() -> Self {
+        TreapArena::default()
+    }
+
+    /// Nodes minted from the global allocator because the pool was empty —
+    /// the "this solve had to allocate" signal. Never decreases.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Nodes currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pre-mints nodes until the pool holds at least `n`, so a first solve
+    /// can run allocation-free.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        while self.free.len() < n {
+            self.created += 1;
+            self.free.push(Box::new(Node {
+                key: (0, 0),
+                prio: 0,
+                size: 1,
+                left: None,
+                right: None,
+            }));
+        }
+    }
+
+    fn alloc(&mut self, key: Key) -> Box<Node> {
+        match self.free.pop() {
+            Some(mut n) => {
+                debug_assert!(n.left.is_none() && n.right.is_none());
+                n.key = key;
+                n.prio = prio(key);
+                n.size = 1;
+                n
+            }
+            None => {
+                self.created += 1;
+                Box::new(Node { key, prio: prio(key), size: 1, left: None, right: None })
+            }
+        }
+    }
+
+    /// Parks a node whose children have already been detached.
+    fn release(&mut self, n: Box<Node>) {
+        debug_assert!(n.left.is_none() && n.right.is_none());
+        self.free.push(n);
+    }
+
+    /// Dissolves a whole treap back into the pool (iteratively — no
+    /// recursion-depth or per-node-drop cost beyond the walk itself).
+    pub fn recycle(&mut self, t: Treap) {
+        let mut stack = std::mem::take(&mut self.stack);
+        debug_assert!(stack.is_empty());
+        if let Some(root) = t.root {
+            stack.push(root);
+        }
+        while let Some(mut n) = stack.pop() {
+            if let Some(l) = n.left.take() {
+                stack.push(l);
+            }
+            if let Some(r) = n.right.take() {
+                stack.push(r);
+            }
+            self.free.push(n);
+        }
+        self.stack = stack;
+    }
+}
+
+/// Splits into `(keys < key, key present?, keys > key)`, releasing a
+/// matched node into the arena instead of dropping it.
+fn split3_in(t: Link, key: Key, arena: &mut TreapArena) -> (Link, bool, Link) {
+    match t {
+        None => (None, false, None),
+        Some(mut n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let left = n.left.take();
+                let (ll, found, lr) = split3_in(left, key, arena);
+                let right = n.right.take();
+                (ll, found, rebuild(n, lr, right))
+            }
+            std::cmp::Ordering::Greater => {
+                let right = n.right.take();
+                let (rl, found, rr) = split3_in(right, key, arena);
+                let left = n.left.take();
+                (rebuild(n, left, rl), found, rr)
+            }
+            std::cmp::Ordering::Equal => {
+                let l = n.left.take();
+                let r = n.right.take();
+                arena.release(n);
+                (l, true, r)
+            }
+        },
+    }
+}
+
+/// [`union_links`] threading an arena (duplicate keys release the losing
+/// node into the pool). Sequential: the pool needs exclusive access.
+fn union_links_in(a: Link, b: Link, arena: &mut TreapArena) -> Link {
+    match (a, b) {
+        (None, t) | (t, None) => t,
+        (Some(a), Some(b)) => {
+            let (mut top, other) = if a.prio >= b.prio { (a, Some(b)) } else { (b, Some(a)) };
+            let (ol, _dup, or) = split3_in(other, top.key, arena);
+            let tl = top.left.take();
+            let tr = top.right.take();
+            let l = union_links_in(tl, ol, arena);
+            let r = union_links_in(tr, or, arena);
+            rebuild(top, l, r)
+        }
+    }
+}
+
+/// [`difference_links`] threading an arena: every removed element releases
+/// both its `a`-side and `b`-side node into the pool.
+fn difference_links_in(a: Link, b: Link, arena: &mut TreapArena) -> Link {
+    match (a, b) {
+        (None, b) => {
+            if let Some(root) = b {
+                arena.recycle(Treap { root: Some(root) });
+            }
+            None
+        }
+        (t, None) => t,
+        (Some(mut a), b) => {
+            let (bl, found, br) = split3_in(b, a.key, arena);
+            let al = a.left.take();
+            let ar = a.right.take();
+            let l = difference_links_in(al, bl, arena);
+            let r = difference_links_in(ar, br, arena);
+            if found {
+                arena.release(a);
+                join2(l, r)
+            } else {
+                rebuild(a, l, r)
+            }
+        }
+    }
+}
+
 /// Ordered set of [`Key`]s as a join-based treap.
 #[derive(Debug, Clone, Default)]
 pub struct Treap {
@@ -286,6 +463,81 @@ impl Treap {
     /// Set difference `a \ b`.
     pub fn difference(a: Treap, b: Treap) -> Treap {
         Treap { root: difference_links(a.root, b.root) }
+    }
+
+    /// [`Treap::from_sorted`] drawing every node from `arena` — the batch
+    /// build the BST engine performs once per substep, allocation-free
+    /// after warmup.
+    pub fn from_sorted_in(keys: &[Key], arena: &mut TreapArena) -> Treap {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly ascending");
+        let mut spine = std::mem::take(&mut arena.spine);
+        debug_assert!(spine.is_empty());
+        for &key in keys {
+            let mut carried: Link = None;
+            while let Some(top) = spine.last() {
+                if top.prio < prio(key) {
+                    let mut popped = spine.pop().unwrap();
+                    popped.right = carried.take();
+                    popped.size = 1 + size(&popped.left) + size(&popped.right);
+                    carried = Some(popped);
+                } else {
+                    break;
+                }
+            }
+            let mut node = arena.alloc(key);
+            node.size = 1 + carried.as_ref().map_or(0, |c| c.size);
+            node.left = carried;
+            spine.push(node);
+        }
+        let mut carried: Link = None;
+        while let Some(mut popped) = spine.pop() {
+            popped.right = carried.take();
+            popped.size = 1 + size(&popped.left) + size(&popped.right);
+            carried = Some(popped);
+        }
+        arena.spine = spine;
+        Treap { root: carried }
+    }
+
+    /// [`Treap::union`] releasing duplicate-key nodes into `arena`.
+    /// Sequential (the pool needs exclusive access); use the pool-less
+    /// [`Treap::union`] when parallel recursion matters more than reuse.
+    pub fn union_in(a: Treap, b: Treap, arena: &mut TreapArena) -> Treap {
+        Treap { root: union_links_in(a.root, b.root, arena) }
+    }
+
+    /// [`Treap::difference`] releasing every removed node into `arena`.
+    pub fn difference_in(a: Treap, b: Treap, arena: &mut TreapArena) -> Treap {
+        Treap { root: difference_links_in(a.root, b.root, arena) }
+    }
+
+    /// [`Treap::split_at_most`] whose (rare) sentinel-collision rebuild
+    /// draws from and releases into `arena`.
+    pub fn split_at_most_in(&mut self, d: u64, arena: &mut TreapArena) -> Treap {
+        if d == u64::MAX {
+            return Treap { root: self.root.take() };
+        }
+        let (l, found, r) = split3_in(self.root.take(), (d + 1, 0), arena);
+        self.root = if found {
+            let node = arena.alloc((d + 1, 0));
+            join2(Some(node), r)
+        } else {
+            r
+        };
+        Treap { root: l }
+    }
+
+    /// In-order traversal without materialising a vector (the engine's
+    /// active-set extraction on reused buffers).
+    pub fn for_each(&self, mut f: impl FnMut(Key)) {
+        fn walk(t: &Link, f: &mut impl FnMut(Key)) {
+            if let Some(n) = t {
+                walk(&n.left, f);
+                f(n.key);
+                walk(&n.right, f);
+            }
+        }
+        walk(&self.root, &mut f);
     }
 
     /// In-order contents.
@@ -462,6 +714,98 @@ mod tests {
         assert_eq!(d.len(), 10_000);
         assert!(d.to_vec().iter().all(|&(k, _)| k % 2 == 1));
         d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arena_ops_match_plain_ops() {
+        let mut arena = TreapArena::new();
+        let xs: Vec<Key> = (0..300u32).map(|i| ((i as u64 * 7) % 400, i)).collect();
+        let ys: Vec<Key> = (0..300u32).map(|i| ((i as u64 * 11) % 400, i)).collect();
+        let mut sx = xs.clone();
+        sx.sort_unstable();
+        let mut sy = ys.clone();
+        sy.sort_unstable();
+
+        let ax = Treap::from_sorted_in(&sx, &mut arena);
+        let ay = Treap::from_sorted_in(&sy, &mut arena);
+        ax.check_invariants().unwrap();
+        assert_eq!(ax.to_vec(), Treap::from_sorted(&sx).to_vec());
+
+        let au = Treap::union_in(ax, ay, &mut arena);
+        let pu = Treap::union(Treap::from_sorted(&sx), Treap::from_sorted(&sy));
+        assert_eq!(au.to_vec(), pu.to_vec());
+        au.check_invariants().unwrap();
+
+        let ad = Treap::difference_in(au, Treap::from_sorted_in(&sy, &mut arena), &mut arena);
+        let pd = Treap::difference(pu, Treap::from_sorted(&sy));
+        assert_eq!(ad.to_vec(), pd.to_vec());
+        ad.check_invariants().unwrap();
+        arena.recycle(ad);
+    }
+
+    #[test]
+    fn arena_split_matches_plain_split() {
+        let mut arena = TreapArena::new();
+        let keys: Vec<Key> = vec![(1, 0), (3, 1), (4, 0), (5, 2), (8, 3)];
+        let mut a = Treap::from_sorted_in(&keys, &mut arena);
+        let mut p = Treap::from_sorted(&keys);
+        // d = 3 exercises the sentinel-collision case ((4, 0) is a real
+        // element equal to the internal split key).
+        let la = a.split_at_most_in(3, &mut arena);
+        let lp = p.split_at_most(3);
+        assert_eq!(la.to_vec(), lp.to_vec());
+        assert_eq!(a.to_vec(), p.to_vec());
+        a.check_invariants().unwrap();
+        arena.recycle(a);
+        arena.recycle(la);
+    }
+
+    #[test]
+    fn arena_stops_minting_after_warmup() {
+        let mut arena = TreapArena::new();
+        let keys: Vec<Key> = (0..500u32).map(|i| (i as u64, i)).collect();
+        // "Solve" 1: build, tear apart, recycle everything.
+        let a = Treap::from_sorted_in(&keys, &mut arena);
+        let b = Treap::from_sorted_in(
+            &keys.iter().map(|&(d, v)| (d + 500, v)).collect::<Vec<_>>(),
+            &mut arena,
+        );
+        let u = Treap::union_in(a, b, &mut arena);
+        assert_eq!(u.len(), 1000);
+        arena.recycle(u);
+        let minted = arena.created();
+        assert_eq!(minted, 1000);
+        assert_eq!(arena.pooled(), 1000);
+
+        // "Solve" 2 with the same shape must mint nothing new.
+        let a = Treap::from_sorted_in(&keys, &mut arena);
+        let removals = Treap::from_sorted_in(&keys[..250], &mut arena);
+        let d = Treap::difference_in(a, removals, &mut arena);
+        assert_eq!(d.len(), 250);
+        assert_eq!(
+            d.to_vec(),
+            Treap::from_sorted(&keys[250..]).to_vec(),
+            "arena difference must be a set difference"
+        );
+        arena.recycle(d);
+        assert_eq!(arena.created(), minted, "warm solve minted fresh nodes");
+        assert_eq!(arena.pooled(), 1000, "every node returned to the pool");
+    }
+
+    #[test]
+    fn arena_for_each_is_in_order() {
+        let mut arena = TreapArena::new();
+        arena.reserve_nodes(64);
+        let created = arena.created();
+        let keys: Vec<Key> = (0..64u32).map(|i| ((i as u64 * 13) % 97, i)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let t = Treap::from_sorted_in(&sorted, &mut arena);
+        assert_eq!(arena.created(), created, "reserve_nodes prewarms the pool");
+        let mut seen = Vec::new();
+        t.for_each(|k| seen.push(k));
+        assert_eq!(seen, t.to_vec());
+        arena.recycle(t);
     }
 
     #[test]

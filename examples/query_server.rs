@@ -1,18 +1,24 @@
-//! Serving many queries: the batch API end to end.
+//! Serving mixed query traffic: the unified query plane end to end.
 //!
 //! A query server pays three one-time costs — building the graph, the
 //! (k, ρ)-preprocessing, and warming a `SolverScratch` per worker — and
-//! then answers every request on reused state:
+//! then answers every request on reused state through the one entry point,
+//! `SsspSolver::execute`:
 //!
-//! * **Batch requests** go through `BatchPlan`: duplicate sources are
-//!   answered once and cloned (think: popular origins in a routing
-//!   service), unique solves fan out over the thread pool with one scratch
-//!   per pool task, and the per-batch `BatchStats` aggregate reports steps,
-//!   relaxations and the warm/cold scratch split.
+//! * **Mixed batches** go through `QueryBatch`: realistic traffic is
+//!   dominated by point-to-point requests (origin → destination, often
+//!   with a path wanted) with occasional single-source analytics queries
+//!   mixed in. Duplicates — popular origin/destination pairs — are
+//!   answered once and cloned (dedup by full query key), unique queries
+//!   fan out over the thread pool with one pre-warmed scratch per pool
+//!   task, and the per-batch `BatchStats` aggregate reports the
+//!   goal-bounded traffic split alongside steps and the warm/cold scratch
+//!   counters.
 //! * **Single requests** on a dedicated worker loop reuse one long-lived
-//!   scratch via `solve_with_scratch` — after the first request, no
-//!   working distance array, bitset, heap or bucket queue is allocated
-//!   again (`StepStats::scratch_reused`).
+//!   scratch; `warm_scratch` pre-sizes it so even the *first* request
+//!   runs allocation-free, and point-to-point requests settle only the
+//!   region the goal needs (early exit) while recording parents inline —
+//!   `goal_path()` costs O(path length).
 //!
 //! ```text
 //! cargo run --release --example query_server
@@ -29,58 +35,86 @@ fn main() {
     let n = g.num_vertices() as u32;
     println!("graph: {} vertices, {} edges", n, g.num_edges());
 
-    // One-time: preprocessing sized for a many-source workload (§5.4).
+    // One-time: preprocessing sized for a many-query workload (§5.4).
     let t = Instant::now();
     let solver = SolverBuilder::new(&g).preprocess(PreprocessConfig::new(1, 64)).build();
     println!("build ({}): {:.2}s\n", solver.name(), t.elapsed().as_secs_f64());
 
-    // --- Batch endpoint -------------------------------------------------
-    // 256 requests, deliberately skewed: a few hot origins dominate, as in
-    // real query logs. BatchPlan solves each distinct origin once.
-    let requests: Vec<VertexId> =
-        (0..256u32).map(|i| if i % 3 == 0 { 42 } else { (i * 977) % n }).collect();
-    let plan = BatchPlan::new(&requests);
+    // --- Mixed batch endpoint -------------------------------------------
+    // 256 requests, deliberately skewed like real query logs: a hot
+    // origin/destination pair dominates the point-to-point traffic, most
+    // riders want the route itself, and a few analytics jobs ask for full
+    // single-source solves.
+    let queries: Vec<Query> = (0..256u32)
+        .map(|i| match i % 8 {
+            0 => Query::point_to_point(42, 917 % n).with_paths(), // the hot pair
+            7 => Query::single_source((i * 977) % n),             // analytics
+            _ => {
+                let (a, b) = ((i * 977) % n, (i * 31 + 7) % n);
+                if i % 2 == 0 {
+                    Query::point_to_point(a, b).with_paths()
+                } else {
+                    Query::point_to_point(a, b)
+                }
+            }
+        })
+        .collect();
+    let batch = QueryBatch::new(&queries);
     println!(
-        "batch: {} requests, {} unique origins ({} served by dedup)",
-        plan.len(),
-        plan.unique_sources().len(),
-        plan.deduplicated()
+        "batch: {} requests, {} unique ({} served by dedup)",
+        batch.len(),
+        batch.unique_queries().len(),
+        batch.deduplicated()
     );
     let t = Instant::now();
-    let outcome = plan.execute(&*solver);
+    let outcome = batch.execute(&*solver);
     println!(
-        "answered in {:.2}s on {} pool threads: {} cold solves (one per worker scratch), \
-         {} warm reuses, mean {:.1} steps/request",
+        "answered in {:.2}s on {} pool threads: {} point-to-point ({} goals reached), \
+         {} single-source, {} cold solves, {} warm reuses, mean {:.1} steps/request",
         t.elapsed().as_secs_f64(),
         par::num_threads(),
+        outcome.stats.point_to_point,
+        outcome.stats.goals_reached,
+        outcome.stats.solves - outcome.stats.point_to_point,
         outcome.stats.cold_solves,
         outcome.stats.scratch_reuses,
         outcome.stats.mean_steps(),
     );
-    let sample = &outcome.results[0];
+    // Paths from a preprocessed solver are on the shortcut-augmented
+    // (k, ρ)-graph: distance-exact, but a hop may be a shortcut edge.
+    let hot = &outcome.responses[0];
+    let route = hot.goal_path().expect("road network is connected");
     println!(
-        "sample answer (origin {}): {} reachable, farthest travel time {}\n",
-        requests[0],
-        sample.dist.iter().filter(|&&d| d != INF).count(),
-        sample.dist.iter().filter(|&&d| d != INF).max().unwrap()
+        "hot pair 42 -> {}: travel time {}, {} hops on the (k, rho)-graph, \
+         {} steps (vs full-solve fan-out)\n",
+        917 % n,
+        hot.goal_distance().unwrap(),
+        route.len() - 1,
+        hot.stats().steps,
     );
 
     // --- Single-request worker loop -------------------------------------
-    // A long-lived worker owns one scratch and streams requests through
-    // it; everything after request #1 runs allocation-free.
+    // A long-lived worker owns one scratch, pre-warmed so request #1 is
+    // already allocation-free; every request records parents inline and
+    // extracts only the goal path.
     let mut scratch = SolverScratch::new();
+    solver.warm_scratch(&mut scratch);
     let t = Instant::now();
     let mut warm = 0u32;
+    let mut segments = 0usize;
     for i in 0..64u32 {
-        let origin = (i * 131) % n;
-        let out = solver.solve_with_scratch(origin, &mut scratch);
-        warm += u32::from(out.stats.scratch_reused);
+        let (a, b) = ((i * 131) % n, (i * 271 + 13) % n);
+        let resp = solver.execute(&Query::point_to_point(a, b).with_paths(), &mut scratch);
+        warm += u32::from(resp.stats().scratch_reused);
+        segments += resp.goal_path().map_or(0, |p| p.len() - 1);
     }
     println!(
-        "worker loop: 64 requests in {:.2}s, {} on warm scratch (scratch: {} solves, {} reuses)",
+        "worker loop: 64 point-to-point requests in {:.2}s, {} on warm scratch \
+         (scratch: {} solves, {} reuses), {} route hops returned",
         t.elapsed().as_secs_f64(),
         warm,
         scratch.solves(),
         scratch.reuses(),
+        segments,
     );
 }

@@ -2,8 +2,9 @@
 //! use. Preprocessing is paid once at `build()`; every subsequent source
 //! amortises it (§5.4: "since preprocessing is only run once, if Sssp will
 //! be run from multiple sources, we suggest increasing ρ"), and a
-//! `BatchPlan` fans the depots out across the thread pool — each pool
-//! task reusing one `SolverScratch`, with per-batch aggregated stats.
+//! `QueryBatch` fans the depots out across the thread pool — each pool
+//! task reusing one pre-warmed `SolverScratch`, with per-batch aggregated
+//! stats.
 //!
 //! ```text
 //! cargo run --release --example road_trip
@@ -35,19 +36,19 @@ fn main() {
     );
 
     // A fleet of depots runs shortest paths to plan deliveries — one
-    // parallel batch over the shared preprocessed structure. BatchPlan
+    // parallel batch over the shared preprocessed structure. QueryBatch
     // dedups repeated depots and reuses one scratch per pool worker.
     let depots = [0u32, (n / 3) as u32, (n / 2) as u32, (n - 1) as u32, 0u32];
     let t = Instant::now();
-    let outcome = BatchPlan::new(&depots).execute(&*solver);
+    let outcome = QueryBatch::from_sources(&depots).execute(&*solver);
     let rs_time = t.elapsed().as_secs_f64();
-    for (out, &depot) in outcome.results.iter().zip(&depots) {
-        let reachable = out.dist.iter().filter(|&&d| d != INF).count();
+    for (out, &depot) in outcome.responses.iter().zip(&depots) {
+        let reachable = out.dist().iter().filter(|&&d| d != INF).count();
         println!(
             "depot {depot:>6}: {} junctions reachable, {} steps, farthest travel time {}",
             reachable,
-            out.stats.steps,
-            out.dist.iter().filter(|&&d| d != INF).max().unwrap()
+            out.stats().steps,
+            out.dist().iter().filter(|&&d| d != INF).max().unwrap()
         );
     }
     let total_steps = outcome.stats.steps;
@@ -74,17 +75,26 @@ fn main() {
     );
     println!("(steps ≈ parallel depth: each step's relaxations all run concurrently)");
 
-    // Route between two specific junctions: goal-bounded solve + the
-    // recorded shortest-path tree.
-    let out = solver.solve_to_goal(depots[0], depots[3]);
-    if let Some(route) = out.extract_path(depots[3]) {
+    // Route between two specific junctions: a point-to-point query with
+    // goal-bounded early exit and inline parent recording, on a warm
+    // scratch (how a serving loop would run it).
+    let mut scratch = SolverScratch::new();
+    solver.warm_scratch(&mut scratch);
+    let trip =
+        solver.execute(&Query::point_to_point(depots[0], depots[3]).with_paths(), &mut scratch);
+    // Note: this solver is preprocessed, so the route's hops are edges of
+    // the shortcut-augmented (k, ρ)-graph — travel time is exact, but a
+    // hop may be a shortcut standing in for several road segments.
+    if let Some(route) = trip.goal_path() {
         println!(
-            "route depot {} -> {}: {} segments, travel time {} ({} steps, early exit)",
+            "route depot {} -> {}: {} hops on the (k, rho)-graph, travel time {} \
+             ({} steps, early exit, warm={})",
             depots[0],
             depots[3],
             route.len() - 1,
-            out.dist[depots[3] as usize],
-            out.stats.steps
+            trip.goal_distance().unwrap(),
+            trip.stats().steps,
+            trip.stats().scratch_reused,
         );
     }
 }

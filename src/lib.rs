@@ -20,7 +20,9 @@
 //! ## Quickstart
 //!
 //! Every algorithm is constructed through [`SolverBuilder`](prelude::SolverBuilder)
-//! and used through the [`SsspSolver`](prelude::SsspSolver) trait:
+//! and answers [`Query`](prelude::Query)s through the
+//! [`SsspSolver`](prelude::SsspSolver) trait's one entry point,
+//! [`execute`](prelude::SsspSolver::execute):
 //!
 //! ```
 //! use radius_stepping::prelude::*;
@@ -36,35 +38,41 @@
 //!         radii: Radii::Zero, // replaced by r_rho(v) from preprocessing
 //!     })
 //!     .preprocess(PreprocessConfig::new(1, 32))
-//!     .record_parents(true)
 //!     .build();
 //!
-//! // Per-source solve, with uniform path reconstruction.
-//! let result = solver.solve(0);
-//! assert_eq!(result.dist[0], 0);
-//! let route = result.extract_path(1599).expect("grid is connected");
+//! // Point-to-point serving: goal-bounded early exit, inline parent
+//! // recording, and one long-lived scratch reused across requests.
+//! let mut scratch = SolverScratch::new();
+//! solver.warm_scratch(&mut scratch); // even the first query runs warm
+//! let trip = solver.execute(&Query::point_to_point(0, 820).with_paths(), &mut scratch);
+//! let route = trip.goal_path().expect("grid is connected");
 //! assert_eq!(route[0], 0);
+//! assert!(trip.stats().scratch_reused);
 //!
-//! // Point-to-point query with early termination.
-//! let bounded = solver.solve_to_goal(0, 820);
-//! assert_eq!(bounded.dist[820], result.dist[820]);
+//! // Full single-source solves ride the same entry point (the legacy
+//! // solve / solve_to_goal / solve_with_scratch wrappers still work).
+//! let full = solver.execute(&Query::single_source(0), &mut scratch);
+//! assert_eq!(trip.goal_distance(), Some(full.dist()[820]));
+//! assert_eq!(full.dist(), solver.solve(0).dist);
 //!
-//! // Multi-source fan-out across the thread pool: duplicates answered
-//! // once (dedup is observationally invisible), one reusable
-//! // SolverScratch per pool worker — no per-source working-array
-//! // allocation after warmup. BatchPlan::execute additionally reports
-//! // per-batch aggregates (BatchStats).
-//! let batch = solver.solve_batch(&[0, 40, 1599, 40]);
-//! assert_eq!(batch[2].dist[0], result.dist[1599]);
-//! assert_eq!(batch[1].dist, batch[3].dist);
-//! let outcome = BatchPlan::new(&[0, 40, 40]).execute(&*solver);
+//! // Mixed-shape batches fan out across the thread pool: duplicates are
+//! // answered once (dedup by full query key, observationally invisible),
+//! // one pre-warmed SolverScratch per pool worker, per-batch aggregates.
+//! let queries = [
+//!     Query::single_source(0),
+//!     Query::point_to_point(40, 1599),
+//!     Query::point_to_point(40, 1599), // dedup'd
+//! ];
+//! let outcome = QueryBatch::new(&queries).execute(&*solver);
 //! assert_eq!(outcome.stats.unique_solves, 2);
+//! assert_eq!(outcome.stats.point_to_point, 2);
+//! assert_eq!(outcome.responses[1].dist(), outcome.responses[2].dist());
 //!
 //! // Same answer as the sequential baseline, through the same interface.
 //! let dijkstra = SolverBuilder::new(&g)
 //!     .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
 //!     .build();
-//! assert_eq!(result.dist, dijkstra.solve(0).dist);
+//! assert_eq!(full.dist(), dijkstra.solve(0).dist);
 //! ```
 
 pub use rs_baselines as baselines;
@@ -79,8 +87,8 @@ pub mod prelude {
     pub use rs_baselines::solver::BuildSolver;
     pub use rs_core::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
     pub use rs_core::solver::{
-        Algorithm, BatchOutcome, BatchPlan, BatchStats, HeapKind, Radii, SolverBuilder,
-        SolverConfig, SsspSolver,
+        Algorithm, BatchOutcome, BatchStats, HeapKind, Query, QueryBatch, QueryResponse,
+        QueryShape, Radii, SolverBuilder, SolverConfig, SsspSolver,
     };
     pub use rs_core::{
         radius_stepping, EngineConfig, EngineKind, RadiiSpec, SolverScratch, SsspResult, StepStats,

@@ -1,0 +1,150 @@
+//! Property-based tests for the query plane: random graphs, random mixed
+//! [`Query`] batches — duplicate-heavy, shapes and output options drawn
+//! independently — must behave exactly like per-query fresh executions,
+//! and the batch bookkeeping must stay consistent.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use radius_stepping::prelude::*;
+
+/// Random connected weighted graph: a random spanning tree plus extra
+/// random edges (same construction as `proptest_sssp`).
+fn arb_connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (3usize..40, proptest::collection::vec((0u32..1000, 0u32..1000, 1u32..50), 0..120), 1u32..50)
+        .prop_map(|(n, extra, tree_w)| {
+            let mut b = EdgeListBuilder::new(n);
+            for v in 1..n as u32 {
+                let parent = (v.wrapping_mul(2654435761) >> 7) % v;
+                b.add_edge(v, parent, (v % tree_w) + 1);
+            }
+            for (u, v, w) in extra {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+/// Raw query material: `(p2p?, source, goal, want_paths)` — duplicated by
+/// drawing from a small id space, reduced mod `n` at use.
+fn arb_raw_queries() -> impl Strategy<Value = Vec<(bool, u32, u32, bool)>> {
+    proptest::collection::vec((any::<bool>(), 0u32..1000, 0u32..1000, any::<bool>()), 0..20)
+}
+
+fn build_queries(raw: &[(bool, u32, u32, bool)], n: u32) -> Vec<Query> {
+    raw.iter()
+        .map(|&(p2p, s, t, paths)| {
+            let q =
+                if p2p { Query::point_to_point(s % n, t % n) } else { Query::single_source(s % n) };
+            if paths {
+                q.with_paths()
+            } else {
+                q
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Mixed batches with duplicate queries: responses equal fresh
+    // per-query executions slot for slot, and the stats ledger adds up —
+    // for radius stepping (both general engines), Dijkstra, ∆-stepping
+    // and Bellman–Ford.
+    #[test]
+    fn mixed_batches_match_fresh_executions(
+        g in arb_connected_graph(),
+        raw in arb_raw_queries(),
+        algo_pick in 0usize..5,
+    ) {
+        let n = g.num_vertices() as u32;
+        let queries = build_queries(&raw, n);
+        let algorithm = [
+            Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(40) },
+            Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Constant(25) },
+            Algorithm::Dijkstra { heap: HeapKind::Dary },
+            Algorithm::DeltaStepping { delta: 60 },
+            Algorithm::BellmanFord,
+        ][algo_pick].clone();
+        let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+
+        let batch = QueryBatch::new(&queries);
+        let unique: HashSet<Query> = queries.iter().copied().collect();
+        prop_assert_eq!(batch.len(), queries.len());
+        prop_assert_eq!(batch.unique_queries().len(), unique.len());
+        prop_assert_eq!(batch.deduplicated(), queries.len() - unique.len());
+
+        let outcome = batch.execute(&*solver);
+        prop_assert_eq!(outcome.responses.len(), queries.len());
+        prop_assert_eq!(outcome.stats.solves, queries.len());
+        prop_assert_eq!(outcome.stats.unique_solves, unique.len());
+        prop_assert_eq!(
+            outcome.stats.cold_solves + outcome.stats.scratch_reuses,
+            outcome.stats.unique_solves
+        );
+        let p2p = queries.iter().filter(|q| q.is_point_to_point()).count();
+        prop_assert_eq!(outcome.stats.point_to_point, p2p);
+        // The graph is connected, so every delivered goal is reached.
+        prop_assert_eq!(outcome.stats.goals_reached, p2p);
+
+        for (resp, q) in outcome.responses.iter().zip(&queries) {
+            prop_assert_eq!(&resp.query, q);
+            let fresh = solver.execute(q, &mut SolverScratch::new());
+            prop_assert_eq!(resp.dist(), fresh.dist(), "{:?}", q.shape);
+            if let Some(goal) = q.goal() {
+                // Goal settled exactly (the full solve is the reference).
+                prop_assert_eq!(
+                    resp.dist()[goal as usize],
+                    solver.solve(q.source()).dist[goal as usize],
+                    "{:?}", q.shape
+                );
+                if q.want_paths {
+                    // Inline parents telescope along the goal path.
+                    let path = resp.goal_path().expect("connected graph");
+                    prop_assert_eq!(path[0], q.source());
+                    prop_assert_eq!(*path.last().unwrap(), goal);
+                    let mut acc = 0u64;
+                    for w in path.windows(2) {
+                        let weight = solver.graph().arc_weight(w[0], w[1]);
+                        prop_assert!(weight.is_some(), "path edge {}->{} missing", w[0], w[1]);
+                        acc += weight.unwrap() as u64;
+                    }
+                    prop_assert_eq!(acc, resp.dist()[goal as usize]);
+                }
+            }
+        }
+    }
+
+    // One scratch, interleaved mixed queries: results stay bit-identical
+    // to fresh executions no matter the order (stale-state fuzzing for the
+    // goal-bounded path, the inline-parent buffers and the epoch reset).
+    #[test]
+    fn interleaved_mixed_queries_never_leak_scratch_state(
+        g in arb_connected_graph(),
+        raw in arb_raw_queries(),
+    ) {
+        let n = g.num_vertices() as u32;
+        let queries = build_queries(&raw, n);
+        let solver = SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Frontier,
+                radii: Radii::Constant(25),
+            })
+            .build();
+        let mut scratch = SolverScratch::new();
+        for q in &queries {
+            let warm = solver.execute(q, &mut scratch);
+            let fresh = solver.execute(q, &mut SolverScratch::new());
+            prop_assert_eq!(warm.dist(), fresh.dist(), "{:?}", q.shape);
+            prop_assert_eq!(
+                warm.result.parent.is_some(),
+                q.want_paths,
+                "want_paths must always produce a parent tree"
+            );
+        }
+    }
+}

@@ -109,7 +109,7 @@ proptest! {
     // Batch dedup must be observationally invisible: for ANY source
     // multiset — duplicates, repeats, arbitrary order — `solve_batch`
     // returns exactly what per-source `solve` returns, slot for slot, and
-    // the `BatchPlan` bookkeeping stays consistent.
+    // the `QueryBatch` bookkeeping stays consistent.
     #[test]
     fn solve_batch_with_duplicates_matches_per_source(
         g in arb_connected_graph(),
@@ -126,22 +126,23 @@ proptest! {
         ][algo_pick].clone();
         let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
 
-        let plan = BatchPlan::new(&sources);
+        let plan = QueryBatch::from_sources(&sources);
         let unique: std::collections::HashSet<VertexId> = sources.iter().copied().collect();
         prop_assert_eq!(plan.len(), sources.len());
-        prop_assert_eq!(plan.unique_sources().len(), unique.len());
+        prop_assert_eq!(plan.unique_queries().len(), unique.len());
         prop_assert_eq!(plan.deduplicated(), sources.len() - unique.len());
 
         let outcome = plan.execute(&*solver);
-        prop_assert_eq!(outcome.results.len(), sources.len());
+        prop_assert_eq!(outcome.responses.len(), sources.len());
         prop_assert_eq!(outcome.stats.solves, sources.len());
         prop_assert_eq!(outcome.stats.unique_solves, unique.len());
+        prop_assert_eq!(outcome.stats.point_to_point, 0);
         prop_assert_eq!(
             outcome.stats.cold_solves + outcome.stats.scratch_reuses,
             outcome.stats.unique_solves
         );
-        for (out, &s) in outcome.results.iter().zip(&sources) {
-            prop_assert_eq!(&out.dist, &solver.solve(s).dist, "source {}", s);
+        for (out, &s) in outcome.responses.iter().zip(&sources) {
+            prop_assert_eq!(out.dist(), &solver.solve(s).dist[..], "source {}", s);
         }
     }
 
@@ -159,12 +160,12 @@ proptest! {
         prop_assert_eq!(single.len(), 1);
         prop_assert_eq!(&single[0].dist, &solver.solve(s).dist);
         // All-duplicates batch: one unique solve, three identical answers.
-        let dup = BatchPlan::new(&[s, s, s]);
-        prop_assert_eq!(dup.unique_sources(), &[s][..]);
+        let dup = QueryBatch::from_sources(&[s, s, s]);
+        prop_assert_eq!(dup.unique_queries(), &[Query::single_source(s)][..]);
         let outcome = dup.execute(&*solver);
         prop_assert_eq!(outcome.stats.unique_solves, 1);
-        for out in &outcome.results {
-            prop_assert_eq!(&out.dist, &outcome.results[0].dist);
+        for out in &outcome.responses {
+            prop_assert_eq!(out.dist(), outcome.responses[0].dist());
         }
     }
 

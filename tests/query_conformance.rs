@@ -1,0 +1,426 @@
+//! Query-plane conformance suite: every `SsspSolver` the builder can
+//! construct answers [`Query`]s through the single `execute` entry point,
+//! and must satisfy the same contract —
+//!
+//! * `execute(PointToPoint)` on a warm scratch is bit-identical to the
+//!   cold path, settles the goal to exactly the full solve's value, and
+//!   returns upper bounds everywhere else (the full-solve prefix);
+//! * inline parents telescope: along every extracted path,
+//!   `dist[v] == dist[parent[v]] + w(parent[v], v)`;
+//! * unreachable goals terminate (finite work, `INF` goal, no path);
+//! * a pre-warmed scratch (`warm_scratch`) makes even the *first* query
+//!   allocation-free for every solver whose structures it covers;
+//! * the acceptance bars: zero working-structure allocations for warm
+//!   point-to-point queries on a 100k-vertex graph (asserted by the
+//!   scratch counters), and strictly fewer steps than the full solve on a
+//!   256×256 grid.
+//!
+//! Like the batch suite, this runs in CI at 1 and nproc threads (the
+//! `queries` job); responses are deterministic per query, so the two runs
+//! assert sequential == parallel by transitivity through the per-query
+//! reference.
+
+use radius_stepping::prelude::*;
+
+/// Weighted test graph (seeded, failures reproduce).
+fn weighted(seed: u64) -> CsrGraph {
+    graph::weights::reweight(&graph::gen::grid2d(11, 12), WeightModel::paper_weighted(), seed)
+}
+
+/// Every weighted-capable algorithm family, spanning the paper's spectrum
+/// (all three engines, every Dijkstra heap, two ∆ widths, Bellman–Ford).
+fn weighted_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Zero },
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Infinite },
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(3_000) },
+        Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Constant(3_000) },
+        Algorithm::Dijkstra { heap: HeapKind::Dary },
+        Algorithm::Dijkstra { heap: HeapKind::Pairing },
+        Algorithm::Dijkstra { heap: HeapKind::Fibonacci },
+        Algorithm::DeltaStepping { delta: 1_111 },
+        Algorithm::DeltaStepping { delta: 50_000 },
+        Algorithm::BellmanFord,
+    ]
+}
+
+/// Builders for every weighted solver under test, including `Preprocessed`
+/// variants (one attached to radius stepping, one to a baseline).
+fn weighted_solvers<'g>(g: &'g CsrGraph) -> Vec<Box<dyn SsspSolver + 'g>> {
+    let mut solvers: Vec<Box<dyn SsspSolver + 'g>> = weighted_algorithms()
+        .into_iter()
+        .map(|algorithm| SolverBuilder::new(g).algorithm(algorithm).build())
+        .collect();
+    solvers.push(SolverBuilder::new(g).preprocess(PreprocessConfig::new(1, 12)).build());
+    solvers.push(
+        SolverBuilder::new(g)
+            .algorithm(Algorithm::DeltaStepping { delta: 2_500 })
+            .preprocess(PreprocessConfig::new(1, 8))
+            .build(),
+    );
+    solvers
+}
+
+/// The unit-weight-only solvers (BFS baseline + the unweighted engine).
+fn unit_solvers(g: &CsrGraph) -> Vec<Box<dyn SsspSolver + '_>> {
+    vec![
+        SolverBuilder::new(g).algorithm(Algorithm::Bfs).build(),
+        SolverBuilder::new(g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Unweighted,
+                radii: Radii::Constant(2),
+            })
+            .build(),
+    ]
+}
+
+/// Warm-vs-cold and full-prefix battery shared by the weighted and unit
+/// runs: for each solver, one long-lived scratch serves interleaved
+/// point-to-point queries that must match cold executions bit-for-bit and
+/// the full solve at the goal.
+fn assert_point_to_point_conformance(name: &str, g: &CsrGraph, solver: &dyn SsspSolver) {
+    let n = g.num_vertices() as u32;
+    let mut scratch = SolverScratch::new();
+    let full = solver.execute(&Query::single_source(0), &mut SolverScratch::new());
+    for (i, goal) in [0u32, n / 4, n - 1, n / 2, n / 4].into_iter().enumerate() {
+        let query = Query::point_to_point(0, goal);
+        let warm = solver.execute(&query, &mut scratch);
+        let cold = solver.execute(&query, &mut SolverScratch::new());
+        assert_eq!(
+            warm.dist(),
+            cold.dist(),
+            "{name}: {} goal {goal}: warm scratch diverged from cold path",
+            solver.name()
+        );
+        assert_eq!(
+            warm.stats().clone_with_scratch_flag(false),
+            cold.stats().clone_with_scratch_flag(false),
+            "{name}: {} goal {goal}: warm/cold counters diverge",
+            solver.name()
+        );
+        assert_eq!(
+            warm.dist()[goal as usize],
+            full.dist()[goal as usize],
+            "{name}: {} goal {goal} must be settled exactly",
+            solver.name()
+        );
+        assert_eq!(warm.goal_distance(), Some(full.dist()[goal as usize]));
+        for (v, (&b, &f)) in warm.dist().iter().zip(full.dist()).enumerate() {
+            assert!(
+                b >= f,
+                "{name}: {} vertex {v}: goal-bounded {b} below true distance {f}",
+                solver.name()
+            );
+        }
+        if i > 0 {
+            assert!(
+                warm.stats().scratch_reused,
+                "{name}: {} query {i} reallocated on a warm scratch",
+                solver.name()
+            );
+        }
+    }
+}
+
+/// `StepStats` comparison helper: warm and cold runs must agree on every
+/// counter except the scratch flag itself.
+trait CloneWithFlag {
+    fn clone_with_scratch_flag(&self, flag: bool) -> StepStats;
+}
+
+impl CloneWithFlag for StepStats {
+    fn clone_with_scratch_flag(&self, flag: bool) -> StepStats {
+        let mut s = self.clone();
+        s.scratch_reused = flag;
+        s
+    }
+}
+
+#[test]
+fn execute_point_to_point_conformance_weighted() {
+    for seed in [3u64, 8] {
+        let g = weighted(seed);
+        for solver in weighted_solvers(&g) {
+            assert_point_to_point_conformance(&format!("grid/{seed}"), &g, &*solver);
+        }
+    }
+}
+
+#[test]
+fn execute_point_to_point_conformance_unit() {
+    let g = graph::gen::grid2d(13, 14);
+    for solver in unit_solvers(&g) {
+        assert_point_to_point_conformance("unit-grid", &g, &*solver);
+    }
+    let sf = graph::gen::scale_free(300, 4, 6);
+    for solver in unit_solvers(&sf) {
+        assert_point_to_point_conformance("unit-scale-free", &sf, &*solver);
+    }
+}
+
+/// Inline parents on `want_paths` point-to-point queries: the extracted
+/// goal path exists, starts at the source, ends at the goal, and
+/// telescopes (`dist[v] == dist[parent[v]] + w`) — for every algorithm,
+/// engine, and heap, on warm scratches.
+#[test]
+fn inline_parents_telescope_on_point_to_point_queries() {
+    let g = weighted(77);
+    let n = g.num_vertices() as u32;
+    for solver in weighted_solvers(&g) {
+        let mut scratch = SolverScratch::new();
+        for goal in [n - 1, n / 3, 1, n - 1] {
+            let resp = solver.execute(&Query::point_to_point(0, goal).with_paths(), &mut scratch);
+            let path = resp
+                .goal_path()
+                .unwrap_or_else(|| panic!("{}: goal {goal} reachable but no path", solver.name()));
+            assert_eq!(path[0], 0, "{}", solver.name());
+            assert_eq!(*path.last().unwrap(), goal, "{}", solver.name());
+            let mut acc = 0u64;
+            for w in path.windows(2) {
+                acc += solver.graph().arc_weight(w[0], w[1]).unwrap_or_else(|| {
+                    panic!("{}: path edge {}->{} missing", solver.name(), w[0], w[1])
+                }) as u64;
+            }
+            assert_eq!(
+                acc,
+                resp.dist()[goal as usize],
+                "{}: goal {goal} path does not telescope",
+                solver.name()
+            );
+            // Contract sweep: EVERY recorded parent entry telescopes to
+            // the response's dist array (goal-bounded exits must not leak
+            // stale claims for unsettled fringe vertices).
+            let parent = resp.result.parent.as_ref().unwrap();
+            for v in 0..n {
+                let p = parent[v as usize];
+                if p == u32::MAX || p == v {
+                    continue;
+                }
+                let w = solver.graph().arc_weight(p, v).unwrap_or_else(|| {
+                    panic!("{}: parent edge {p}->{v} not in graph", solver.name())
+                }) as u64;
+                assert_eq!(
+                    resp.dist()[p as usize] + w,
+                    resp.dist()[v as usize],
+                    "{}: stale parent {p} for vertex {v} after goal-bounded exit",
+                    solver.name()
+                );
+            }
+        }
+    }
+    // Unit-weight solvers: hop-count telescoping.
+    let g = graph::gen::grid2d(12, 12);
+    for solver in unit_solvers(&g) {
+        let resp =
+            solver.execute(&Query::point_to_point(0, 143).with_paths(), &mut SolverScratch::new());
+        let path = resp.goal_path().expect("connected grid");
+        assert_eq!(path.len() as u64 - 1, resp.dist()[143], "{}: hops", solver.name());
+    }
+}
+
+/// Unreachable goals terminate with `INF`, no goal distance, and no path —
+/// on warm scratches, for every solver.
+#[test]
+fn unreachable_goals_terminate() {
+    // Two components: a weighted blob plus an isolated pair.
+    let mut b = EdgeListBuilder::new(8);
+    b.add_edge(0, 1, 3);
+    b.add_edge(1, 2, 4);
+    b.add_edge(2, 3, 2);
+    b.add_edge(0, 3, 9);
+    b.add_edge(6, 7, 5);
+    let g = b.build();
+    for solver in weighted_solvers(&g) {
+        let mut scratch = SolverScratch::new();
+        for _ in 0..2 {
+            let resp = solver.execute(&Query::point_to_point(0, 6).with_paths(), &mut scratch);
+            assert_eq!(resp.dist()[6], INF, "{}", solver.name());
+            assert_eq!(resp.goal_distance(), None, "{}", solver.name());
+            assert!(resp.goal_path().is_none(), "{}", solver.name());
+            assert_eq!(resp.dist()[0], 0, "{}", solver.name());
+        }
+    }
+    let mut b = EdgeListBuilder::new(5);
+    b.add_edge(0, 1, 1);
+    b.add_edge(1, 2, 1);
+    let g = b.build();
+    for solver in unit_solvers(&g) {
+        let resp =
+            solver.execute(&Query::point_to_point(0, 4).with_paths(), &mut SolverScratch::new());
+        assert_eq!(resp.dist()[4], INF, "{}", solver.name());
+        assert!(resp.goal_path().is_none(), "{}", solver.name());
+    }
+}
+
+/// Satellite acceptance: after `warm_scratch`, the *first* query performs
+/// zero scratch-managed allocations for every solver — each override
+/// warms exactly its own structures (engine buffers and the BST treap
+/// arena for radius stepping, the heap for Dijkstra, the bucket queue for
+/// ∆-stepping; Bellman–Ford needs only the shared state).
+#[test]
+fn first_query_runs_warm_after_warm_scratch() {
+    let g = weighted(5);
+    let n = g.num_vertices() as u32;
+    for algorithm in [
+        Algorithm::RadiusStepping { engine: EngineKind::Frontier, radii: Radii::Constant(2_000) },
+        Algorithm::RadiusStepping { engine: EngineKind::Bst, radii: Radii::Constant(2_000) },
+        Algorithm::Dijkstra { heap: HeapKind::Dary },
+        Algorithm::Dijkstra { heap: HeapKind::Fibonacci },
+        Algorithm::DeltaStepping { delta: 1_500 },
+        Algorithm::BellmanFord,
+    ] {
+        let solver = SolverBuilder::new(&g).algorithm(algorithm).build();
+        let mut scratch = SolverScratch::new();
+        solver.warm_scratch(&mut scratch);
+        let first = solver.execute(&Query::point_to_point(0, n - 1), &mut scratch);
+        assert!(
+            first.stats().scratch_reused,
+            "{}: first query after warm_scratch allocated",
+            solver.name()
+        );
+        assert_eq!((scratch.solves(), scratch.reuses()), (1, 1), "{}", solver.name());
+    }
+}
+
+/// Acceptance: `execute(PointToPoint)` on a warm scratch performs zero
+/// working-structure allocations on a 100k-vertex graph — asserted by the
+/// scratch counters across a stream of varied queries (`want_paths`
+/// included: the parent tree is result output, not working state).
+#[test]
+fn warm_point_to_point_zero_allocations_on_100k_graph() {
+    let g = graph::gen::grid2d(320, 320); // 102 400 vertices
+    assert!(g.num_vertices() >= 100_000);
+    let n = g.num_vertices() as u32;
+    let solvers: Vec<Box<dyn SsspSolver>> = vec![
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Frontier,
+                radii: Radii::Constant(40),
+            })
+            .build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Bst,
+                radii: Radii::Constant(40),
+            })
+            .build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Unweighted,
+                radii: Radii::Constant(40),
+            })
+            .build(),
+        SolverBuilder::new(&g).algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary }).build(),
+        SolverBuilder::new(&g).algorithm(Algorithm::DeltaStepping { delta: 3 }).build(),
+    ];
+    // Queries hop across the grid: different sources, goals, and path
+    // requests, so any shape-dependent reallocation would surface.
+    let stream: Vec<Query> = (0..8u32)
+        .map(|i| {
+            let (s, t) = ((i * 13_007) % n, (i * 29_501 + 640) % n);
+            if i % 2 == 0 {
+                Query::point_to_point(s, t).with_paths()
+            } else {
+                Query::point_to_point(s, t)
+            }
+        })
+        .collect();
+    for solver in solvers {
+        let mut scratch = SolverScratch::new();
+        solver.warm_scratch(&mut scratch);
+        for (i, q) in stream.iter().enumerate() {
+            let resp = solver.execute(q, &mut scratch);
+            // warm_scratch covers every structure each of these solvers
+            // touches (including the BST engine's treap-node arena), so
+            // even query 0 must run allocation-free.
+            assert!(
+                resp.stats().scratch_reused,
+                "{}: query {i} allocated working structures on a warm scratch",
+                solver.name()
+            );
+            if q.want_paths {
+                assert!(resp.goal_path().is_some(), "{}: query {i} lost its path", solver.name());
+            }
+        }
+        assert_eq!(
+            (scratch.solves(), scratch.reuses()),
+            (stream.len() as u64, stream.len() as u64),
+            "{}: every query must reuse the warm scratch",
+            solver.name()
+        );
+    }
+}
+
+/// Acceptance: on a 256×256 grid the goal-bounded query settles the goal
+/// exactly while taking strictly fewer steps than the full solve.
+#[test]
+fn point_to_point_takes_strictly_fewer_steps_on_256_grid() {
+    let g = graph::gen::grid2d(256, 256);
+    let n = g.num_vertices() as u32;
+    let solvers: Vec<Box<dyn SsspSolver>> = vec![
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Frontier,
+                radii: Radii::Constant(8),
+            })
+            .build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::RadiusStepping {
+                engine: EngineKind::Unweighted,
+                radii: Radii::Constant(8),
+            })
+            .build(),
+        SolverBuilder::new(&g).algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary }).build(),
+    ];
+    let goal = 2 * 256 + 40; // a few rows in: far from the source's far corner
+    for solver in solvers {
+        let mut scratch = SolverScratch::new();
+        let full = solver.execute(&Query::single_source(0), &mut scratch);
+        let bounded = solver.execute(&Query::point_to_point(0, goal), &mut scratch);
+        assert_eq!(
+            bounded.goal_distance(),
+            Some(full.dist()[goal as usize]),
+            "{}: goal must be exact",
+            solver.name()
+        );
+        assert!(
+            bounded.stats().steps < full.stats().steps,
+            "{}: goal-bounded {} steps vs full {} — no early exit",
+            solver.name(),
+            bounded.stats().steps,
+            full.stats().steps
+        );
+        assert_eq!(full.dist()[n as usize - 1], 255 + 255, "sanity: far corner");
+    }
+}
+
+/// Mixed batches are exact per slot: every response equals a fresh
+/// execution of its query, across shapes and solvers.
+#[test]
+fn mixed_query_batches_match_fresh_executions() {
+    let g = weighted(13);
+    let n = g.num_vertices() as u32;
+    let queries: Vec<Query> = vec![
+        Query::point_to_point(0, n - 1).with_paths(),
+        Query::single_source(5),
+        Query::point_to_point(0, n - 1).with_paths(), // dup
+        Query::point_to_point(n / 2, 3),
+        Query::single_source(5), // dup
+        Query::point_to_point(0, 0),
+    ];
+    for solver in weighted_solvers(&g).into_iter().take(6) {
+        let outcome = QueryBatch::new(&queries).execute(&*solver);
+        assert_eq!(outcome.responses.len(), queries.len());
+        assert_eq!(outcome.stats.unique_solves, 4, "{}", solver.name());
+        assert_eq!(outcome.stats.point_to_point, 4, "{}", solver.name());
+        assert_eq!(outcome.stats.goals_reached, 4, "{}", solver.name());
+        for (resp, q) in outcome.responses.iter().zip(&queries) {
+            assert_eq!(resp.query, *q, "{}: response/query misalignment", solver.name());
+            let fresh = solver.execute(q, &mut SolverScratch::new());
+            assert_eq!(resp.dist(), fresh.dist(), "{}: {:?}", solver.name(), q.shape);
+            if q.want_paths && q.is_point_to_point() {
+                assert_eq!(resp.goal_path(), fresh.goal_path(), "{}: {:?}", solver.name(), q.shape);
+            }
+        }
+    }
+}

@@ -271,7 +271,7 @@ fn batch_on_100k_graph_reuses_scratch_after_warmup() {
     ];
     let threads = par::num_threads();
     for solver in solvers {
-        let outcome = BatchPlan::new(&sources).execute(&*solver);
+        let outcome = QueryBatch::from_sources(&sources).execute(&*solver);
         assert_eq!(outcome.stats.solves, 64, "{}", solver.name());
         assert_eq!(outcome.stats.unique_solves, 64, "{}", solver.name());
         assert!(
@@ -290,7 +290,7 @@ fn batch_on_100k_graph_reuses_scratch_after_warmup() {
         // Spot-check bit-identity against cold per-source solves.
         for &i in &[0usize, 31, 63] {
             assert_eq!(
-                outcome.results[i].dist,
+                outcome.responses[i].dist(),
                 solver.solve(sources[i]).dist,
                 "{} source {}",
                 solver.name(),
