@@ -11,7 +11,7 @@
 //! *substeps* (`stats.steps = 1`, `stats.substeps = rounds`).
 
 use rs_core::stats::{SsspResult, StepStats};
-use rs_core::SolverScratch;
+use rs_core::{Goals, SolverScratch};
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
 use rs_par::{par_min, VertexSubset};
 
@@ -33,7 +33,7 @@ pub fn bellman_ford(g: &CsrGraph, s: VertexId) -> SsspResult {
 /// (plus the rounds where cheaper subtrees were still draining), instead of
 /// the graph-wide hop depth. Other entries remain valid upper bounds.
 pub fn bellman_ford_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
-    bellman_ford_scratch(g, s, goal, &mut SolverScratch::new())
+    bellman_ford_scratch(g, s, Goals::from_option(goal), &mut SolverScratch::new())
 }
 
 /// The full Bellman–Ford worker on reusable scratch state: the atomic
@@ -42,7 +42,7 @@ pub fn bellman_ford_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -
 pub fn bellman_ford_scratch(
     g: &CsrGraph,
     s: VertexId,
-    goal: Option<VertexId>,
+    goals: Goals<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     let n = g.num_vertices();
@@ -64,12 +64,17 @@ pub fn bellman_ford_scratch(
             // One materialisation per round, shared by the early-exit check
             // and the snapshot pass.
             let ids = frontier.to_ids();
-            if let Some(goal) = goal {
-                let goal_dist = dist.load(goal as usize);
-                if goal_dist != INF {
-                    let frontier_min = par_min(ids.len(), |i| dist.load(ids[i] as usize));
-                    if frontier_min >= goal_dist {
-                        break;
+            if goals.bounded() && goals.as_slice().iter().all(|&t| dist.load(t as usize) != INF) {
+                // Every goal reached: exit once no frontier vertex can
+                // still undercut the furthest goal's tentative distance
+                // (then every goal's distance is final).
+                match goals.as_slice().iter().map(|&t| dist.load(t as usize)).max() {
+                    None => break, // an empty goal set is trivially settled
+                    Some(goal_max) => {
+                        let frontier_min = par_min(ids.len(), |i| dist.load(ids[i] as usize));
+                        if frontier_min >= goal_max {
+                            break;
+                        }
                     }
                 }
             }

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use rs_core::stats::{SsspResult, StepStats};
-use rs_core::SolverScratch;
+use rs_core::{Goals, SolverScratch};
 use rs_graph::{edge_map, CsrGraph, Dist, VertexId, INF};
 use rs_par::VertexSubset;
 
@@ -36,7 +36,7 @@ pub fn bfs_seq(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
 /// Level-synchronous parallel BFS, optionally stopping once `goal` has its
 /// level assigned (levels settle in order, so the value is final).
 pub fn bfs_par_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> SsspResult {
-    bfs_scratch(g, s, goal, &mut SolverScratch::new())
+    bfs_scratch(g, s, Goals::from_option(goal), &mut SolverScratch::new())
 }
 
 /// The full BFS worker on reusable scratch state (the visited set comes
@@ -45,7 +45,7 @@ pub fn bfs_par_to_goal(g: &CsrGraph, s: VertexId, goal: Option<VertexId>) -> Sss
 pub fn bfs_scratch(
     g: &CsrGraph,
     s: VertexId,
-    goal: Option<VertexId>,
+    goals: Goals<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     let n = g.num_vertices();
@@ -62,7 +62,7 @@ pub fn bfs_scratch(
         let mut frontier = VertexSubset::single(n, s);
         let mut level: Dist = 0;
         while !frontier.is_empty() {
-            if goal.is_some_and(|t| dist[t as usize] != INF) {
+            if goals.all_done(|t| dist[t as usize] != INF) {
                 break;
             }
             rounds += 1;

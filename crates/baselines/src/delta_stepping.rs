@@ -15,7 +15,7 @@
 
 use rayon::prelude::*;
 
-use rs_core::SolverScratch;
+use rs_core::{Goals, SolverScratch};
 use rs_graph::{CsrGraph, Dist, VertexId, Weight, INF};
 use rs_par::{AtomicBitset, EpochMinArray};
 
@@ -50,20 +50,21 @@ pub fn delta_stepping_to_goal(
     delta: Dist,
     goal: Option<VertexId>,
 ) -> DeltaSteppingResult {
-    delta_stepping_scratch(g, source, delta, goal, &mut SolverScratch::new())
+    delta_stepping_scratch(g, source, delta, Goals::from_option(goal), &mut SolverScratch::new())
 }
 
 /// The full ∆-stepping worker on reusable scratch state: the tentative
 /// distances, the heavy-settled bitset and the bucket queue all come from
 /// `scratch`, so a warm batch run allocates nothing per source. Optionally
-/// stops once `goal` is settled: when the scan reaches a bucket strictly
-/// beyond `goal`'s tentative distance, that distance is final (every
-/// remaining tentative value is at least the bucket's lower bound).
+/// stops once every goal in the bound is settled: when the scan reaches a
+/// bucket strictly beyond each goal's tentative distance, those distances
+/// are final (every remaining tentative value is at least the bucket's
+/// lower bound).
 pub fn delta_stepping_scratch(
     g: &CsrGraph,
     source: VertexId,
     delta: Dist,
-    goal: Option<VertexId>,
+    goals: Goals<'_>,
     scratch: &mut SolverScratch,
 ) -> DeltaSteppingResult {
     assert!(delta >= 1);
@@ -88,7 +89,7 @@ pub fn delta_stepping_scratch(
         let light = |w: Weight| (w as Dist) <= delta;
 
         while let Some(b) = queue.next_nonempty_bucket() {
-            if goal.is_some_and(|t| {
+            if goals.all_done(|t| {
                 let dt = dist.load(t as usize);
                 dt != INF && queue.bucket_of(dt) < b
             }) {

@@ -5,12 +5,14 @@
 //! preprocessing's priority-queue choice (Lemma 4.2 specifies Fibonacci
 //! heaps; the d-ary heap usually wins on constants).
 
+use rs_core::Goals;
 use rs_ds::{DaryHeap, DecreaseKeyHeap};
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
 /// The one relaxation loop behind every public variant (the same
 /// worker-plus-wrappers shape as `bfs_par_to_goal` and
-/// `delta_stepping_to_goal`): optionally stops once `goal` is popped, and
+/// `delta_stepping_to_goal`): optionally stops once every goal in the
+/// bound has been popped (one-to-many fan-out in a single solve), and
 /// reports the pops (settled count) and attempted edge relaxations. The
 /// heap is caller-provided (and must arrive empty with capacity ≥ `n`) so
 /// batch workloads can reuse one heap across sources — see
@@ -21,7 +23,7 @@ use rs_graph::{CsrGraph, Dist, VertexId, INF};
 pub fn dijkstra_into_heap_with_parents<H: DecreaseKeyHeap>(
     g: &CsrGraph,
     s: VertexId,
-    goal: Option<VertexId>,
+    goals: Goals<'_>,
     heap: &mut H,
     mut parent: Option<&mut [VertexId]>,
 ) -> (Vec<Dist>, usize, u64) {
@@ -34,12 +36,29 @@ pub fn dijkstra_into_heap_with_parents<H: DecreaseKeyHeap>(
     if let Some(p) = parent.as_deref_mut() {
         p[s as usize] = s;
     }
+    // Countdown of goals not yet popped; membership is a binary search, so
+    // the per-pop cost is O(log k), not O(k). `Goals::Many` arrives sorted
+    // and deduplicated (the query plane canonicalises; asserted below).
+    // `None` bound → usize::MAX, never reached.
+    let goal_set = goals.as_slice();
+    debug_assert!(
+        goal_set.windows(2).all(|w| w[0] < w[1]),
+        "Goals::Many must be sorted and deduplicated"
+    );
+    let mut remaining = if goals.bounded() { goal_set.len() } else { usize::MAX };
+    if remaining == 0 {
+        // An empty goal set is trivially settled: only the source is.
+        return (dist, 1, 0);
+    }
     heap.push_or_decrease(s, 0);
     while let Some((u, du)) = heap.pop_min() {
         debug_assert_eq!(du, dist[u as usize]);
         settled += 1;
-        if goal == Some(u) {
-            break;
+        if goals.bounded() && goal_set.binary_search(&u).is_ok() {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
         }
         relaxations += g.degree(u) as u64;
         for (v, w) in g.edges(u) {
@@ -63,7 +82,7 @@ pub fn dijkstra_into_heap<H: DecreaseKeyHeap>(
     goal: Option<VertexId>,
     heap: &mut H,
 ) -> (Vec<Dist>, usize, u64) {
-    dijkstra_into_heap_with_parents(g, s, goal, heap, None)
+    dijkstra_into_heap_with_parents(g, s, Goals::from_option(goal), heap, None)
 }
 
 /// [`dijkstra_into_heap`] with a freshly allocated heap.

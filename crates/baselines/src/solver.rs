@@ -17,13 +17,15 @@
 //! | Bellman–Ford   | 1 (paper framing)  | relaxation rounds |
 //! | BFS            | levels             | = steps           |
 
+use std::sync::Arc;
+
 use rs_core::scratch::ScratchHeap;
 use rs_core::solver::{
-    Algorithm, HeapKind, Query, QueryResponse, RadiusSteppingSolver, SolverBuilder, SolverConfig,
-    SolverGraph, SsspSolver,
+    execute_many_to_many, solve_goals, Algorithm, HeapKind, Query, QueryResponse,
+    RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
 };
 use rs_core::stats::{SsspResult, StepStats};
-use rs_core::SolverScratch;
+use rs_core::{ShortcutExpander, SolverScratch};
 use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
 use rs_graph::{CsrGraph, Dist, INF};
 
@@ -56,17 +58,21 @@ impl<'g> BuildSolver<'g> for SolverBuilder<'g> {
             }
             ref algorithm => {
                 // Baselines run on the (possibly shortcut-augmented) graph;
-                // shortcuts preserve distances, so they stay exact.
+                // shortcuts preserve distances, so they stay exact — and
+                // carry the expansion table so extracted paths unroll back
+                // to input-graph edges.
                 let config = parts.config;
-                let graph = parts.resolve_graph();
+                let (graph, expander) = parts.resolve_graph_and_expander();
                 match *algorithm {
                     Algorithm::Dijkstra { heap } => {
-                        Box::new(DijkstraSolver { graph, heap, config })
+                        Box::new(DijkstraSolver { graph, heap, config, expander })
                     }
                     Algorithm::DeltaStepping { delta } => {
-                        Box::new(DeltaSteppingSolver { graph, delta, config })
+                        Box::new(DeltaSteppingSolver { graph, delta, config, expander })
                     }
-                    Algorithm::BellmanFord => Box::new(BellmanFordSolver { graph, config }),
+                    Algorithm::BellmanFord => {
+                        Box::new(BellmanFordSolver { graph, config, expander })
+                    }
                     Algorithm::Bfs => Box::new(BfsSolver::new(graph, config)),
                     Algorithm::RadiusStepping { .. } => unreachable!("handled above"),
                 }
@@ -80,6 +86,7 @@ pub struct DijkstraSolver<'g> {
     pub graph: SolverGraph<'g>,
     pub heap: HeapKind,
     pub config: SolverConfig,
+    pub expander: Option<Arc<ShortcutExpander>>,
 }
 
 impl DijkstraSolver<'_> {
@@ -91,13 +98,14 @@ impl DijkstraSolver<'_> {
         let n = self.graph.num_vertices();
         scratch.begin(n);
         let mut heap: H = scratch.checkout_heap();
+        let mut goal_buf = Vec::new();
         // Dijkstra is sequential, so parents are always recorded inline
         // (deterministic, O(1) per relaxation) — never by post-pass.
         let mut parent = self.config.wants_paths(query).then(|| vec![u32::MAX; n]);
         let (dist, settled, relaxations) = dijkstra_into_heap_with_parents(
             &self.graph,
             query.source(),
-            query.goal(),
+            solve_goals(query, &mut goal_buf),
             &mut heap,
             parent.as_deref_mut(),
         );
@@ -114,7 +122,7 @@ impl DijkstraSolver<'_> {
         };
         let mut result = SsspResult::new(dist, stats);
         result.parent = parent;
-        QueryResponse { query: *query, result }
+        QueryResponse::single(query.clone(), result).with_expander(self.expander.clone())
     }
 }
 
@@ -128,6 +136,9 @@ impl SsspSolver for DijkstraSolver<'_> {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query).with_expander(self.expander.clone());
+        }
         match self.heap {
             HeapKind::Dary => self.run_scratch::<DaryHeap>(query, scratch),
             HeapKind::Pairing => self.run_scratch::<PairingHeap>(query, scratch),
@@ -151,6 +162,7 @@ pub struct DeltaSteppingSolver<'g> {
     pub graph: SolverGraph<'g>,
     pub delta: Dist,
     pub config: SolverConfig,
+    pub expander: Option<Arc<ShortcutExpander>>,
 }
 
 impl DeltaSteppingSolver<'_> {
@@ -179,13 +191,23 @@ impl SsspSolver for DeltaSteppingSolver<'_> {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
-        let out =
-            delta_stepping_scratch(&self.graph, query.source(), self.delta, query.goal(), scratch);
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query).with_expander(self.expander.clone());
+        }
+        let mut goal_buf = Vec::new();
+        let out = delta_stepping_scratch(
+            &self.graph,
+            query.source(),
+            self.delta,
+            solve_goals(query, &mut goal_buf),
+            scratch,
+        );
         // The parallel bucket phases carry no per-writer identity, so
-        // `want_paths` is answered by finish_paths: the goal-path walk for
-        // point-to-point, the parallel derivation for full solves.
+        // `want_paths` is answered by finish_paths: one goal-path walk per
+        // goal for the bounded shapes, the parallel derivation for full
+        // solves.
         let result = self.config.finish_paths(&self.graph, query, self.to_result(out));
-        QueryResponse { query: *query, result }
+        QueryResponse::single(query.clone(), result).with_expander(self.expander.clone())
     }
 
     fn warm_scratch(&self, scratch: &mut SolverScratch) {
@@ -202,6 +224,7 @@ impl SsspSolver for DeltaSteppingSolver<'_> {
 pub struct BellmanFordSolver<'g> {
     pub graph: SolverGraph<'g>,
     pub config: SolverConfig,
+    pub expander: Option<Arc<ShortcutExpander>>,
 }
 
 impl SsspSolver for BellmanFordSolver<'_> {
@@ -214,9 +237,18 @@ impl SsspSolver for BellmanFordSolver<'_> {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
-        let out = bellman_ford_scratch(&self.graph, query.source(), query.goal(), scratch);
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query).with_expander(self.expander.clone());
+        }
+        let mut goal_buf = Vec::new();
+        let out = bellman_ford_scratch(
+            &self.graph,
+            query.source(),
+            solve_goals(query, &mut goal_buf),
+            scratch,
+        );
         let result = self.config.finish_paths(&self.graph, query, out);
-        QueryResponse { query: *query, result }
+        QueryResponse::single(query.clone(), result).with_expander(self.expander.clone())
     }
 }
 
@@ -250,9 +282,14 @@ impl SsspSolver for BfsSolver<'_> {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
-        let out = bfs_scratch(&self.graph, query.source(), query.goal(), scratch);
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query);
+        }
+        let mut goal_buf = Vec::new();
+        let out =
+            bfs_scratch(&self.graph, query.source(), solve_goals(query, &mut goal_buf), scratch);
         let result = self.config.finish_paths(&self.graph, query, out);
-        QueryResponse { query: *query, result }
+        QueryResponse::single(query.clone(), result)
     }
 
     fn warm_scratch(&self, scratch: &mut SolverScratch) {

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENTS...] [--scale N] [--sources N] [--out DIR] [--seed N]
 //!
 //! EXPERIMENTS: fig2 fig3 fig4 fig5 table1 table2 table3 table4 table5
-//!              table6 table7 bounds | --all (default)
+//!              table6 table7 bounds queries | --all (default)
 //! --scale N    divide the paper's graph sizes by N (default 16; 1 = paper scale)
 //! --sources N  sampled sources per graph (default 5; paper used 1000)
 //! --out DIR    CSV output directory (default results/)
@@ -14,12 +14,12 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use rs_bench::experiments::{bounds, fig2, shortcuts, steps, substeps, table1, ExpConfig};
+use rs_bench::experiments::{bounds, fig2, queries, shortcuts, steps, substeps, table1, ExpConfig};
 use rs_bench::table::Table;
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6",
-    "table7", "bounds", "substeps",
+    "table7", "bounds", "substeps", "queries",
 ];
 
 fn main() {
@@ -97,6 +97,10 @@ fn main() {
             "substeps".into(),
             timed("substep structure vs delta-stepping", || substeps::run(&cfg)),
         ));
+    }
+    if wanted.contains("queries") {
+        let run = timed("query-plane throughput (BENCH_queries.json)", || queries::run(&cfg));
+        emitted.push(("queries".into(), queries::table(&run)));
     }
 
     for (stem, table) in &emitted {

@@ -2,6 +2,7 @@
 
 pub mod bounds;
 pub mod fig2;
+pub mod queries;
 pub mod shortcuts;
 pub mod steps;
 pub mod substeps;

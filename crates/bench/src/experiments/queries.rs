@@ -1,0 +1,211 @@
+//! Query-plane throughput experiment: the serving-path numbers the paper
+//! does not report but a production deployment lives by.
+//!
+//! Runs three realistic batch mixes through `QueryBatch` on a preprocessed
+//! solver — point-to-point traffic, one-to-many fan-out traffic, and a
+//! mixed stream — and measures batch queries/second, physical solves per
+//! query (the fan-out economy: a one-to-many query with k goals costs one
+//! solve, not k), and the warm/cold scratch split. Results are printed as
+//! a table and emitted as machine-readable `BENCH_queries.json`, so the
+//! query plane's performance trajectory has data points across PRs.
+
+use std::time::Instant;
+
+use rs_baselines::solver::BuildSolver;
+use rs_core::solver::{BatchStats, Query, QueryBatch, SolverBuilder};
+use rs_core::PreprocessConfig;
+
+use crate::sample_sources;
+use crate::suite::build_graph;
+use crate::table::Table;
+
+use super::ExpConfig;
+
+/// One measured batch mix.
+#[derive(Debug, Clone)]
+pub struct BatchMeasurement {
+    /// Mix label (`point_to_point` / `one_to_many` / `mixed`).
+    pub name: String,
+    /// Requested queries in the batch.
+    pub requests: usize,
+    /// Batch wall-clock seconds.
+    pub seconds: f64,
+    /// Requested queries per second.
+    pub qps: f64,
+    /// Aggregated batch counters.
+    pub stats: BatchStats,
+}
+
+/// The experiment's output: per-mix measurements plus graph metadata.
+#[derive(Debug, Clone)]
+pub struct QueriesRun {
+    pub graph_name: String,
+    pub vertices: usize,
+    pub edges: usize,
+    pub threads: usize,
+    pub measurements: Vec<BatchMeasurement>,
+}
+
+/// Runs the three batch mixes and writes `BENCH_queries.json` into
+/// `cfg.out_dir`.
+pub fn run(cfg: &ExpConfig) -> QueriesRun {
+    let sg = build_graph("Penn", cfg.scale_denom.max(64));
+    let g = sg.weighted();
+    let solver = SolverBuilder::new(&g).preprocess(PreprocessConfig::new(1, 32)).build();
+    let picks = sample_sources(g.num_vertices(), (4 * cfg.sources).clamp(8, 64), cfg.seed);
+    let vertex = |i: usize| picks[i % picks.len()];
+    let fan_goals = |i: usize| -> Vec<u32> { (0..8).map(|j| vertex(i * 7 + j * 3 + 1)).collect() };
+
+    // Mix 1: pure point-to-point traffic (with a hot duplicated pair).
+    let p2p: Vec<Query> = (0..picks.len() * 4)
+        .map(|i| {
+            if i % 5 == 0 {
+                Query::point_to_point(vertex(0), vertex(1)) // the hot pair
+            } else {
+                Query::point_to_point(vertex(i), vertex(i + 3))
+            }
+        })
+        .collect();
+    // Mix 2: one-to-many fan-out — each query answers 8 goals in 1 solve.
+    let fan: Vec<Query> =
+        (0..picks.len()).map(|i| Query::one_to_many(vertex(i), fan_goals(i))).collect();
+    // Mix 3: mixed stream (p2p-dominated, fan-out and analytics mixed in).
+    let mixed: Vec<Query> = (0..picks.len() * 2)
+        .map(|i| match i % 8 {
+            0 => Query::single_source(vertex(i)),
+            1 | 2 => Query::one_to_many(vertex(i), fan_goals(i)),
+            _ => Query::point_to_point(vertex(i), vertex(i + 5)),
+        })
+        .collect();
+
+    let mut out = QueriesRun {
+        graph_name: sg.name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        threads: rs_par::num_threads(),
+        measurements: Vec::new(),
+    };
+    for (name, queries) in [("point_to_point", &p2p), ("one_to_many", &fan), ("mixed", &mixed)] {
+        let batch = QueryBatch::new(queries);
+        let t = Instant::now();
+        let outcome = batch.execute(&*solver);
+        let seconds = t.elapsed().as_secs_f64();
+        out.measurements.push(BatchMeasurement {
+            name: name.into(),
+            requests: queries.len(),
+            seconds,
+            qps: queries.len() as f64 / seconds.max(1e-9),
+            stats: outcome.stats,
+        });
+    }
+
+    if let Err(e) = write_json(cfg, &out) {
+        eprintln!("warning: failed to write BENCH_queries.json: {e}");
+    }
+    out
+}
+
+/// Renders the run as a display table.
+pub fn table(run: &QueriesRun) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Query throughput on {} (n={}, m={}, {} threads, preprocessed k=1 rho=32)",
+            run.graph_name, run.vertices, run.edges, run.threads
+        ),
+        &[
+            "mix",
+            "requests",
+            "unique",
+            "solves",
+            "solves/query",
+            "goals reached",
+            "warm",
+            "cold",
+            "qps",
+        ],
+    );
+    for m in &run.measurements {
+        t.push_row(vec![
+            m.name.clone(),
+            m.requests.to_string(),
+            m.stats.unique_solves.to_string(),
+            m.stats.executed_solves.to_string(),
+            format!("{:.3}", m.stats.mean_solves_per_query()),
+            format!("{}/{}", m.stats.goals_reached, m.stats.goals_requested),
+            m.stats.scratch_reuses.to_string(),
+            m.stats.cold_solves.to_string(),
+            format!("{:.0}", m.qps),
+        ]);
+    }
+    t
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde): one object per
+/// batch mix under a `batches` array, graph metadata at the top level.
+fn write_json(cfg: &ExpConfig, run: &QueriesRun) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"graph\": \"{}\",", run.graph_name);
+    let _ = writeln!(s, "  \"vertices\": {},", run.vertices);
+    let _ = writeln!(s, "  \"edges\": {},", run.edges);
+    let _ = writeln!(s, "  \"threads\": {},", run.threads);
+    let _ = writeln!(s, "  \"batches\": [");
+    for (i, m) in run.measurements.iter().enumerate() {
+        let st = &m.stats;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(s, "      \"requests\": {},", m.requests);
+        let _ = writeln!(s, "      \"seconds\": {:.6},", m.seconds);
+        let _ = writeln!(s, "      \"qps\": {:.1},", m.qps);
+        let _ = writeln!(s, "      \"unique_solves\": {},", st.unique_solves);
+        let _ = writeln!(s, "      \"executed_solves\": {},", st.executed_solves);
+        let _ = writeln!(s, "      \"mean_solves_per_query\": {:.4},", st.mean_solves_per_query());
+        let _ = writeln!(s, "      \"one_to_many\": {},", st.one_to_many);
+        let _ = writeln!(s, "      \"goals_requested\": {},", st.goals_requested);
+        let _ = writeln!(s, "      \"goals_reached\": {},", st.goals_reached);
+        let _ = writeln!(s, "      \"warm_scratch_reuses\": {},", st.scratch_reuses);
+        let _ = writeln!(s, "      \"cold_solves\": {},", st.cold_solves);
+        let _ = writeln!(s, "      \"mean_steps\": {:.3}", st.mean_steps());
+        let _ = writeln!(s, "    }}{}", if i + 1 == run.measurements.len() { "" } else { "," });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    std::fs::create_dir_all(&cfg.out_dir)?;
+    std::fs::write(cfg.out_dir.join("BENCH_queries.json"), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_tiny_and_emits_json() {
+        let mut cfg = ExpConfig::tiny();
+        cfg.out_dir = std::env::temp_dir().join(format!("rs_bench_q_{}", std::process::id()));
+        let run = run(&cfg);
+        assert_eq!(run.measurements.len(), 3);
+        for m in &run.measurements {
+            assert!(m.requests > 0);
+            assert_eq!(m.stats.solves, m.requests);
+            assert_eq!(m.stats.goals_reached, m.stats.goals_requested, "connected suite graph");
+            assert!(
+                m.stats.executed_solves <= m.stats.unique_solves,
+                "single-solve shapes: at most one physical solve per unique query"
+            );
+        }
+        let fan = &run.measurements[1];
+        assert!(
+            fan.stats.mean_solves_per_query() <= 1.0,
+            "a one-to-many query must not cost more than one solve"
+        );
+        assert!(fan.stats.goals_requested >= 8 * fan.stats.one_to_many.min(1));
+        let json =
+            std::fs::read_to_string(cfg.out_dir.join("BENCH_queries.json")).expect("json emitted");
+        assert!(json.contains("\"mean_solves_per_query\""));
+        assert!(json.contains("\"batches\""));
+        let table = table(&run);
+        assert_eq!(table.rows.len(), 3);
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

@@ -31,7 +31,7 @@ pub(crate) fn run(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
 ) -> SsspResult {
     run_with(g, radii, source, config, &mut SolverScratch::new())
 }
@@ -40,7 +40,7 @@ pub(crate) fn run_with(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     let n = g.num_vertices();
@@ -120,8 +120,8 @@ pub(crate) fn run_with(
         while !q.is_empty() {
             debug_assert_eq!(q.len(), r.len(), "Q and R must stay in lockstep");
             // Early exit for goal-bounded solves (settled distances are
-            // final).
-            if config.goal.is_some_and(|g| settled.get(g as usize)) {
+            // final once every goal is in S).
+            if config.goals.all_done(|g| settled.get(g as usize)) {
                 break;
             }
             // Line 6: d_i from R's minimum (the lead vertex attains it).
@@ -246,7 +246,7 @@ pub(crate) fn run_with(
         // the next solve either way.
         arena.recycle(q);
         arena.recycle(r);
-        if config.goal.is_some() {
+        if config.goals.bounded() {
             if let Some(p) = parent.as_deref_mut() {
                 crate::scratch::clear_unsettled_parents(p, settled);
             }

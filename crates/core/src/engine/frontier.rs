@@ -38,7 +38,7 @@ pub(crate) fn run(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
 ) -> SsspResult {
     run_with(g, radii, source, config, &mut SolverScratch::new())
 }
@@ -47,7 +47,7 @@ pub(crate) fn run_with(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     let n = g.num_vertices();
@@ -96,9 +96,9 @@ pub(crate) fn run_with(
 
         let mut prev_di: Dist = 0;
         while !fringe.is_empty() {
-            // Early exit for goal-bounded solves: once the goal is settled
-            // its distance is final (Theorem 3.1's invariant).
-            if config.goal.is_some_and(|g| settled.get(g as usize)) {
+            // Early exit for goal-bounded solves: once every goal is
+            // settled their distances are final (Theorem 3.1's invariant).
+            if config.goals.all_done(|g| settled.get(g as usize)) {
                 break;
             }
             // Line 4: d_i = min over the fringe of δ(v) + r(v).
@@ -187,7 +187,7 @@ pub(crate) fn run_with(
         }
 
         out_dist = dist.snapshot(n);
-        if config.goal.is_some() {
+        if config.goals.bounded() {
             if let Some(p) = parent.as_deref_mut() {
                 crate::scratch::clear_unsettled_parents(p, settled);
             }

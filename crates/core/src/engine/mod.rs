@@ -35,38 +35,95 @@ pub enum EngineKind {
     Unweighted,
 }
 
+/// Goal bound of one solve: which vertices must be settled before the
+/// engine (or baseline) may exit early. `None` means run to completion;
+/// `One` is the point-to-point serving shape; `Many` is the one-to-many
+/// fan-out shape (one solve, every listed goal settled exactly). A `Many`
+/// slice must arrive sorted and deduplicated — the query plane
+/// canonicalises (see `Query::canonical_goals`), and solvers may rely on
+/// the order for O(log k) membership checks. An empty slice is trivially
+/// satisfied, so the solve stops after settling the source.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Goals<'a> {
+    /// Unbounded: exact distances everywhere.
+    #[default]
+    None,
+    /// Stop once this vertex is settled.
+    One(VertexId),
+    /// Stop once every listed vertex is settled.
+    Many(&'a [VertexId]),
+}
+
+impl<'a> Goals<'a> {
+    /// Lifts the legacy single-goal `Option` into a goal bound.
+    pub fn from_option(goal: Option<VertexId>) -> Goals<'static> {
+        match goal {
+            None => Goals::None,
+            Some(g) => Goals::One(g),
+        }
+    }
+
+    /// True when the solve may exit before settling every vertex.
+    pub fn bounded(&self) -> bool {
+        !matches!(self, Goals::None)
+    }
+
+    /// The goal vertices (empty for [`Goals::None`]).
+    pub fn as_slice(&self) -> &[VertexId] {
+        match self {
+            Goals::None => &[],
+            Goals::One(g) => std::slice::from_ref(g),
+            Goals::Many(gs) => gs,
+        }
+    }
+
+    /// The early-exit predicate: true iff this bound is active and `f`
+    /// holds for every goal ("is it settled?"). Always false for
+    /// [`Goals::None`] — an unbounded solve never exits early.
+    pub fn all_done(&self, mut f: impl FnMut(VertexId) -> bool) -> bool {
+        self.bounded() && self.as_slice().iter().all(|&g| f(g))
+    }
+}
+
 /// Engine options.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct EngineConfig {
+pub struct EngineConfig<'a> {
     /// Record a per-step trace in the result (costs one record per step).
     pub trace: bool,
-    /// Stop as soon as this vertex is settled (its distance is then exact;
-    /// other vertices may hold tentative upper bounds or `INF`).
-    pub goal: Option<VertexId>,
+    /// Stop as soon as every goal in the bound is settled (their distances
+    /// are then exact; other vertices may hold tentative upper bounds or
+    /// `INF`).
+    pub goals: Goals<'a>,
     /// Record the shortest-path tree *inline*: the frontier and BST
     /// engines log one parent claim per successful relaxation (O(1) each)
     /// and resolve claims at substep end; the unweighted engine derives the
-    /// goal path by a backwards level walk. Settled vertices get
+    /// goal paths by backwards level walks. Settled vertices get
     /// telescoping parents; unsettled ones (goal-bounded early exit) stay
     /// `u32::MAX`. This replaces the all-edges `derive_parents` post-pass
     /// on the goal-bounded serving path.
     pub record_parents: bool,
 }
 
-impl EngineConfig {
+impl<'a> EngineConfig<'a> {
     /// Config with tracing enabled.
-    pub fn with_trace() -> Self {
+    pub fn with_trace() -> EngineConfig<'static> {
         EngineConfig { trace: true, ..Default::default() }
     }
 
     /// Config stopping once `goal` is settled.
-    pub fn with_goal(goal: VertexId) -> Self {
-        EngineConfig { goal: Some(goal), ..Default::default() }
+    pub fn with_goal(goal: VertexId) -> EngineConfig<'static> {
+        EngineConfig { goals: Goals::One(goal), ..Default::default() }
     }
 
-    /// Sets the early-termination goal.
+    /// Sets a single early-termination goal.
     pub fn goal(mut self, goal: VertexId) -> Self {
-        self.goal = Some(goal);
+        self.goals = Goals::One(goal);
+        self
+    }
+
+    /// Sets the goal bound (single, many, or none).
+    pub fn goals(mut self, goals: Goals<'a>) -> Self {
+        self.goals = goals;
         self
     }
 
@@ -91,7 +148,7 @@ pub fn radius_stepping_with(
     radii: &RadiiSpec,
     source: VertexId,
     kind: EngineKind,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
 ) -> SsspResult {
     assert!((source as usize) < g.num_vertices(), "source out of range");
     match kind {
@@ -110,7 +167,7 @@ pub fn radius_stepping_with_scratch(
     radii: &RadiiSpec,
     source: VertexId,
     kind: EngineKind,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     assert!((source as usize) < g.num_vertices(), "source out of range");

@@ -24,7 +24,7 @@ pub(crate) fn run(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
 ) -> SsspResult {
     run_with(g, radii, source, config, &mut SolverScratch::new())
 }
@@ -33,7 +33,7 @@ pub(crate) fn run_with(
     g: &CsrGraph,
     radii: &RadiiSpec,
     source: VertexId,
-    config: EngineConfig,
+    config: EngineConfig<'_>,
     scratch: &mut SolverScratch,
 ) -> SsspResult {
     assert!(
@@ -66,7 +66,7 @@ pub(crate) fn run_with(
         while !frontier.is_empty() {
             // Early exit for goal-bounded solves: a vertex's distance is
             // final as soon as it is assigned (levels settle in order).
-            if config.goal.is_some_and(|g| dist[g as usize] != INF) {
+            if config.goals.all_done(|g| dist[g as usize] != INF) {
                 break;
             }
             // d_i = ℓ + min r(v) over the frontier (line 4 specialised).
@@ -106,11 +106,12 @@ pub(crate) fn run_with(
     if config.record_parents {
         // Levels carry no per-relaxation writer identity (edge_map claims
         // are anonymous), so "inline" here is the backwards level walk: a
-        // goal-bounded solve derives exactly the goal path (no all-edges
+        // goal-bounded solve derives exactly the goal paths (no all-edges
         // post-pass), a full solve falls back to the parallel derivation.
-        result.parent = Some(match config.goal {
-            Some(goal) => crate::stats::goal_path_parents(g, &result.dist, goal),
-            None => crate::stats::derive_parents(g, &result.dist),
+        result.parent = Some(if config.goals.bounded() {
+            crate::stats::goals_path_parents(g, &result.dist, config.goals.as_slice())
+        } else {
+            crate::stats::derive_parents(g, &result.dist)
         });
     }
     result

@@ -40,8 +40,9 @@ pub mod verify;
 
 pub use engine::{
     radius_stepping, radius_stepping_with, radius_stepping_with_scratch, EngineConfig, EngineKind,
+    Goals,
 };
-pub use preprocess::{PreprocessConfig, Preprocessed};
+pub use preprocess::{PreprocessConfig, Preprocessed, ShortcutExpander};
 pub use radii::RadiiSpec;
 pub use scratch::SolverScratch;
 pub use solver::{
@@ -49,5 +50,6 @@ pub use solver::{
     Radii, SolverBuilder, SolverConfig, SsspSolver,
 };
 pub use stats::{
-    derive_parents, extract_path, goal_path_parents, SsspResult, StepStats, StepTrace,
+    derive_parents, extract_path, goal_path_parents, goals_path_parents, SsspResult, StepStats,
+    StepTrace,
 };

@@ -1,0 +1,168 @@
+//! Exact input-graph expansion of shortcut edges.
+//!
+//! The (k, ρ)-preprocessing adds *shortcut* edges `source → member` whose
+//! weight is the exact ball distance — distance-preserving, but a path
+//! extracted on the augmented graph may ride hops that are not edges of
+//! the input graph. Every shortcut follows the ball's hop-minimal
+//! shortest-path tree, so the preprocessing records, per ball source, the
+//! tree-parent chain of every shortcut target ([`ShortcutExpander`]); at
+//! path-extraction time each shortcut hop unrolls into its chain of
+//! *input* edges in O(1) per output hop, turning a shortcut-augmented
+//! route into an input-graph route of identical total weight.
+//!
+//! Chain edges are edges of the input graph by construction (the ball
+//! search runs before shortcuts are merged), so expansion never recurses
+//! through another shortcut — one table walk per hop, O(output hops)
+//! total.
+
+use std::collections::HashMap;
+
+use rs_graph::{Dist, VertexId};
+
+/// One recorded chain link: for key `(source, member)` the value is
+/// `(tree parent of member in source's ball, exact ball distance)`.
+type Chain = HashMap<(VertexId, VertexId), (VertexId, Dist)>;
+
+/// The shortcut → input-edge expansion table built during preprocessing
+/// and persisted in the `RSP3` cache format. Attached (behind an `Arc`)
+/// to every `QueryResponse` a preprocessed solver produces, so
+/// `goal_path()` and friends return input-graph routes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShortcutExpander {
+    chains: Chain,
+}
+
+impl ShortcutExpander {
+    /// An empty expander (expands every path to itself).
+    pub fn new() -> Self {
+        ShortcutExpander::default()
+    }
+
+    /// Records one chain link (used by the preprocessing pass and the
+    /// cache loader).
+    pub fn insert(&mut self, source: VertexId, member: VertexId, parent: VertexId, dist: Dist) {
+        self.chains.insert((source, member), (parent, dist));
+    }
+
+    /// Number of recorded chain links.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when no shortcut needed a chain (e.g. ρ so small that every
+    /// proposed shortcut duplicated an input edge).
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Iterates the recorded links as `(source, member, parent, dist)`
+    /// (unspecified order; used by the cache writer).
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, VertexId, Dist)> + '_ {
+        self.chains.iter().map(|(&(s, m), &(p, d))| (s, m, p, d))
+    }
+
+    /// Expands a path on the shortcut-augmented graph into a path on the
+    /// input graph with the same endpoints and total weight. `dist` is the
+    /// solve's distance array (consecutive path vertices telescope, so
+    /// `dist[b] - dist[a]` is the weight of the augmented hop actually
+    /// used). Hops that are input edges pass through unchanged; shortcut
+    /// hops unroll into their recorded tree chain, in either direction
+    /// (the graphs are symmetric). Costs O(output hops).
+    pub fn expand_path(&self, path: &[VertexId], dist: &[Dist]) -> Vec<VertexId> {
+        if path.len() < 2 || self.chains.is_empty() {
+            return path.to_vec();
+        }
+        let mut out = Vec::with_capacity(path.len());
+        out.push(path[0]);
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let wt = dist[b as usize] - dist[a as usize];
+            self.expand_hop(a, b, wt, &mut out);
+        }
+        out
+    }
+
+    /// Appends the input-graph expansion of hop `a → b` of weight `wt`
+    /// (everything after `a`, ending with `b`).
+    fn expand_hop(&self, a: VertexId, b: VertexId, wt: Dist, out: &mut Vec<VertexId>) {
+        // A hop matches a recorded shortcut only when the weights agree —
+        // if an input edge of the same endpoints won the min-weight merge,
+        // the recorded ball distance is strictly larger and the hop passes
+        // through as the input edge it is.
+        if self.chains.get(&(a, b)).is_some_and(|&(_, d)| d == wt) {
+            // Forward: walk b's parent chain up to a, then reverse.
+            let start = out.len();
+            let mut cur = b;
+            while cur != a {
+                out.push(cur);
+                cur = self.chains[&(a, cur)].0;
+            }
+            out[start..].reverse();
+        } else if self.chains.get(&(b, a)).is_some_and(|&(_, d)| d == wt) {
+            // Reverse traversal of a shortcut from b's ball: a's parent
+            // chain toward b is already the forward a → b order.
+            let mut cur = a;
+            while cur != b {
+                cur = self.chains[&(b, cur)].0;
+                out.push(cur);
+            }
+        } else {
+            out.push(b); // plain input edge
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain 0 -1- 1 -2- 2 -3- 3 with a shortcut 0→3 (weight 6) and
+    /// 0→2 (weight 3): the ball tree of source 0.
+    fn expander() -> ShortcutExpander {
+        let mut e = ShortcutExpander::new();
+        e.insert(0, 1, 0, 1);
+        e.insert(0, 2, 1, 3);
+        e.insert(0, 3, 2, 6);
+        e
+    }
+
+    #[test]
+    fn forward_shortcut_unrolls() {
+        let e = expander();
+        // Path 0 →(shortcut) 3 → 4 on the augmented graph.
+        let dist = vec![0, u64::MAX, u64::MAX, 6, 8];
+        assert_eq!(e.expand_path(&[0, 3, 4], &dist), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reverse_shortcut_unrolls() {
+        let e = expander();
+        // Path 3 →(shortcut, reversed) 0 on the augmented graph.
+        let dist = vec![6, u64::MAX, u64::MAX, 0];
+        assert_eq!(e.expand_path(&[3, 0], &dist), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn input_edges_pass_through() {
+        let e = expander();
+        // Weight 2 hop 1→2 is the input edge, not a shortcut (0's chain
+        // records dist 3 for member 2, keyed to source 0 anyway).
+        let dist = vec![u64::MAX, 0, 2];
+        assert_eq!(e.expand_path(&[1, 2], &dist), vec![1, 2]);
+    }
+
+    #[test]
+    fn weight_mismatch_is_an_input_edge() {
+        let mut e = ShortcutExpander::new();
+        e.insert(0, 2, 1, 5); // shortcut 0→2 proposed at weight 5...
+        let dist = vec![0, u64::MAX, 3]; // ...but the hop used weight 3
+        assert_eq!(e.expand_path(&[0, 2], &dist), vec![0, 2], "input edge won the merge");
+    }
+
+    #[test]
+    fn trivial_paths_untouched() {
+        let e = expander();
+        assert_eq!(e.expand_path(&[7], &[]), vec![7]);
+        assert!(ShortcutExpander::new().is_empty());
+    }
+}

@@ -17,11 +17,15 @@
 
 pub mod balls;
 pub mod dp;
+pub mod expand;
 pub mod greedy;
 
 pub use balls::{ball_search, compute_radii, Ball, BallMember, BallScratch};
 pub use dp::dp_shortcuts;
+pub use expand::ShortcutExpander;
 pub use greedy::{full_shortcuts, greedy_count, greedy_shortcuts};
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
@@ -113,6 +117,13 @@ pub struct Preprocessed {
     /// mutated-but-same-size graph and rebuilds instead of serving stale
     /// shortcuts.
     pub input_hash: u64,
+    /// Shortcut → input-edge expansion table: each proposed shortcut's
+    /// ball-tree parent chain, recorded so path extraction can unroll
+    /// shortcut hops into exact input-graph routes (see
+    /// [`ShortcutExpander::expand_path`]). Shared (`Arc`) with every
+    /// `QueryResponse` a preprocessed solver produces; persisted in the
+    /// `RSP3` cache format.
+    pub expander: Arc<ShortcutExpander>,
     /// Measurements.
     pub stats: PreprocessStats,
 }
@@ -120,7 +131,7 @@ pub struct Preprocessed {
 impl Preprocessed {
     /// Runs the full preprocessing phase over all sources in parallel.
     pub fn build(g: &CsrGraph, cfg: &PreprocessConfig) -> Preprocessed {
-        let (radii, shortcuts, stats) = preprocess_edges(g, cfg);
+        let (radii, shortcuts, expander, stats) = preprocess_parts(g, cfg, true);
         let graph = merge_edges(g, &shortcuts);
         let effective = graph.num_edges() - g.num_edges();
         Preprocessed {
@@ -128,6 +139,7 @@ impl Preprocessed {
             radii,
             config: *cfg,
             input_hash: g.content_hash(),
+            expander: Arc::new(expander),
             stats: PreprocessStats { effective_new_edges: effective, ..stats },
         }
     }
@@ -143,7 +155,7 @@ impl Preprocessed {
         &self,
         source: VertexId,
         kind: EngineKind,
-        config: EngineConfig,
+        config: EngineConfig<'_>,
     ) -> SsspResult {
         radius_stepping_with(&self.graph, &RadiiSpec::PerVertex(&self.radii), source, kind, config)
     }
@@ -154,9 +166,10 @@ impl Preprocessed {
     pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
         use std::io::Write;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        // "RSP2": format 2 added the input-graph content hash. Format-1
-        // ("RSPP") files fail to load and are transparently rebuilt.
-        w.write_all(b"RSP2")?;
+        // "RSP3": format 3 added the shortcut expansion chains (format 2
+        // added the input-graph content hash). Older files ("RSPP",
+        // "RSP2") fail to load and are transparently rebuilt.
+        w.write_all(b"RSP3")?;
         w.write_all(&self.input_hash.to_le_bytes())?;
         w.write_all(&self.config.k.to_le_bytes())?;
         w.write_all(&(self.config.rho as u64).to_le_bytes())?;
@@ -179,6 +192,13 @@ impl Preprocessed {
         for &r in &self.radii {
             w.write_all(&r.to_le_bytes())?;
         }
+        w.write_all(&(self.expander.len() as u64).to_le_bytes())?;
+        for (src, member, parent, dist) in self.expander.iter() {
+            w.write_all(&src.to_le_bytes())?;
+            w.write_all(&member.to_le_bytes())?;
+            w.write_all(&parent.to_le_bytes())?;
+            w.write_all(&dist.to_le_bytes())?;
+        }
         rs_graph::io::write_binary_to(&self.graph, &mut w)?;
         w.flush()
     }
@@ -190,7 +210,7 @@ impl Preprocessed {
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
-        if &magic != b"RSP2" {
+        if &magic != b"RSP3" {
             return Err(bad("not a saved preprocessing (or an old format)"));
         }
         let mut b4 = [0u8; 4];
@@ -221,6 +241,22 @@ impl Preprocessed {
             r.read_exact(&mut b8)?;
             radii.push(u64::from_le_bytes(b8));
         }
+        r.read_exact(&mut b8)?;
+        let links = u64::from_le_bytes(b8) as usize;
+        let mut expander = ShortcutExpander::new();
+        for _ in 0..links {
+            let mut ids = [[0u8; 4]; 3];
+            for id in &mut ids {
+                r.read_exact(id)?;
+            }
+            r.read_exact(&mut b8)?;
+            expander.insert(
+                u32::from_le_bytes(ids[0]),
+                u32::from_le_bytes(ids[1]),
+                u32::from_le_bytes(ids[2]),
+                u64::from_le_bytes(b8),
+            );
+        }
         let graph = rs_graph::io::read_binary_from(&mut r)?;
         if graph.num_vertices() != n {
             return Err(bad("radii length does not match the embedded graph"));
@@ -230,6 +266,7 @@ impl Preprocessed {
             radii,
             config: PreprocessConfig { k, rho, heuristic },
             input_hash,
+            expander: Arc::new(expander),
             stats: PreprocessStats {
                 raw_shortcuts: nums[0] as usize,
                 effective_new_edges: nums[1] as usize,
@@ -242,14 +279,58 @@ impl Preprocessed {
 }
 
 /// Shared worker: balls → (radii, shortcut list, stats) without building
-/// the merged graph (exposed for experiments that only need counts).
+/// the merged graph (exposed for experiments that only need counts; the
+/// expansion chains are skipped — use [`Preprocessed::build`] for the
+/// path-serving pipeline).
 pub fn preprocess_edges(
     g: &CsrGraph,
     cfg: &PreprocessConfig,
 ) -> (Vec<Dist>, Vec<Edge>, PreprocessStats) {
+    let (radii, shortcuts, _, stats) = preprocess_parts(g, cfg, false);
+    (radii, shortcuts, stats)
+}
+
+/// One shortcut's ball-tree ancestry, recorded for expansion: for every
+/// vertex on the tree path from a shortcut target up to the ball source,
+/// `(vertex, tree parent, exact ball distance)`.
+type ChainLinks = Vec<(VertexId, VertexId, Dist)>;
+
+/// Ball-tree parent chains of every shortcut target in one ball — the raw
+/// material of the [`ShortcutExpander`]. Chains overlap, so each link is
+/// recorded once (walks stop at the first already-recorded ancestor).
+fn ball_chains(ball: &Ball, shortcuts: &[Edge]) -> ChainLinks {
+    if shortcuts.is_empty() {
+        return Vec::new();
+    }
+    let info: std::collections::HashMap<VertexId, (VertexId, Dist)> =
+        ball.members.iter().map(|m| (m.v, (m.parent, m.dist))).collect();
+    let mut recorded: std::collections::HashMap<VertexId, (VertexId, Dist)> =
+        std::collections::HashMap::new();
+    for &(_, target, _) in shortcuts {
+        let mut cur = target;
+        while cur != ball.source {
+            if recorded.contains_key(&cur) {
+                break; // the rest of this chain is already recorded
+            }
+            let (parent, dist) = info[&cur];
+            recorded.insert(cur, (parent, dist));
+            cur = parent;
+        }
+    }
+    recorded.into_iter().map(|(v, (p, d))| (v, p, d)).collect()
+}
+
+/// The full per-source pass: balls → (radii, shortcut list, expansion
+/// chains, stats). Chain recording costs O(total chain length) and is
+/// gated so count-only experiments skip it.
+fn preprocess_parts(
+    g: &CsrGraph,
+    cfg: &PreprocessConfig,
+    record_chains: bool,
+) -> (Vec<Dist>, Vec<Edge>, ShortcutExpander, PreprocessStats) {
     let ws = g.weight_sorted();
     let n = g.num_vertices();
-    let per_source: Vec<(Dist, Vec<Edge>, u64, u64)> = (0..n as VertexId)
+    let per_source: Vec<(Dist, Vec<Edge>, ChainLinks, u64, u64)> = (0..n as VertexId)
         .into_par_iter()
         .map_init(
             || BallScratch::new(n),
@@ -260,22 +341,27 @@ pub fn preprocess_edges(
                     ShortcutHeuristic::Greedy => greedy_shortcuts(&ball, cfg.k),
                     ShortcutHeuristic::Dp => dp_shortcuts(&ball, cfg.k),
                 };
-                (ball.radius, edges, ball.explored_edges, ball.members.len() as u64)
+                let chains = if record_chains { ball_chains(&ball, &edges) } else { Vec::new() };
+                (ball.radius, edges, chains, ball.explored_edges, ball.members.len() as u64)
             },
         )
         .collect();
 
     let mut radii = Vec::with_capacity(n);
     let mut shortcuts = Vec::new();
+    let mut expander = ShortcutExpander::new();
     let mut stats = PreprocessStats { original_edges: g.num_edges(), ..Default::default() };
-    for (radius, edges, explored, members) in per_source {
+    for (source, (radius, edges, chains, explored, members)) in per_source.into_iter().enumerate() {
         radii.push(radius);
         stats.raw_shortcuts += edges.len();
         stats.explored_edges += explored;
         stats.ball_members += members;
         shortcuts.extend(edges);
+        for (v, parent, dist) in chains {
+            expander.insert(source as VertexId, v, parent, dist);
+        }
     }
-    (radii, shortcuts, stats)
+    (radii, shortcuts, expander, stats)
 }
 
 #[cfg(test)]
@@ -387,6 +473,8 @@ mod tests {
         assert_eq!(loaded.radii, pre.radii);
         assert_eq!(loaded.config, pre.config);
         assert_eq!(loaded.stats, pre.stats);
+        assert_eq!(loaded.expander, pre.expander, "expansion chains round-trip");
+        assert!(!pre.expander.is_empty(), "a (2,12) grid preprocessing records chains");
         assert_eq!(loaded.input_hash, g.content_hash(), "header records the input hash");
         assert_eq!(loaded.sssp(9).dist, pre.sssp(9).dist);
     }

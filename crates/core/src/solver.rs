@@ -7,11 +7,14 @@
 //! constructed through one fluent [`SolverBuilder`].
 //!
 //! * [`Query`] / [`QueryResponse`] — the request/response pair: a
-//!   [`QueryShape`] (`SingleSource` or the serving workhorse
-//!   `PointToPoint`) plus output options (`want_paths`, `want_trace`).
+//!   [`QueryShape`] (`SingleSource`, the serving workhorse
+//!   `PointToPoint`, the fan-out `OneToMany` — k goals for the price of
+//!   one solve — and the distance-table `ManyToMany`, executed as
+//!   parallel one-to-many rows) plus output options (`want_paths`,
+//!   `want_trace`).
 //! * [`SsspSolver::execute`] — the single entry point every solver
 //!   implements: goal-bounded, scratch-reusing, with inline parent
-//!   recording on the point-to-point path. The legacy `solve` /
+//!   recording on the goal-bounded paths. The legacy `solve` /
 //!   `solve_to_goal` / `solve_with_scratch` / `solve_batch` methods are
 //!   thin default wrappers over it.
 //! * [`Algorithm`] — the algorithm selector (`RadiusStepping { engine,
@@ -19,10 +22,13 @@
 //!   `BellmanFord`, `Bfs`).
 //! * [`SolverBuilder`] — picks the algorithm, optionally attaches
 //!   (k, ρ)-preprocessing, and toggles tracing / parent recording.
-//! * [`QueryBatch`] — the mixed-shape batch layer: deduplicates by full
-//!   query key, fans the unique queries over the work-stealing pool with
-//!   one pre-warmed [`SolverScratch`] per pool task, and aggregates the
-//!   batch's [`crate::StepStats`] into a [`BatchStats`] (including the
+//! * [`QueryBatch`] — the mixed-shape batch layer: deduplicates by
+//!   canonical query key (goal sets sorted + deduplicated), fans the
+//!   unique queries over the work-stealing pool with one pre-warmed
+//!   [`SolverScratch`] per pool task, and **streams** responses as each
+//!   solve completes ([`QueryBatch::stream`]; [`QueryBatch::execute`] is
+//!   the drained, materialised form), aggregating the batch's
+//!   [`crate::StepStats`] into a [`BatchStats`] (including the
 //!   goal-bounded traffic counters).
 //!
 //! This module defines the trait, the configuration types, and the
@@ -49,16 +55,18 @@
 //! assert!(again.stats().scratch_reused);
 //! ```
 
+use std::sync::Arc;
+
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-use crate::engine::{radius_stepping_with_scratch, EngineConfig, EngineKind};
-use crate::preprocess::{PreprocessConfig, Preprocessed};
+use crate::engine::{radius_stepping_with_scratch, EngineConfig, EngineKind, Goals};
+use crate::preprocess::{PreprocessConfig, Preprocessed, ShortcutExpander};
 use crate::radii::RadiiSpec;
 use crate::scratch::SolverScratch;
 use crate::stats::{SsspResult, StepStats};
 
 /// What one request asks a solver to compute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum QueryShape {
     /// Exact distances from `source` to every vertex.
     SingleSource { source: VertexId },
@@ -66,12 +74,25 @@ pub enum QueryShape {
     /// serving shape (point-to-point routing traffic). `dist[goal]` is
     /// exact; every other finite entry is a valid upper bound.
     PointToPoint { source: VertexId, goal: VertexId },
+    /// Distances from `source` until *every* goal is settled — the fan-out
+    /// routing shape: one solve answers `goals.len()` destinations, so k
+    /// goals cost one solve instead of k point-to-point queries. Every
+    /// `dist[goal]` is exact (and bit-identical to the per-goal
+    /// point-to-point answer); other finite entries are upper bounds.
+    /// Goal order and duplicates are observationally irrelevant (the solve
+    /// runs on the sorted-deduplicated set; [`QueryBatch`] dedups by that
+    /// canonical form).
+    OneToMany { source: VertexId, goals: Vec<VertexId> },
+    /// A distance table: one [`QueryShape::OneToMany`] row per source,
+    /// fanned over the thread pool in parallel. `sources` must be
+    /// non-empty; row `i` of the response is the solve from `sources[i]`.
+    ManyToMany { sources: Vec<VertexId>, goals: Vec<VertexId> },
 }
 
 /// One request against an [`SsspSolver`]: a [`QueryShape`] plus output
-/// options. `Copy`, `Eq` and `Hash` so [`QueryBatch`] can deduplicate by
-/// the *full* query key (two requests are interchangeable only when shape
-/// *and* options agree).
+/// options. `Eq` and `Hash` so [`QueryBatch`] can deduplicate by the
+/// *full* query key (two requests are interchangeable only when shape —
+/// up to goal-set order — *and* options agree).
 ///
 /// ```
 /// use rs_core::solver::Query;
@@ -79,34 +100,52 @@ pub enum QueryShape {
 /// assert_eq!(q.source(), 3);
 /// assert_eq!(q.goal(), Some(99));
 /// assert!(q.want_paths && !q.want_trace);
+/// let fan = Query::one_to_many(3, [99, 7, 99]);
+/// assert_eq!(fan.goals(), &[99, 7, 99]);
+/// assert_eq!(fan.canonical().goals(), &[7, 99]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     /// What to compute.
     pub shape: QueryShape,
-    /// Return a shortest-path tree. On a `PointToPoint` query parents are
+    /// Return a shortest-path tree. On a goal-bounded query parents are
     /// recorded *inline* during relaxation (O(1) per relaxation, no
     /// all-edges post-pass; see [`crate::EngineConfig::record_parents`]),
-    /// covering at least the goal path; on a `SingleSource` query the full
-    /// tree is derived by the parallel post-pass.
+    /// covering at least every goal path; on a `SingleSource` query the
+    /// full tree is derived by the parallel post-pass.
     pub want_paths: bool,
     /// Record a per-step trace where the algorithm supports one.
     pub want_trace: bool,
 }
 
 impl Query {
+    fn new(shape: QueryShape) -> Query {
+        Query { shape, want_paths: false, want_trace: false }
+    }
+
     /// A full single-source query.
     pub fn single_source(source: VertexId) -> Query {
-        Query { shape: QueryShape::SingleSource { source }, want_paths: false, want_trace: false }
+        Query::new(QueryShape::SingleSource { source })
     }
 
     /// A goal-bounded point-to-point query.
     pub fn point_to_point(source: VertexId, goal: VertexId) -> Query {
-        Query {
-            shape: QueryShape::PointToPoint { source, goal },
-            want_paths: false,
-            want_trace: false,
-        }
+        Query::new(QueryShape::PointToPoint { source, goal })
+    }
+
+    /// A one-to-many fan-out query: one solve, every goal settled.
+    pub fn one_to_many(source: VertexId, goals: impl Into<Vec<VertexId>>) -> Query {
+        Query::new(QueryShape::OneToMany { source, goals: goals.into() })
+    }
+
+    /// A many-to-many distance-table query (`sources` must be non-empty).
+    pub fn many_to_many(
+        sources: impl Into<Vec<VertexId>>,
+        goals: impl Into<Vec<VertexId>>,
+    ) -> Query {
+        let sources = sources.into();
+        assert!(!sources.is_empty(), "a many-to-many query needs at least one source");
+        Query::new(QueryShape::ManyToMany { sources, goals: goals.into() })
     }
 
     /// Requests path extraction on the response.
@@ -121,86 +160,290 @@ impl Query {
         self
     }
 
-    /// The query's source vertex.
+    /// The query's (first) source vertex; see [`Query::sources`] for the
+    /// full list of a many-to-many query.
     pub fn source(&self) -> VertexId {
-        match self.shape {
-            QueryShape::SingleSource { source } | QueryShape::PointToPoint { source, .. } => source,
+        self.sources()[0]
+    }
+
+    /// All source vertices: one per response row.
+    pub fn sources(&self) -> &[VertexId] {
+        match &self.shape {
+            QueryShape::SingleSource { source }
+            | QueryShape::PointToPoint { source, .. }
+            | QueryShape::OneToMany { source, .. } => std::slice::from_ref(source),
+            QueryShape::ManyToMany { sources, .. } => sources,
         }
     }
 
-    /// The goal vertex of a point-to-point query.
+    /// The goal vertices, in request order (empty for `SingleSource`).
+    pub fn goals(&self) -> &[VertexId] {
+        match &self.shape {
+            QueryShape::SingleSource { .. } => &[],
+            QueryShape::PointToPoint { goal, .. } => std::slice::from_ref(goal),
+            QueryShape::OneToMany { goals, .. } | QueryShape::ManyToMany { goals, .. } => goals,
+        }
+    }
+
+    /// The goal vertex of a point-to-point query (`None` for every other
+    /// shape — multi-goal shapes answer through [`Query::goals`]).
     pub fn goal(&self) -> Option<VertexId> {
         match self.shape {
-            QueryShape::SingleSource { .. } => None,
             QueryShape::PointToPoint { goal, .. } => Some(goal),
+            _ => None,
         }
     }
 
-    /// True for goal-bounded queries.
+    /// True for the point-to-point shape.
     pub fn is_point_to_point(&self) -> bool {
         matches!(self.shape, QueryShape::PointToPoint { .. })
     }
+
+    /// True for goal-bounded shapes (everything but `SingleSource`).
+    pub fn is_goal_bounded(&self) -> bool {
+        !matches!(self.shape, QueryShape::SingleSource { .. })
+    }
+
+    /// True for the many-to-many table shape.
+    pub fn is_many_to_many(&self) -> bool {
+        matches!(self.shape, QueryShape::ManyToMany { .. })
+    }
+
+    /// Number of rows the response will carry (1 for single-solve shapes).
+    pub fn rows(&self) -> usize {
+        self.sources().len()
+    }
+
+    /// The sorted-deduplicated goal set — what a solve actually runs on.
+    pub fn canonical_goals(&self) -> Vec<VertexId> {
+        let mut goals = self.goals().to_vec();
+        goals.sort_unstable();
+        goals.dedup();
+        goals
+    }
+
+    /// The canonical dedup key: goal lists sorted and deduplicated (goal
+    /// order never affects a response's content — distances are read from
+    /// the row's distance array — so permuted goal lists must share one
+    /// [`QueryBatch`] dedup slot). Sources keep their order: it defines
+    /// the response's row order.
+    pub fn canonical(&self) -> Query {
+        let shape = match &self.shape {
+            QueryShape::OneToMany { source, .. } => {
+                QueryShape::OneToMany { source: *source, goals: self.canonical_goals() }
+            }
+            QueryShape::ManyToMany { sources, .. } => {
+                QueryShape::ManyToMany { sources: sources.clone(), goals: self.canonical_goals() }
+            }
+            other => other.clone(),
+        };
+        Query { shape, want_paths: self.want_paths, want_trace: self.want_trace }
+    }
+}
+
+/// The engine-facing goal bound for one solve of `query` (`OneToMany`
+/// goals are canonicalised into `buf` and borrowed from there). Panics on
+/// `ManyToMany` — table queries dispatch through
+/// [`execute_many_to_many`] before reaching a single solve.
+pub fn solve_goals<'q>(query: &'q Query, buf: &'q mut Vec<VertexId>) -> Goals<'q> {
+    match &query.shape {
+        QueryShape::SingleSource { .. } => Goals::None,
+        QueryShape::PointToPoint { goal, .. } => Goals::One(*goal),
+        QueryShape::OneToMany { goals, .. } => {
+            buf.clear();
+            buf.extend_from_slice(goals);
+            buf.sort_unstable();
+            buf.dedup();
+            Goals::Many(buf)
+        }
+        QueryShape::ManyToMany { .. } => {
+            panic!("ManyToMany is executed row-wise via execute_many_to_many")
+        }
+    }
+}
+
+/// Executes a [`QueryShape::ManyToMany`] query as parallel
+/// [`QueryShape::OneToMany`] rows over the work-stealing pool — the shared
+/// table path behind every solver's `execute`. Each pool task reuses one
+/// pre-warmed [`SolverScratch`] across the rows it claims
+/// ([`rs_par::worker_map`] load balancing), so an r-source table performs
+/// exactly r solves.
+pub fn execute_many_to_many<S: SsspSolver + ?Sized>(solver: &S, query: &Query) -> QueryResponse {
+    let QueryShape::ManyToMany { sources, goals } = &query.shape else {
+        panic!("execute_many_to_many on {:?}", query.shape)
+    };
+    let rows: Vec<SsspResult> = rs_par::worker_map(
+        sources.len(),
+        || {
+            let mut scratch = SolverScratch::new();
+            solver.warm_scratch(&mut scratch);
+            scratch
+        },
+        |scratch, i| {
+            let row = Query {
+                shape: QueryShape::OneToMany { source: sources[i], goals: goals.clone() },
+                want_paths: query.want_paths,
+                want_trace: query.want_trace,
+            };
+            solver.execute(&row, scratch).into_result()
+        },
+    );
+    QueryResponse::table(query.clone(), rows)
 }
 
 /// What [`SsspSolver::execute`] returns: the executed [`Query`] (so batch
-/// consumers can correlate responses) plus the underlying
-/// [`crate::SsspResult`], with goal-aware conveniences on top.
+/// consumers can correlate responses) plus one [`crate::SsspResult`] row
+/// per query source (a single row for every shape but `ManyToMany`), with
+/// goal-aware conveniences on top.
+///
+/// Responses from a preprocessed solver carry the preprocessing's
+/// [`ShortcutExpander`], so every extracted path is an exact *input-graph*
+/// route: shortcut hops are unrolled into their underlying input edges in
+/// O(output hops) at extraction time.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
     /// The request this response answers.
     pub query: Query,
-    /// Distances, optional parents, per-query [`StepStats`].
-    pub result: SsspResult,
+    /// One result per query source, in [`Query::sources`] order.
+    rows: Vec<SsspResult>,
+    /// Shortcut → input-edge expansion (preprocessed solvers only).
+    expander: Option<Arc<ShortcutExpander>>,
 }
 
 impl QueryResponse {
-    /// The distance array (exact everywhere for `SingleSource`; exact at
-    /// the goal and an upper bound elsewhere for `PointToPoint`).
-    pub fn dist(&self) -> &[Dist] {
-        &self.result.dist
+    /// A single-row response (every shape but `ManyToMany`).
+    pub fn single(query: Query, result: SsspResult) -> QueryResponse {
+        QueryResponse { query, rows: vec![result], expander: None }
     }
 
-    /// The per-query execution counters.
+    /// A multi-row (`ManyToMany`) response; `rows[i]` answers
+    /// `query.sources()[i]`.
+    pub fn table(query: Query, rows: Vec<SsspResult>) -> QueryResponse {
+        debug_assert_eq!(rows.len(), query.rows());
+        QueryResponse { query, rows, expander: None }
+    }
+
+    /// Attaches a shortcut expansion table (preprocessed solvers call this
+    /// so extracted paths ride input-graph edges only).
+    pub fn with_expander(mut self, expander: Option<Arc<ShortcutExpander>>) -> QueryResponse {
+        self.expander = expander;
+        self
+    }
+
+    /// The primary (first-row) result — the only row for every shape but
+    /// `ManyToMany`.
+    pub fn result(&self) -> &SsspResult {
+        &self.rows[0]
+    }
+
+    /// All result rows, in [`Query::sources`] order.
+    pub fn rows(&self) -> &[SsspResult] {
+        &self.rows
+    }
+
+    /// The primary row's distance array (exact everywhere for
+    /// `SingleSource`; exact at every goal and an upper bound elsewhere
+    /// for the goal-bounded shapes).
+    pub fn dist(&self) -> &[Dist] {
+        &self.rows[0].dist
+    }
+
+    /// The primary row's execution counters (sum over [`QueryResponse::rows`]
+    /// yourself for a table's aggregate).
     pub fn stats(&self) -> &StepStats {
-        &self.result.stats
+        &self.rows[0].stats
     }
 
     /// The goal's exact distance, for a reachable `PointToPoint` query
-    /// (`None` for `SingleSource` queries and unreachable goals).
+    /// (`None` for other shapes and unreachable goals; multi-goal shapes
+    /// answer through [`QueryResponse::goal_distances`]).
     pub fn goal_distance(&self) -> Option<Dist> {
         let goal = self.query.goal()?;
-        let d = self.result.dist[goal as usize];
+        let d = self.rows[0].dist[goal as usize];
         (d != INF).then_some(d)
     }
 
-    /// On-demand extraction of the `source → goal` path from the recorded
-    /// parents (requires `want_paths`; `None` for `SingleSource` queries
-    /// and unreachable goals). Costs O(path length).
+    /// Per-goal exact distances of row `row`, in the *requested* goal
+    /// order (`None` per unreachable goal). Empty for `SingleSource`.
+    pub fn goal_distances_in_row(&self, row: usize) -> Vec<Option<Dist>> {
+        let dist = &self.rows[row].dist;
+        self.query
+            .goals()
+            .iter()
+            .map(|&g| {
+                let d = dist[g as usize];
+                (d != INF).then_some(d)
+            })
+            .collect()
+    }
+
+    /// Per-goal exact distances of the primary row (see
+    /// [`QueryResponse::goal_distances_in_row`]).
+    pub fn goal_distances(&self) -> Vec<Option<Dist>> {
+        self.goal_distances_in_row(0)
+    }
+
+    /// The full distance table: `table()[i][j]` = distance from
+    /// `sources()[i]` to `goals()[j]` (`None` if unreachable). One row for
+    /// single-solve shapes, `sources().len()` rows for `ManyToMany`.
+    pub fn distance_table(&self) -> Vec<Vec<Option<Dist>>> {
+        (0..self.rows.len()).map(|r| self.goal_distances_in_row(r)).collect()
+    }
+
+    /// Shortcut-expands a raw extracted path into input-graph hops (a
+    /// pass-through when the solver had no preprocessing attached).
+    fn expand(&self, row: usize, path: Option<Vec<VertexId>>) -> Option<Vec<VertexId>> {
+        let path = path?;
+        Some(match &self.expander {
+            None => path,
+            Some(e) => e.expand_path(&path, &self.rows[row].dist),
+        })
+    }
+
+    /// On-demand extraction of the `source → goal` path of a
+    /// `PointToPoint` query from the recorded parents (requires
+    /// `want_paths`; `None` for other shapes and unreachable goals). Costs
+    /// O(path length).
     ///
-    /// The path's edges are edges of [`SsspSolver::graph`]. For a solver
-    /// built with preprocessing that is the shortcut-augmented
-    /// (k, ρ)-graph: consecutive path vertices may be joined by a
-    /// *shortcut* edge — same total distance as the underlying hops (the
-    /// augmentation is distance-preserving) but not necessarily an edge of
-    /// the original input graph. Consumers that need input-graph hops
-    /// should query a non-preprocessed solver (or expand shortcuts
-    /// themselves; see the ROADMAP follow-up).
+    /// The path's edges are edges of the *input* graph: for a solver built
+    /// with preprocessing, shortcut hops are expanded into their
+    /// underlying input edges (same total distance) before the path is
+    /// returned. Multi-goal shapes extract through
+    /// [`QueryResponse::goal_path_to`] / [`QueryResponse::goal_paths`].
     pub fn goal_path(&self) -> Option<Vec<VertexId>> {
-        self.result.extract_path(self.query.goal()?)
+        self.goal_path_to(self.query.goal()?)
     }
 
-    /// On-demand extraction of the path to any vertex the solve settled
-    /// (requires `want_paths`; point-to-point responses cover at least the
-    /// goal path). Paths are on [`SsspSolver::graph`] — see
-    /// [`QueryResponse::goal_path`] for the preprocessing caveat.
+    /// The primary row's path to one goal of a goal-bounded query
+    /// (requires `want_paths`; `None` for unreachable goals). Input-graph
+    /// exact, like [`QueryResponse::goal_path`].
+    pub fn goal_path_to(&self, goal: VertexId) -> Option<Vec<VertexId>> {
+        self.path_in_row(0, goal)
+    }
+
+    /// Per-goal paths of the primary row, in requested goal order.
+    pub fn goal_paths(&self) -> Vec<Option<Vec<VertexId>>> {
+        self.query.goals().iter().map(|&g| self.goal_path_to(g)).collect()
+    }
+
+    /// Path from `sources()[row]` to `goal` (the table shape's
+    /// per-cell route; requires `want_paths`). Input-graph exact.
+    pub fn path_in_row(&self, row: usize, goal: VertexId) -> Option<Vec<VertexId>> {
+        self.expand(row, self.rows[row].extract_path(goal))
+    }
+
+    /// On-demand extraction of the path to any vertex the primary row
+    /// settled (requires `want_paths`; goal-bounded responses cover at
+    /// least every goal path). Input-graph exact, like
+    /// [`QueryResponse::goal_path`].
     pub fn extract_path(&self, t: VertexId) -> Option<Vec<VertexId>> {
-        self.result.extract_path(t)
+        self.expand(0, self.rows[0].extract_path(t))
     }
 
-    /// Unwraps into the legacy [`SsspResult`] (what the `solve_*` wrapper
-    /// methods return).
+    /// Unwraps into the primary row's [`SsspResult`] (what the `solve_*`
+    /// wrapper methods return).
     pub fn into_result(self) -> SsspResult {
-        self.result
+        self.rows.into_iter().next().expect("a response has at least one row")
     }
 }
 
@@ -231,6 +474,12 @@ pub trait SsspSolver: Sync {
     ///   (`dist[goal]` exact, everything else an upper bound or `INF`),
     ///   and with `want_paths` record parents inline during relaxation —
     ///   no all-edges post-pass on the serving path.
+    /// * `OneToMany` queries run **one** solve that stops once every goal
+    ///   is settled: per-goal distances and paths are bit-identical to
+    ///   the per-goal `PointToPoint` answers at a fraction of the solves.
+    /// * `ManyToMany` queries fan their rows over the pool (the caller's
+    ///   scratch is bypassed; each pool task warms its own) and return
+    ///   one result row per source.
     /// * After the first (cold) query on a scratch, no working distance
     ///   array, bitset, heap, bucket queue or treap node is allocated
     ///   again ([`crate::StepStats::scratch_reused`]); pre-warm with
@@ -307,14 +556,19 @@ pub struct QueryBatch {
 
 impl QueryBatch {
     /// Plans a batch over `queries` (duplicates allowed, order preserved).
+    /// Dedup keys are *canonical* queries ([`Query::canonical`]): goal
+    /// lists are sorted and deduplicated before keying, so one-to-many
+    /// requests with permuted goal lists share a dedup slot (their
+    /// responses are interchangeable — distances are read from the row's
+    /// distance array, never from goal positions).
     pub fn new(queries: &[Query]) -> Self {
         let mut first_slot: std::collections::HashMap<Query, usize> =
             std::collections::HashMap::with_capacity(queries.len());
         let mut unique = Vec::with_capacity(queries.len());
         let mut rep = Vec::with_capacity(queries.len());
-        for &q in queries {
-            let slot = *first_slot.entry(q).or_insert_with(|| {
-                unique.push(q);
+        for q in queries {
+            let slot = *first_slot.entry(q.canonical()).or_insert_with(|| {
+                unique.push(q.clone());
                 unique.len() - 1
             });
             rep.push(slot);
@@ -354,27 +608,96 @@ impl QueryBatch {
         self.queries.len() - self.unique.len()
     }
 
-    /// Runs the batch on `solver`: unique queries fan out over the pool
-    /// with per-task pre-warmed scratch reuse ([`SsspSolver::warm_scratch`]
-    /// — first queries skip the cold allocation spike), responses land in
-    /// request order.
+    /// Runs the batch on `solver` and materialises every response: a thin
+    /// wrapper over [`QueryBatch::stream`] that collects deliveries back
+    /// into request order. Responses are bit-identical to the streamed
+    /// ones (same executions — `execute` *is* the stream, drained).
     pub fn execute<S: SsspSolver + ?Sized>(&self, solver: &S) -> BatchOutcome {
-        let unique_responses: Vec<QueryResponse> = rs_par::worker_map(
-            self.unique.len(),
-            || {
-                let mut scratch = SolverScratch::new();
-                solver.warm_scratch(&mut scratch);
-                scratch
-            },
-            |scratch, i| solver.execute(&self.unique[i], scratch),
-        );
-        let stats = BatchStats::collect(&unique_responses, &self.rep);
-        let responses = if self.unique.len() == self.queries.len() {
-            unique_responses
-        } else {
-            self.rep.iter().map(|&u| unique_responses[u].clone()).collect()
-        };
+        let mut responses: Vec<Option<QueryResponse>> = vec![None; self.queries.len()];
+        let stats = self.stream(solver, |slot, response| {
+            debug_assert!(responses[slot].is_none(), "each slot delivered exactly once");
+            responses[slot] = Some(response);
+        });
+        let responses = responses.into_iter().map(|r| r.expect("every slot delivered")).collect();
         BatchOutcome { responses, stats }
+    }
+
+    /// Runs the batch on `solver`, delivering responses **as each solve
+    /// completes** instead of materialising the whole batch: a slow query
+    /// no longer blocks the fast ones, so a server can pipeline replies.
+    ///
+    /// Unique queries fan out over the pool with per-task pre-warmed
+    /// scratch reuse ([`SsspSolver::warm_scratch`] — first queries skip
+    /// the cold allocation spike); the caller's thread drains completions
+    /// and invokes `sink(request_slot, response)` once per *requested*
+    /// query. Duplicates are delivered (as clones, with their own
+    /// requested `query` key) the moment their unique execution lands.
+    /// Delivery order is completion order — use the slot index to
+    /// reorder when request order matters, or use [`QueryBatch::execute`].
+    /// Returns the aggregated [`BatchStats`] once every response is
+    /// delivered.
+    pub fn stream<S, F>(&self, solver: &S, mut sink: F) -> BatchStats
+    where
+        S: SsspSolver + ?Sized,
+        F: FnMut(usize, QueryResponse),
+    {
+        let mut stats = BatchStats {
+            solves: self.queries.len(),
+            unique_solves: self.unique.len(),
+            ..Default::default()
+        };
+        if self.queries.is_empty() {
+            return stats;
+        }
+        // Request slots answered by each unique execution.
+        let mut slots_of: Vec<Vec<usize>> = vec![Vec::new(); self.unique.len()];
+        for (slot, &u) in self.rep.iter().enumerate() {
+            slots_of[u].push(slot);
+        }
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, QueryResponse)>();
+        std::thread::scope(|scope| {
+            // The producer fans the unique queries over the pool from a
+            // scoped thread; the calling thread stays free to drain the
+            // channel, so deliveries interleave with execution at every
+            // pool size (worker_map_sink streams even its sequential
+            // fallback item-by-item).
+            let producer = scope.spawn(move || {
+                rs_par::worker_map_sink(
+                    self.unique.len(),
+                    || {
+                        let mut scratch = SolverScratch::new();
+                        solver.warm_scratch(&mut scratch);
+                        scratch
+                    },
+                    |scratch, i| solver.execute(&self.unique[i], scratch),
+                    |i, response| {
+                        // A dropped receiver just stops deliveries; the
+                        // remaining solves complete and are discarded.
+                        let _ = tx.send((i, response));
+                    },
+                );
+            });
+            for (u, response) in rx.iter() {
+                stats.absorb_unique(&response);
+                // Clone only for true duplicates: the last slot (every
+                // unique has at least one) takes the response by move, so
+                // a duplicate-free batch never copies a dist array.
+                let (&last, dups) = slots_of[u].split_last().expect("unique from ≥1 request");
+                for &slot in dups {
+                    let mut delivered = response.clone();
+                    delivered.query = self.queries[slot].clone();
+                    stats.absorb_delivered(&delivered);
+                    sink(slot, delivered);
+                }
+                let mut delivered = response;
+                delivered.query = self.queries[last].clone();
+                stats.absorb_delivered(&delivered);
+                sink(last, delivered);
+            }
+            producer.join().expect("batch producer panicked");
+        });
+        stats
     }
 }
 
@@ -400,24 +723,38 @@ impl BatchOutcome {
 ///
 /// Step/substep/relaxation totals are summed over the *delivered*
 /// responses (a deduplicated query counts once per request, so means stay
-/// faithful to the requested workload); the scratch counters describe the
-/// *unique* executions — the physical allocation events.
+/// faithful to the requested workload); the scratch and `executed_solves`
+/// counters describe the *unique* executions' physical solve rows — the
+/// allocation and work events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Requested queries (including duplicates).
     pub solves: usize,
     /// Unique queries actually executed.
     pub unique_solves: usize,
-    /// Unique executions that ran entirely on pre-allocated scratch state.
+    /// Physical solve rows run for the unique executions: 1 per
+    /// single-solve query — a one-to-many query with k goals still counts
+    /// exactly 1 — and `sources.len()` per many-to-many table.
+    pub executed_solves: usize,
+    /// Physical solve rows that ran entirely on pre-allocated scratch
+    /// state.
     pub scratch_reuses: usize,
-    /// Unique executions that had to allocate (at most one per pool task;
-    /// zero when [`SsspSolver::warm_scratch`] covers the algorithm).
+    /// Physical solve rows that had to allocate (at most one per pool
+    /// task; zero when [`SsspSolver::warm_scratch`] covers the algorithm).
     pub cold_solves: usize,
-    /// Delivered point-to-point (goal-bounded) responses.
+    /// Delivered point-to-point responses.
     pub point_to_point: usize,
-    /// Delivered point-to-point responses whose goal was reachable.
+    /// Delivered one-to-many responses.
+    pub one_to_many: usize,
+    /// Delivered many-to-many responses.
+    pub many_to_many: usize,
+    /// Goal lookups across delivered goal-bounded responses (a
+    /// point-to-point counts 1, a one-to-many its goal-list length, a
+    /// table rows × goals).
+    pub goals_requested: usize,
+    /// Of [`BatchStats::goals_requested`], how many were reachable.
     pub goals_reached: usize,
-    /// Total steps over delivered responses.
+    /// Total steps over delivered responses (all rows).
     pub steps: usize,
     /// Total substeps over delivered responses.
     pub substeps: usize,
@@ -430,35 +767,42 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    fn collect(unique_responses: &[QueryResponse], rep: &[usize]) -> BatchStats {
-        let mut stats = BatchStats {
-            solves: rep.len(),
-            unique_solves: unique_responses.len(),
-            ..Default::default()
-        };
-        for r in unique_responses {
-            if r.result.stats.scratch_reused {
-                stats.scratch_reuses += 1;
+    /// Folds one *unique* execution's physical counters in (once per
+    /// unique query, regardless of how many request slots it answers).
+    fn absorb_unique(&mut self, response: &QueryResponse) {
+        for row in response.rows() {
+            self.executed_solves += 1;
+            if row.stats.scratch_reused {
+                self.scratch_reuses += 1;
             } else {
-                stats.cold_solves += 1;
+                self.cold_solves += 1;
             }
         }
-        for &u in rep {
-            let r = &unique_responses[u];
-            let s = &r.result.stats;
-            stats.steps += s.steps;
-            stats.substeps += s.substeps;
-            stats.max_substeps_in_step = stats.max_substeps_in_step.max(s.max_substeps_in_step);
-            stats.relaxations += s.relaxations;
-            stats.settled += s.settled;
-            if let Some(goal) = r.query.goal() {
-                stats.point_to_point += 1;
-                if r.result.dist[goal as usize] != INF {
-                    stats.goals_reached += 1;
-                }
-            }
+    }
+
+    /// Folds one *delivered* response's workload counters in (once per
+    /// request slot; duplicates re-count, keeping means faithful to the
+    /// requested traffic).
+    fn absorb_delivered(&mut self, response: &QueryResponse) {
+        for row in response.rows() {
+            let s = &row.stats;
+            self.steps += s.steps;
+            self.substeps += s.substeps;
+            self.max_substeps_in_step = self.max_substeps_in_step.max(s.max_substeps_in_step);
+            self.relaxations += s.relaxations;
+            self.settled += s.settled;
         }
-        stats
+        match &response.query.shape {
+            QueryShape::SingleSource { .. } => {}
+            QueryShape::PointToPoint { .. } => self.point_to_point += 1,
+            QueryShape::OneToMany { .. } => self.one_to_many += 1,
+            QueryShape::ManyToMany { .. } => self.many_to_many += 1,
+        }
+        let goals = response.query.goals();
+        for row in response.rows() {
+            self.goals_requested += goals.len();
+            self.goals_reached += goals.iter().filter(|&&g| row.dist[g as usize] != INF).count();
+        }
     }
 
     /// Mean steps per requested query.
@@ -467,6 +811,17 @@ impl BatchStats {
             0.0
         } else {
             self.steps as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean physical solves per requested query — the dedup + fan-out
+    /// economy metric (a one-to-many query with k goals contributes one
+    /// solve, so a pure fan-out batch reads well below the k it replaces).
+    pub fn mean_solves_per_query(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.executed_solves as f64 / self.solves as f64
         }
     }
 }
@@ -555,14 +910,15 @@ impl SolverConfig {
     }
 
     /// Attaches the shortest-path tree to `result` if `query` asked for
-    /// one and the solve did not already record it inline: point-to-point
-    /// queries derive exactly the goal path (no all-edges post-pass),
-    /// single-source queries the full tree.
+    /// one and the solve did not already record it inline: goal-bounded
+    /// queries derive exactly the goal paths (no all-edges post-pass,
+    /// one backwards walk per goal), single-source queries the full tree.
     pub fn finish_paths(&self, g: &CsrGraph, query: &Query, mut result: SsspResult) -> SsspResult {
         if self.wants_paths(query) && result.parent.is_none() {
-            result.parent = Some(match query.goal() {
-                Some(goal) => crate::stats::goal_path_parents(g, &result.dist, goal),
-                None => crate::stats::derive_parents(g, &result.dist),
+            result.parent = Some(if query.is_goal_bounded() {
+                crate::stats::goals_path_parents(g, &result.dist, query.goals())
+            } else {
+                crate::stats::derive_parents(g, &result.dist)
             });
         }
         result
@@ -729,14 +1085,21 @@ pub struct BuilderParts<'g> {
 impl<'g> BuilderParts<'g> {
     /// Resolves the attached preprocessing: returns the graph baselines
     /// should run on (augmented when preprocessing is attached — distances
-    /// are preserved, so every solver stays exact).
-    pub fn resolve_graph(&self) -> SolverGraph<'g> {
+    /// are preserved, so every solver stays exact) plus the shortcut
+    /// expansion table for input-graph-exact path extraction.
+    pub fn resolve_graph_and_expander(&self) -> (SolverGraph<'g>, Option<Arc<ShortcutExpander>>) {
         match &self.preprocess {
-            None => SolverGraph::Borrowed(self.graph),
-            Some(cfg) => SolverGraph::Owned(
-                resolve_preprocessed(self.graph, cfg, self.preprocess_cache.as_deref()).graph,
-            ),
+            None => (SolverGraph::Borrowed(self.graph), None),
+            Some(cfg) => {
+                let pre = resolve_preprocessed(self.graph, cfg, self.preprocess_cache.as_deref());
+                (SolverGraph::Owned(pre.graph), Some(pre.expander))
+            }
         }
+    }
+
+    /// [`BuilderParts::resolve_graph_and_expander`] dropping the expander.
+    pub fn resolve_graph(&self) -> SolverGraph<'g> {
+        self.resolve_graph_and_expander().0
     }
 }
 
@@ -781,7 +1144,9 @@ pub struct RadiusSteppingSolver<'g> {
     radii: Radii,
     engine: EngineKind,
     config: SolverConfig,
-    preprocessed: bool,
+    /// Shortcut expansion table when preprocessing replaced the graph —
+    /// attached to every response so extracted paths ride input edges.
+    expander: Option<Arc<ShortcutExpander>>,
 }
 
 impl<'g> RadiusSteppingSolver<'g> {
@@ -792,7 +1157,7 @@ impl<'g> RadiusSteppingSolver<'g> {
             radii,
             engine,
             config: SolverConfig::default(),
-            preprocessed: false,
+            expander: None,
         }
     }
 
@@ -813,7 +1178,7 @@ impl<'g> RadiusSteppingSolver<'g> {
                 radii,
                 engine,
                 config,
-                preprocessed: false,
+                expander: None,
             },
             Some(cfg) => {
                 let pre = resolve_preprocessed(graph, &cfg, cache);
@@ -822,7 +1187,7 @@ impl<'g> RadiusSteppingSolver<'g> {
                     radii: Radii::PerVertex(pre.radii),
                     engine,
                     config,
-                    preprocessed: true,
+                    expander: Some(pre.expander),
                 }
             }
         }
@@ -836,7 +1201,7 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
             EngineKind::Bst => "bst",
             EngineKind::Unweighted => "unweighted",
         };
-        if self.preprocessed {
+        if self.expander.is_some() {
             format!("radius-stepping/{engine} (preprocessed)")
         } else {
             format!("radius-stepping/{engine}")
@@ -848,15 +1213,19 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
-        let goal = query.goal();
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query).with_expander(self.expander.clone());
+        }
+        let mut goal_buf = Vec::new();
+        let goals = solve_goals(query, &mut goal_buf);
         let want_paths = self.config.wants_paths(query);
         let cfg = EngineConfig {
             trace: self.config.wants_trace(query),
-            goal,
+            goals,
             // Goal-bounded path requests record parents inline during
             // relaxation; full solves keep the deterministic parallel
             // derivation (applied below by finish_paths).
-            record_parents: want_paths && goal.is_some(),
+            record_parents: want_paths && goals.bounded(),
         };
         let out = radius_stepping_with_scratch(
             &self.graph,
@@ -866,7 +1235,8 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
             cfg,
             scratch,
         );
-        QueryResponse { query: *query, result: self.config.finish_paths(&self.graph, query, out) }
+        let result = self.config.finish_paths(&self.graph, query, out);
+        QueryResponse::single(query.clone(), result).with_expander(self.expander.clone())
     }
 
     fn warm_scratch(&self, scratch: &mut SolverScratch) {
@@ -906,11 +1276,15 @@ impl SsspSolver for Preprocessed {
     }
 
     fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
-        let goal = query.goal();
+        if query.is_many_to_many() {
+            return execute_many_to_many(self, query).with_expander(Some(self.expander.clone()));
+        }
+        let mut goal_buf = Vec::new();
+        let goals = solve_goals(query, &mut goal_buf);
         let cfg = EngineConfig {
             trace: query.want_trace,
-            goal,
-            record_parents: query.want_paths && goal.is_some(),
+            goals,
+            record_parents: query.want_paths && goals.bounded(),
         };
         let out = radius_stepping_with_scratch(
             &self.graph,
@@ -921,7 +1295,7 @@ impl SsspSolver for Preprocessed {
             scratch,
         );
         let result = SolverConfig::default().finish_paths(&self.graph, query, out);
-        QueryResponse { query: *query, result }
+        QueryResponse::single(query.clone(), result).with_expander(Some(self.expander.clone()))
     }
 
     fn warm_scratch(&self, scratch: &mut SolverScratch) {
@@ -1231,5 +1605,106 @@ mod tests {
             SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
         let out = solver.solve_to_goal(0, 3);
         assert_eq!(out.dist[3], INF);
+    }
+
+    #[test]
+    fn one_to_many_settles_every_goal_in_one_solve() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Constant(1_500));
+        let full = solver.solve(0);
+        let goals = [80u32, 3, 44, 3]; // duplicates + arbitrary order
+        let mut scratch = SolverScratch::new();
+        let resp = solver.execute(&Query::one_to_many(0, goals), &mut scratch);
+        assert_eq!(scratch.solves(), 1, "k goals must cost exactly one solve");
+        assert_eq!(
+            resp.goal_distances(),
+            goals.iter().map(|&t| Some(full.dist[t as usize])).collect::<Vec<_>>(),
+            "per-goal distances exact, in requested order (duplicates answered)"
+        );
+        for (v, (&b, &f)) in resp.dist().iter().zip(&full.dist).enumerate() {
+            assert!(b >= f, "vertex {v}: goal-bounded entries are upper bounds");
+        }
+        // An empty goal set is trivially satisfied: source only.
+        let trivial = solver.execute(&Query::one_to_many(7, []), &mut scratch);
+        assert_eq!(trivial.dist()[7], 0);
+        assert!(trivial.goal_distances().is_empty());
+        assert_eq!(trivial.stats().settled, 1, "nothing beyond the source settles");
+    }
+
+    #[test]
+    fn many_to_many_builds_the_distance_table() {
+        let g = grid();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let sources = [0u32, 40, 80];
+        let goals = [3u32, 77];
+        let resp = solver.execute(&Query::many_to_many(sources, goals), &mut SolverScratch::new());
+        assert_eq!(resp.rows().len(), sources.len());
+        let table = resp.distance_table();
+        for (i, &s) in sources.iter().enumerate() {
+            let full = solver.solve(s);
+            for (j, &t) in goals.iter().enumerate() {
+                assert_eq!(table[i][j], Some(full.dist[t as usize]), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dedup_canonicalises_goal_sets() {
+        let queries = [
+            Query::one_to_many(0, [3, 7]),
+            Query::one_to_many(0, [7, 3]),    // permuted: same slot
+            Query::one_to_many(0, [7, 3, 7]), // duplicated goal: same slot
+            Query::one_to_many(0, [7]),       // different set: own slot
+            Query::many_to_many([1, 2], [9, 4]),
+            Query::many_to_many([1, 2], [4, 9]), // permuted goals: same slot
+            Query::many_to_many([2, 1], [4, 9]), // source order is row order: own slot
+        ];
+        let batch = QueryBatch::new(&queries);
+        assert_eq!(batch.unique_queries().len(), 4);
+        assert_eq!(batch.deduplicated(), 3);
+        // Delivered responses keep their *requested* query key.
+        let g = grid();
+        let solver =
+            SolverBuilder::new(&g).radius_stepping_solver(EngineKind::Frontier, Radii::Zero);
+        let outcome = QueryBatch::new(&queries).execute(&solver);
+        for (resp, q) in outcome.responses.iter().zip(&queries) {
+            assert_eq!(&resp.query, q, "dedup must not rewrite the requested goal order");
+        }
+        assert_eq!(outcome.responses[1].goal_distances()[0], {
+            let d = solver.solve(0).dist[7];
+            Some(d)
+        });
+        assert_eq!(outcome.stats.one_to_many, 4);
+        assert_eq!(outcome.stats.many_to_many, 3);
+        // 2 one-to-many uniques (1 row each) + 2 table uniques (2 rows
+        // each): the 3 deduplicated requests cost nothing.
+        assert_eq!(outcome.stats.executed_solves, 2 + 2 * 2);
+    }
+
+    #[test]
+    fn streaming_batch_matches_materialised_execution() {
+        let g = grid();
+        let solver = SolverBuilder::new(&g)
+            .radius_stepping_solver(EngineKind::Frontier, Radii::Constant(900));
+        let queries = [
+            Query::point_to_point(0, 80).with_paths(),
+            Query::single_source(5),
+            Query::one_to_many(40, [0, 80, 13]),
+            Query::point_to_point(0, 80).with_paths(), // dup
+        ];
+        let materialised = QueryBatch::new(&queries).execute(&solver);
+        let mut streamed: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+        let stream_stats = QueryBatch::new(&queries).stream(&solver, |slot, resp| {
+            streamed[slot] = Some(resp);
+        });
+        assert_eq!(stream_stats, materialised.stats);
+        for (slot, resp) in streamed.into_iter().enumerate() {
+            let resp = resp.expect("every slot delivered exactly once");
+            assert_eq!(resp.query, materialised.responses[slot].query);
+            assert_eq!(resp.dist(), materialised.responses[slot].dist(), "slot {slot}");
+            assert_eq!(resp.goal_path(), materialised.responses[slot].goal_path(), "slot {slot}");
+        }
     }
 }

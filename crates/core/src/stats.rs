@@ -118,13 +118,27 @@ pub fn extract_path(parent: &[VertexId], t: VertexId) -> Option<Vec<VertexId>> {
 /// relaxation has no per-writer claim log (∆-stepping, Bellman–Ford, BFS,
 /// the unweighted engine).
 pub fn goal_path_parents(g: &CsrGraph, dist: &[Dist], goal: VertexId) -> Vec<VertexId> {
+    goals_path_parents(g, dist, std::slice::from_ref(&goal))
+}
+
+/// Multi-goal form of [`goal_path_parents`]: one sparse parent array
+/// covering every `source → goal` path for the one-to-many serving shape.
+/// The backwards walk is deterministic per vertex (first certifying
+/// predecessor in adjacency order), so overlapping walks write identical
+/// entries and each extracted goal path is bit-identical to the one a
+/// single-goal walk over the same distance array would produce.
+/// Unreachable goals are skipped (their entries stay `u32::MAX`). Costs
+/// `O(n)` for the array plus `O(Σ path length · degree)` for the walks.
+pub fn goals_path_parents(g: &CsrGraph, dist: &[Dist], goals: &[VertexId]) -> Vec<VertexId> {
     let mut parent = vec![u32::MAX; g.num_vertices()];
-    let Some(path) = shortest_path_from_dist(g, dist, goal) else {
-        return parent;
-    };
-    parent[path[0] as usize] = path[0];
-    for w in path.windows(2) {
-        parent[w[1] as usize] = w[0];
+    for &goal in goals {
+        let Some(path) = shortest_path_from_dist(g, dist, goal) else {
+            continue;
+        };
+        parent[path[0] as usize] = path[0];
+        for w in path.windows(2) {
+            parent[w[1] as usize] = w[0];
+        }
     }
     parent
 }

@@ -37,7 +37,7 @@ pub use frontier::VertexSubset;
 pub use pack::{pack_indices, pack_values};
 pub use reduce::{par_min, par_min_by_key};
 pub use scan::{exclusive_scan, exclusive_scan_in_place};
-pub use worker::worker_map;
+pub use worker::{worker_map, worker_map_sink};
 
 /// Sequential-fallback threshold: below this many items the parallel
 /// primitives run sequentially to avoid fork-join overhead.

@@ -82,12 +82,12 @@ fn main() {
     solver.warm_scratch(&mut scratch);
     let trip =
         solver.execute(&Query::point_to_point(depots[0], depots[3]).with_paths(), &mut scratch);
-    // Note: this solver is preprocessed, so the route's hops are edges of
-    // the shortcut-augmented (k, ρ)-graph — travel time is exact, but a
-    // hop may be a shortcut standing in for several road segments.
+    // The solver is preprocessed, but goal_path unrolls shortcut hops at
+    // extraction: every hop below is a real road segment of the input
+    // network, and the travel time still telescopes exactly.
     if let Some(route) = trip.goal_path() {
         println!(
-            "route depot {} -> {}: {} hops on the (k, rho)-graph, travel time {} \
+            "route depot {} -> {}: {} road segments, travel time {} \
              ({} steps, early exit, warm={})",
             depots[0],
             depots[3],

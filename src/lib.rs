@@ -55,17 +55,28 @@
 //! assert_eq!(trip.goal_distance(), Some(full.dist()[820]));
 //! assert_eq!(full.dist(), solver.solve(0).dist);
 //!
+//! // Fan-out routing: one solve answers a whole candidate set, with
+//! // per-goal distances and paths bit-identical to the point-to-point
+//! // answers (see also Query::many_to_many for distance tables).
+//! let fan = solver.execute(&Query::one_to_many(0, [820, 44, 1570]), &mut scratch);
+//! assert_eq!(fan.goal_distances()[0], trip.goal_distance());
+//!
 //! // Mixed-shape batches fan out across the thread pool: duplicates are
-//! // answered once (dedup by full query key, observationally invisible),
-//! // one pre-warmed SolverScratch per pool worker, per-batch aggregates.
+//! // answered once (dedup by canonical query key — permuted goal sets
+//! // share a slot, observationally invisible), one pre-warmed
+//! // SolverScratch per pool worker, per-batch aggregates. Responses can
+//! // also be streamed as each solve completes: QueryBatch::stream(sink).
 //! let queries = [
 //!     Query::single_source(0),
 //!     Query::point_to_point(40, 1599),
 //!     Query::point_to_point(40, 1599), // dedup'd
+//!     Query::one_to_many(7, [9, 1599]),
+//!     Query::one_to_many(7, [1599, 9]), // dedup'd (canonical goals)
 //! ];
 //! let outcome = QueryBatch::new(&queries).execute(&*solver);
-//! assert_eq!(outcome.stats.unique_solves, 2);
+//! assert_eq!(outcome.stats.unique_solves, 3);
 //! assert_eq!(outcome.stats.point_to_point, 2);
+//! assert_eq!(outcome.stats.one_to_many, 2);
 //! assert_eq!(outcome.responses[1].dist(), outcome.responses[2].dist());
 //!
 //! // Same answer as the sequential baseline, through the same interface.
@@ -85,13 +96,16 @@ pub use rs_par as par;
 pub mod prelude {
     pub use crate::{baselines, core, ds, graph, par};
     pub use rs_baselines::solver::BuildSolver;
-    pub use rs_core::preprocess::{PreprocessConfig, Preprocessed, ShortcutHeuristic};
+    pub use rs_core::preprocess::{
+        PreprocessConfig, Preprocessed, ShortcutExpander, ShortcutHeuristic,
+    };
     pub use rs_core::solver::{
         Algorithm, BatchOutcome, BatchStats, HeapKind, Query, QueryBatch, QueryResponse,
         QueryShape, Radii, SolverBuilder, SolverConfig, SsspSolver,
     };
     pub use rs_core::{
-        radius_stepping, EngineConfig, EngineKind, RadiiSpec, SolverScratch, SsspResult, StepStats,
+        radius_stepping, EngineConfig, EngineKind, Goals, RadiiSpec, SolverScratch, SsspResult,
+        StepStats,
     };
     pub use rs_graph::{CsrGraph, Dist, EdgeListBuilder, VertexId, Weight, WeightModel, INF};
 }

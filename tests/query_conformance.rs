@@ -190,7 +190,7 @@ fn inline_parents_telescope_on_point_to_point_queries() {
             // Contract sweep: EVERY recorded parent entry telescopes to
             // the response's dist array (goal-bounded exits must not leak
             // stale claims for unsettled fringe vertices).
-            let parent = resp.result.parent.as_ref().unwrap();
+            let parent = resp.result().parent.as_ref().unwrap();
             for v in 0..n {
                 let p = parent[v as usize];
                 if p == u32::MAX || p == v {
@@ -239,6 +239,18 @@ fn unreachable_goals_terminate() {
             assert!(resp.goal_path().is_none(), "{}", solver.name());
             assert_eq!(resp.dist()[0], 0, "{}", solver.name());
         }
+        // A partially-unreachable goal set still terminates: the reachable
+        // goals are exact, the unreachable ones report None / no path.
+        let fan = solver.execute(&Query::one_to_many(0, [3, 6]).with_paths(), &mut scratch);
+        assert_eq!(fan.goal_distances()[1], None, "{}", solver.name());
+        assert!(fan.goal_path_to(6).is_none(), "{}", solver.name());
+        assert_eq!(
+            fan.goal_distances()[0],
+            Some(solver.solve(0).dist[3]),
+            "{}: reachable goal stays exact next to an unreachable one",
+            solver.name()
+        );
+        assert!(fan.goal_path_to(3).is_some(), "{}", solver.name());
     }
     let mut b = EdgeListBuilder::new(5);
     b.add_edge(0, 1, 1);
@@ -394,6 +406,269 @@ fn point_to_point_takes_strictly_fewer_steps_on_256_grid() {
     }
 }
 
+/// Tentpole acceptance: a `OneToMany` query with k goals performs exactly
+/// **one** solve (asserted via the scratch and `BatchStats` counters) and
+/// its per-goal distances and paths are bit-identical to the k
+/// `PointToPoint` queries it replaces — for every algorithm, engine, and
+/// heap, preprocessed solvers included.
+#[test]
+fn one_to_many_matches_point_to_point_bit_identically() {
+    let g = weighted(21);
+    let n = g.num_vertices() as u32;
+    let goals = [n - 1, 3, n / 2, n / 3, 3]; // duplicates + arbitrary order
+    for solver in weighted_solvers(&g) {
+        let mut scratch = SolverScratch::new();
+        let fan = solver.execute(&Query::one_to_many(0, goals).with_paths(), &mut scratch);
+        assert_eq!(
+            scratch.solves(),
+            1,
+            "{}: {} goals must cost exactly one solve",
+            solver.name(),
+            goals.len()
+        );
+        for &goal in &goals {
+            let p2p = solver
+                .execute(&Query::point_to_point(0, goal).with_paths(), &mut SolverScratch::new());
+            assert_eq!(
+                fan.goal_path_to(goal).as_deref(),
+                p2p.goal_path().as_deref(),
+                "{}: goal {goal} path diverged from the point-to-point answer",
+                solver.name()
+            );
+            assert_eq!(
+                fan.goal_distances()[goals.iter().position(|&t| t == goal).unwrap()],
+                p2p.goal_distance(),
+                "{}: goal {goal} distance diverged",
+                solver.name()
+            );
+        }
+        // The counters agree: a one-query batch executes one solve.
+        let outcome = QueryBatch::new(&[Query::one_to_many(0, goals)]).execute(&*solver);
+        assert_eq!(outcome.stats.executed_solves, 1, "{}", solver.name());
+        assert_eq!(outcome.stats.one_to_many, 1, "{}", solver.name());
+        assert_eq!(outcome.stats.goals_requested, goals.len(), "{}", solver.name());
+        assert_eq!(outcome.stats.goals_reached, goals.len(), "{}", solver.name());
+    }
+    // Unit-weight solvers: same contract on hop distances.
+    let g = graph::gen::grid2d(12, 12);
+    for solver in unit_solvers(&g) {
+        let goals = [143u32, 7, 60];
+        let mut scratch = SolverScratch::new();
+        let fan = solver.execute(&Query::one_to_many(0, goals).with_paths(), &mut scratch);
+        assert_eq!(scratch.solves(), 1, "{}", solver.name());
+        for &goal in &goals {
+            let p2p = solver
+                .execute(&Query::point_to_point(0, goal).with_paths(), &mut SolverScratch::new());
+            assert_eq!(fan.goal_path_to(goal), p2p.goal_path(), "{}", solver.name());
+            assert_eq!(fan.dist()[goal as usize], p2p.dist()[goal as usize], "{}", solver.name());
+        }
+    }
+}
+
+/// `ManyToMany` tables equal their row-wise `OneToMany` decomposition —
+/// same distances, same paths, one row per source in request order.
+#[test]
+fn many_to_many_matches_rowwise_one_to_many() {
+    let g = weighted(34);
+    let n = g.num_vertices() as u32;
+    let sources = [0u32, n / 2, n - 1];
+    let goals = [3u32, n / 4, n - 2];
+    for solver in weighted_solvers(&g) {
+        let table = solver
+            .execute(&Query::many_to_many(sources, goals).with_paths(), &mut SolverScratch::new());
+        assert_eq!(table.rows().len(), sources.len(), "{}", solver.name());
+        for (i, &s) in sources.iter().enumerate() {
+            let row = solver
+                .execute(&Query::one_to_many(s, goals).with_paths(), &mut SolverScratch::new());
+            assert_eq!(
+                table.rows()[i].dist,
+                row.result().dist,
+                "{}: row {i} diverged from its one-to-many solve",
+                solver.name()
+            );
+            for &goal in &goals {
+                assert_eq!(
+                    table.path_in_row(i, goal),
+                    row.goal_path_to(goal),
+                    "{}: row {i} goal {goal} path diverged",
+                    solver.name()
+                );
+            }
+        }
+        assert_eq!(
+            table.distance_table(),
+            sources
+                .iter()
+                .map(|&s| {
+                    let full = solver.solve(s);
+                    goals.iter().map(|&t| Some(full.dist[t as usize])).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+            "{}: table cells must be exact",
+            solver.name()
+        );
+    }
+}
+
+/// Tentpole acceptance: `goal_path` on a *preprocessed* solver returns an
+/// exact input-graph route — every hop is an edge of the input `CsrGraph`
+/// (not merely of the shortcut-augmented graph) and the weights telescope
+/// to the exact goal distance. Covers point-to-point and one-to-many, with
+/// radius-stepping and baseline solvers behind the preprocessing, plus the
+/// `RSP3` cache round-trip.
+#[test]
+fn preprocessed_goal_paths_ride_input_graph_edges() {
+    let g = weighted(55);
+    let n = g.num_vertices() as u32;
+    let cache = std::env::temp_dir().join(format!("rs_rsp3_{}_{:p}.bin", std::process::id(), &g));
+    std::fs::remove_file(&cache).ok();
+    let solvers: Vec<Box<dyn SsspSolver + '_>> = vec![
+        SolverBuilder::new(&g).preprocess(PreprocessConfig::new(1, 16)).build(),
+        SolverBuilder::new(&g).preprocess(PreprocessConfig::new(3, 24)).build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::Dijkstra { heap: HeapKind::Dary })
+            .preprocess(PreprocessConfig::new(2, 12))
+            .build(),
+        SolverBuilder::new(&g)
+            .algorithm(Algorithm::DeltaStepping { delta: 2_000 })
+            .preprocess(PreprocessConfig::new(1, 10))
+            .build(),
+        // Served from the RSP3 cache (build + reload): expansion chains
+        // must survive the round-trip.
+        SolverBuilder::new(&g).preprocess_cached(&cache, PreprocessConfig::new(2, 16)).build(),
+        SolverBuilder::new(&g).preprocess_cached(&cache, PreprocessConfig::new(2, 16)).build(),
+    ];
+    let reference = SolverBuilder::new(&g).build();
+    for solver in &solvers {
+        assert!(
+            solver.graph().num_edges() > g.num_edges(),
+            "{}: preprocessing must add shortcuts for this test to bite",
+            solver.name()
+        );
+        for (s, t) in [(0u32, n - 1), (n / 2, 1), (7, n / 3)] {
+            let resp = solver
+                .execute(&Query::point_to_point(s, t).with_paths(), &mut SolverScratch::new());
+            let path = resp.goal_path().expect("connected grid");
+            assert_eq!((path[0], *path.last().unwrap()), (s, t), "{}", solver.name());
+            let mut acc = 0u64;
+            for w in path.windows(2) {
+                let weight = g.arc_weight(w[0], w[1]).unwrap_or_else(|| {
+                    panic!(
+                        "{}: hop {} -> {} is not an edge of the INPUT graph",
+                        solver.name(),
+                        w[0],
+                        w[1]
+                    )
+                });
+                acc += weight as u64;
+            }
+            assert_eq!(
+                acc,
+                reference.solve(s).dist[t as usize],
+                "{}: input-graph route must telescope to the exact distance",
+                solver.name()
+            );
+        }
+        // One-to-many paths expand the same way.
+        let goals = [n - 1, 1, n / 2];
+        let fan =
+            solver.execute(&Query::one_to_many(0, goals).with_paths(), &mut SolverScratch::new());
+        for &t in &goals {
+            let path = fan.goal_path_to(t).expect("connected grid");
+            for w in path.windows(2) {
+                assert!(
+                    g.arc_weight(w[0], w[1]).is_some(),
+                    "{}: one-to-many hop {} -> {} not in the input graph",
+                    solver.name(),
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&cache).ok();
+}
+
+/// Wraps a solver to gate one slow query and count completed solves — the
+/// instrumentation behind the streaming acceptance test.
+struct GatedSolver<'g> {
+    inner: Box<dyn SsspSolver + 'g>,
+    slow_source: u32,
+    gate: std::sync::atomic::AtomicBool,
+    completed: std::sync::atomic::AtomicUsize,
+}
+
+impl SsspSolver for GatedSolver<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        self.inner.graph()
+    }
+
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        use std::sync::atomic::Ordering;
+        if query.source() == self.slow_source {
+            // The "slow" query finishes only after some other response has
+            // been DELIVERED — if the batch did not stream, this would
+            // deadlock (bounded by the timeout below).
+            let start = std::time::Instant::now();
+            while !self.gate.load(Ordering::SeqCst) {
+                assert!(
+                    start.elapsed() < std::time::Duration::from_secs(30),
+                    "no response was delivered while the slow solve ran: batch is not streaming"
+                );
+                std::thread::yield_now();
+            }
+        }
+        let response = self.inner.execute(query, scratch);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        response
+    }
+}
+
+/// Tentpole acceptance: a streaming batch delivers its first response
+/// before the final solve completes. One query is gated open only by the
+/// delivery of another response, so the test deterministically deadlocks
+/// (and times out loudly) if `stream` were to materialise the batch first.
+#[test]
+fn streaming_batch_delivers_before_final_solve_completes() {
+    use std::sync::atomic::Ordering;
+    let g = weighted(8);
+    let n = g.num_vertices() as u32;
+    let slow = n - 1;
+    let solver = GatedSolver {
+        inner: SolverBuilder::new(&g).build(),
+        slow_source: slow,
+        gate: std::sync::atomic::AtomicBool::new(false),
+        completed: std::sync::atomic::AtomicUsize::new(0),
+    };
+    // Fast queries first: even a fully sequential pool (RS_NUM_THREADS=1)
+    // completes and delivers them while the gated solve waits.
+    let queries = [
+        Query::single_source(0),
+        Query::point_to_point(1, n / 2),
+        Query::single_source(2),
+        Query::single_source(slow), // the gated solve, last in claim order
+    ];
+    let mut deliveries: Vec<(usize, usize)> = Vec::new(); // (slot, completed-at-delivery)
+    let stats = QueryBatch::new(&queries).stream(&solver, |slot, _resp| {
+        let done = solver.completed.load(Ordering::SeqCst);
+        if deliveries.is_empty() {
+            assert!(
+                done < queries.len(),
+                "first response delivered only after every solve completed"
+            );
+        }
+        deliveries.push((slot, done));
+        solver.gate.store(true, Ordering::SeqCst);
+    });
+    assert_eq!(deliveries.len(), queries.len(), "every slot delivered");
+    assert_eq!(stats.unique_solves, 4);
+    assert_eq!(solver.completed.load(Ordering::SeqCst), 4);
+}
+
 /// Mixed batches are exact per slot: every response equals a fresh
 /// execution of its query, across shapes and solvers.
 #[test]
@@ -407,19 +682,42 @@ fn mixed_query_batches_match_fresh_executions() {
         Query::point_to_point(n / 2, 3),
         Query::single_source(5), // dup
         Query::point_to_point(0, 0),
+        Query::one_to_many(7, [n - 1, 3]).with_paths(),
+        Query::one_to_many(7, [3, n - 1]).with_paths(), // dup by canonical goals
+        Query::many_to_many([0, 9], [n / 2, n - 1]),
     ];
     for solver in weighted_solvers(&g).into_iter().take(6) {
         let outcome = QueryBatch::new(&queries).execute(&*solver);
         assert_eq!(outcome.responses.len(), queries.len());
-        assert_eq!(outcome.stats.unique_solves, 4, "{}", solver.name());
+        assert_eq!(outcome.stats.unique_solves, 6, "{}", solver.name());
         assert_eq!(outcome.stats.point_to_point, 4, "{}", solver.name());
-        assert_eq!(outcome.stats.goals_reached, 4, "{}", solver.name());
+        assert_eq!(outcome.stats.one_to_many, 2, "{}", solver.name());
+        assert_eq!(outcome.stats.many_to_many, 1, "{}", solver.name());
+        // 4 p2p goals + 2×2 one-to-many goals + 2 rows × 2 table goals,
+        // all reachable on the connected grid.
+        assert_eq!(outcome.stats.goals_requested, 4 + 4 + 4, "{}", solver.name());
+        assert_eq!(outcome.stats.goals_reached, 4 + 4 + 4, "{}", solver.name());
+        // 5 single-row uniques + the 2-row table.
+        assert_eq!(outcome.stats.executed_solves, 5 + 2, "{}", solver.name());
         for (resp, q) in outcome.responses.iter().zip(&queries) {
             assert_eq!(resp.query, *q, "{}: response/query misalignment", solver.name());
             let fresh = solver.execute(q, &mut SolverScratch::new());
             assert_eq!(resp.dist(), fresh.dist(), "{}: {:?}", solver.name(), q.shape);
-            if q.want_paths && q.is_point_to_point() {
-                assert_eq!(resp.goal_path(), fresh.goal_path(), "{}: {:?}", solver.name(), q.shape);
+            assert_eq!(
+                resp.distance_table(),
+                fresh.distance_table(),
+                "{}: {:?}",
+                solver.name(),
+                q.shape
+            );
+            if q.want_paths && q.is_goal_bounded() {
+                assert_eq!(
+                    resp.goal_paths(),
+                    fresh.goal_paths(),
+                    "{}: {:?}",
+                    solver.name(),
+                    q.shape
+                );
             }
         }
     }
