@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENTS...] [--scale N] [--sources N] [--out DIR] [--seed N]
+//!       [--duration SECS] [--rate QPS]
 //!
 //! EXPERIMENTS: fig2 fig3 fig4 fig5 table1 table2 table3 table4 table5
 //!              table6 table7 bounds queries | --all (default)
@@ -101,6 +102,7 @@ fn main() {
     if wanted.contains("queries") {
         let run = timed("query-plane throughput (BENCH_queries.json)", || queries::run(&cfg));
         emitted.push(("queries".into(), queries::table(&run)));
+        emitted.push(("queries_sustained".into(), queries::sustained_table(&run)));
     }
 
     for (stem, table) in &emitted {
@@ -142,9 +144,12 @@ fn parse_args() -> (BTreeSet<String>, ExpConfig) {
             "--sources" => cfg.sources = need("--sources").parse().expect("--sources N"),
             "--seed" => cfg.seed = need("--seed").parse().expect("--seed N"),
             "--out" => cfg.out_dir = PathBuf::from(need("--out")),
+            "--duration" => cfg.sustain_secs = need("--duration").parse().expect("--duration SECS"),
+            "--rate" => cfg.sustain_rate = need("--rate").parse().expect("--rate QPS"),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [{}|--all] [--scale N] [--sources N] [--out DIR] [--seed N]",
+                    "usage: repro [{}|--all] [--scale N] [--sources N] [--out DIR] [--seed N] \
+                     [--duration SECS] [--rate QPS]",
                     ALL.join("|")
                 );
                 std::process::exit(0);

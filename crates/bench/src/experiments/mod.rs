@@ -22,18 +22,37 @@ pub struct ExpConfig {
     pub out_dir: PathBuf,
     /// Source-sampling seed.
     pub seed: u64,
+    /// Sustained-load window for the `queries` experiment, in seconds
+    /// (`--duration`).
+    pub sustain_secs: f64,
+    /// Open-loop target arrival rate for the sustained-load window, in
+    /// requests/second (`--rate`).
+    pub sustain_rate: f64,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale_denom: 32, sources: 5, out_dir: PathBuf::from("results"), seed: 0x5eed }
+        ExpConfig {
+            scale_denom: 32,
+            sources: 5,
+            out_dir: PathBuf::from("results"),
+            seed: 0x5eed,
+            sustain_secs: 2.0,
+            sustain_rate: 3_000.0,
+        }
     }
 }
 
 impl ExpConfig {
     /// A tiny configuration for tests and criterion benches.
     pub fn tiny() -> Self {
-        ExpConfig { scale_denom: 1024, sources: 2, ..Default::default() }
+        ExpConfig {
+            scale_denom: 1024,
+            sources: 2,
+            sustain_secs: 0.4,
+            sustain_rate: 1_500.0,
+            ..Default::default()
+        }
     }
 
     /// Largest ρ that is meaningful for a graph of `n` vertices: beyond

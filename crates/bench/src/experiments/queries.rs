@@ -5,15 +5,27 @@
 //! solver — point-to-point traffic, one-to-many fan-out traffic, and a
 //! mixed stream — and measures batch queries/second, physical solves per
 //! query (the fan-out economy: a one-to-many query with k goals costs one
-//! solve, not k), and the warm/cold scratch split. Results are printed as
-//! a table and emitted as machine-readable `BENCH_queries.json`, so the
-//! query plane's performance trajectory has data points across PRs.
+//! solve, not k), and the warm/cold scratch split.
+//!
+//! On top of the closed-loop batches, a **sustained-load** window drives
+//! the `rs_serve` server loop open-loop: requests arrive at a fixed
+//! target rate (`--rate`) for a fixed window (`--duration`) regardless
+//! of completions — the serving regime, where admission control and the
+//! response cache earn their keep. Reported per shape: completions,
+//! cache hits, and p50/p95/p99 latency from the lane histograms; plus
+//! whole-run qps, rejection count, and the executed-vs-requested solve
+//! gap (the work the cache saved).
+//!
+//! Results are printed as tables and emitted as machine-readable
+//! `BENCH_queries.json`, so the query plane's performance trajectory has
+//! data points across PRs.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rs_baselines::solver::BuildSolver;
 use rs_core::solver::{BatchStats, Query, QueryBatch, SolverBuilder};
 use rs_core::PreprocessConfig;
+use rs_serve::{serve, Reply, ServerConfig, ServerStats};
 
 use crate::sample_sources;
 use crate::suite::build_graph;
@@ -36,6 +48,28 @@ pub struct BatchMeasurement {
     pub stats: BatchStats,
 }
 
+/// The sustained-load window's outcome: open-loop arrival against the
+/// server loop, per-shape SLOs from the lane histograms.
+#[derive(Debug, Clone)]
+pub struct SustainedMeasurement {
+    /// Target open-loop arrival rate (requests/second).
+    pub target_rate: f64,
+    /// Requested window length in seconds.
+    pub window_secs: f64,
+    /// Wall-clock seconds from first arrival to last reply.
+    pub seconds: f64,
+    /// Requests offered (submitted or refused).
+    pub offered: usize,
+    /// Requests answered.
+    pub answered: u64,
+    /// Requests refused at admission (open loop: dropped, not retried).
+    pub rejected: u64,
+    /// Answered requests per wall-clock second.
+    pub qps: f64,
+    /// The full server snapshot (lanes, cache, rolled-up ledger).
+    pub stats: ServerStats,
+}
+
 /// The experiment's output: per-mix measurements plus graph metadata.
 #[derive(Debug, Clone)]
 pub struct QueriesRun {
@@ -44,6 +78,7 @@ pub struct QueriesRun {
     pub edges: usize,
     pub threads: usize,
     pub measurements: Vec<BatchMeasurement>,
+    pub sustained: SustainedMeasurement,
 }
 
 /// Runs the three batch mixes and writes `BENCH_queries.json` into
@@ -78,19 +113,13 @@ pub fn run(cfg: &ExpConfig) -> QueriesRun {
         })
         .collect();
 
-    let mut out = QueriesRun {
-        graph_name: sg.name.to_string(),
-        vertices: g.num_vertices(),
-        edges: g.num_edges(),
-        threads: rs_par::num_threads(),
-        measurements: Vec::new(),
-    };
+    let mut measurements = Vec::new();
     for (name, queries) in [("point_to_point", &p2p), ("one_to_many", &fan), ("mixed", &mixed)] {
         let batch = QueryBatch::new(queries);
         let t = Instant::now();
         let outcome = batch.execute(&*solver);
         let seconds = t.elapsed().as_secs_f64();
-        out.measurements.push(BatchMeasurement {
+        measurements.push(BatchMeasurement {
             name: name.into(),
             requests: queries.len(),
             seconds,
@@ -99,10 +128,100 @@ pub fn run(cfg: &ExpConfig) -> QueriesRun {
         });
     }
 
+    let sustained = run_sustained(cfg, &*solver, &picks);
+    let out = QueriesRun {
+        graph_name: sg.name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        threads: rs_par::num_threads(),
+        measurements,
+        sustained,
+    };
+
     if let Err(e) = write_json(cfg, &out) {
         eprintln!("warning: failed to write BENCH_queries.json: {e}");
     }
     out
+}
+
+/// Drives the server loop open-loop: arrivals at `cfg.sustain_rate` for
+/// `cfg.sustain_secs`, repeat-heavy (every third request replays an
+/// earlier one, so the response cache sees serving-shaped traffic).
+/// Refused requests are dropped, as an open-loop client would — the
+/// rejection count *is* a result, the admission lanes shedding load.
+fn run_sustained(
+    cfg: &ExpConfig,
+    solver: &dyn rs_core::SsspSolver,
+    picks: &[u32],
+) -> SustainedMeasurement {
+    let vertex = |i: usize| picks[i % picks.len()];
+    let offered = (cfg.sustain_rate * cfg.sustain_secs).ceil().max(1.0) as usize;
+    let interval = Duration::from_secs_f64(1.0 / cfg.sustain_rate.max(1.0));
+    // Pre-generate the arrival schedule's queries (seeded, repeat-heavy).
+    let mut state = cfg.seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut history: Vec<Query> = Vec::new();
+    let queries: Vec<Query> = (0..offered)
+        .map(|i| {
+            let q = if i % 3 == 0 && !history.is_empty() {
+                history[next() % history.len()].clone()
+            } else {
+                match next() % 10 {
+                    0 => Query::single_source(vertex(next())),
+                    1..=2 => Query::one_to_many(
+                        vertex(next()),
+                        vec![vertex(next()), vertex(next()), vertex(next()), vertex(next())],
+                    ),
+                    3 => Query::many_to_many(
+                        vec![vertex(next()), vertex(next())],
+                        vec![vertex(next()), vertex(next())],
+                    ),
+                    _ => Query::point_to_point(vertex(next()), vertex(next())),
+                }
+            };
+            history.push(q.clone());
+            q
+        })
+        .collect();
+
+    let ((seconds, rejected), stats) = serve(solver, &ServerConfig::default(), |server| {
+        let (tx, rx) = std::sync::mpsc::channel::<Reply>();
+        let start = Instant::now();
+        let mut rejected = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            // Open loop: hold the arrival schedule, never wait for
+            // completions. If the wall clock is behind schedule the
+            // submit happens immediately (a burst, as in real traffic).
+            let due = interval.checked_mul(i as u32).unwrap_or_default();
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            if server.submit(q.clone(), tx.clone()).is_err() {
+                rejected += 1;
+            }
+        }
+        drop(tx);
+        // Drain every reply; wall clock covers arrival + drain.
+        let answered = rx.iter().count() as u64;
+        let seconds = start.elapsed().as_secs_f64();
+        debug_assert_eq!(answered, queries.len() as u64 - rejected);
+        (seconds, rejected)
+    });
+    let answered = stats.completed();
+    SustainedMeasurement {
+        target_rate: cfg.sustain_rate,
+        window_secs: cfg.sustain_secs,
+        seconds,
+        offered,
+        answered,
+        rejected,
+        qps: answered as f64 / seconds.max(1e-9),
+        stats,
+    }
 }
 
 /// Renders the run as a display table.
@@ -140,6 +259,41 @@ pub fn table(run: &QueriesRun) -> Table {
     t
 }
 
+/// Renders the sustained-load window as a per-lane SLO table.
+pub fn sustained_table(run: &QueriesRun) -> Table {
+    let su = &run.sustained;
+    let mut t = Table::new(
+        format!(
+            "Sustained load: {:.0} req/s offered for {:.1}s | answered {} / offered {} \
+             (rejected {}) | {:.0} qps | cache hit-rate {:.3} | solves {} requested, {} executed",
+            su.target_rate,
+            su.window_secs,
+            su.answered,
+            su.offered,
+            su.rejected,
+            su.qps,
+            su.stats.cache.hit_rate(),
+            su.stats.totals.solves,
+            su.stats.totals.executed_solves,
+        ),
+        &["lane", "admitted", "rejected", "completed", "cache hits", "p50 us", "p95 us", "p99 us"],
+    );
+    for lane in &su.stats.lanes {
+        let (p50, p95, p99) = lane.latency_percentiles();
+        t.push_row(vec![
+            lane.shape.name().to_string(),
+            lane.admitted.to_string(),
+            lane.rejected.to_string(),
+            lane.completed.to_string(),
+            lane.cache_hits.to_string(),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Hand-rolled JSON (the workspace is offline — no serde): one object per
 /// batch mix under a `batches` array, graph metadata at the top level.
 fn write_json(cfg: &ExpConfig, run: &QueriesRun) -> std::io::Result<()> {
@@ -169,7 +323,42 @@ fn write_json(cfg: &ExpConfig, run: &QueriesRun) -> std::io::Result<()> {
         let _ = writeln!(s, "      \"mean_steps\": {:.3}", st.mean_steps());
         let _ = writeln!(s, "    }}{}", if i + 1 == run.measurements.len() { "" } else { "," });
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let su = &run.sustained;
+    let _ = writeln!(s, "  \"sustained\": {{");
+    let _ = writeln!(s, "    \"target_rate\": {:.1},", su.target_rate);
+    let _ = writeln!(s, "    \"window_secs\": {:.3},", su.window_secs);
+    let _ = writeln!(s, "    \"seconds\": {:.6},", su.seconds);
+    let _ = writeln!(s, "    \"offered\": {},", su.offered);
+    let _ = writeln!(s, "    \"answered\": {},", su.answered);
+    let _ = writeln!(s, "    \"rejected\": {},", su.rejected);
+    let _ = writeln!(s, "    \"qps\": {:.1},", su.qps);
+    let _ = writeln!(s, "    \"requested_solves\": {},", su.stats.totals.solves);
+    let _ = writeln!(s, "    \"executed_solves\": {},", su.stats.totals.executed_solves);
+    let _ = writeln!(s, "    \"cold_solves\": {},", su.stats.totals.cold_solves);
+    let _ = writeln!(s, "    \"cache\": {{");
+    let _ = writeln!(s, "      \"hits\": {},", su.stats.cache.hits);
+    let _ = writeln!(s, "      \"misses\": {},", su.stats.cache.misses);
+    let _ = writeln!(s, "      \"evictions\": {},", su.stats.cache.evictions);
+    let _ = writeln!(s, "      \"hit_rate\": {:.4},", su.stats.cache.hit_rate());
+    let _ = writeln!(s, "      \"entries\": {}", su.stats.cache.entries);
+    let _ = writeln!(s, "    }},");
+    let _ = writeln!(s, "    \"lanes\": [");
+    for (i, lane) in su.stats.lanes.iter().enumerate() {
+        let (p50, p95, p99) = lane.latency_percentiles();
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"shape\": \"{}\",", lane.shape.name());
+        let _ = writeln!(s, "        \"admitted\": {},", lane.admitted);
+        let _ = writeln!(s, "        \"rejected\": {},", lane.rejected);
+        let _ = writeln!(s, "        \"completed\": {},", lane.completed);
+        let _ = writeln!(s, "        \"cache_hits\": {},", lane.cache_hits);
+        let _ = writeln!(s, "        \"p50_us\": {p50},");
+        let _ = writeln!(s, "        \"p95_us\": {p95},");
+        let _ = writeln!(s, "        \"p99_us\": {p99}");
+        let _ = writeln!(s, "      }}{}", if i + 1 == su.stats.lanes.len() { "" } else { "," });
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     std::fs::create_dir_all(&cfg.out_dir)?;
     std::fs::write(cfg.out_dir.join("BENCH_queries.json"), s)
@@ -200,12 +389,27 @@ mod tests {
             "a one-to-many query must not cost more than one solve"
         );
         assert!(fan.stats.goals_requested >= 8 * fan.stats.one_to_many.min(1));
+        let su = &run.sustained;
+        assert_eq!(su.answered + su.rejected, su.offered as u64, "every request accounted for");
+        assert!(su.answered > 0, "the window answered something");
+        assert!(su.stats.cache.hits > 0, "repeat-heavy traffic must hit the cache");
+        assert!(
+            su.stats.totals.executed_solves < su.stats.totals.solves,
+            "cache + dedup must save physical solves ({} executed vs {} requested)",
+            su.stats.totals.executed_solves,
+            su.stats.totals.solves
+        );
         let json =
             std::fs::read_to_string(cfg.out_dir.join("BENCH_queries.json")).expect("json emitted");
         assert!(json.contains("\"mean_solves_per_query\""));
         assert!(json.contains("\"batches\""));
+        assert!(json.contains("\"sustained\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"hit_rate\""));
         let table = table(&run);
         assert_eq!(table.rows.len(), 3);
+        let slo = sustained_table(&run);
+        assert_eq!(slo.rows.len(), 4, "one row per lane");
         std::fs::remove_dir_all(&cfg.out_dir).ok();
     }
 }

@@ -44,10 +44,11 @@ pub use engine::{
 };
 pub use preprocess::{PreprocessConfig, Preprocessed, ShortcutExpander};
 pub use radii::RadiiSpec;
-pub use scratch::SolverScratch;
+pub use scratch::{global_scratch_pool, PooledScratch, ScratchPool, SolverScratch};
 pub use solver::{
-    Algorithm, BatchOutcome, BatchStats, HeapKind, Query, QueryBatch, QueryResponse, QueryShape,
-    Radii, SolverBuilder, SolverConfig, SsspSolver,
+    execute_many_to_many, execute_many_to_many_pooled, Algorithm, BatchOutcome, BatchStats,
+    HeapKind, Query, QueryBatch, QueryResponse, QueryShape, Radii, SolverBuilder, SolverConfig,
+    SsspSolver,
 };
 pub use stats::{
     derive_parents, extract_path, goal_path_parents, goals_path_parents, SsspResult, StepStats,

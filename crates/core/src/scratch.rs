@@ -511,6 +511,144 @@ impl SolverScratch {
     }
 }
 
+/// How many idle scratches a [`ScratchPool`] retains by default: enough
+/// for every pool worker on any machine this workspace targets, small
+/// enough that a burst never pins more than a few dozen working sets.
+pub const DEFAULT_POOL_RETAIN: usize = 32;
+
+/// A concurrent free-list of [`SolverScratch`] instances.
+///
+/// [`crate::execute_many_to_many`] fans table rows over the compute pool
+/// with one scratch per pool task; before pooling, every *table* paid
+/// that creation (and warm-up allocation) again even when an identical
+/// table had just run. The pool closes the loop: [`ScratchPool::checkout`]
+/// hands out a previously-used scratch when one is idle (its structures
+/// already sized — the solver's `warm_scratch` then verifies fit in O(1)
+/// per structure), and the [`PooledScratch`] guard returns it on drop.
+/// At most [`ScratchPool::retain`] idle scratches are kept; returns
+/// beyond that are dropped, bounding idle memory.
+///
+/// Counters: [`ScratchPool::created`] increments only when a checkout
+/// finds the free list empty — under a steady stream of tables it
+/// stabilises at the peak task concurrency, which is the observable
+/// "repeated tables stop allocating" guarantee the serving layer tests.
+pub struct ScratchPool {
+    free: std::sync::Mutex<Vec<SolverScratch>>,
+    retain: usize,
+    created: std::sync::atomic::AtomicU64,
+    reused: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl ScratchPool {
+    /// An empty pool retaining up to [`DEFAULT_POOL_RETAIN`] idle
+    /// scratches. `const`, so a pool can live in a `static`.
+    pub const fn new() -> Self {
+        ScratchPool::with_retain(DEFAULT_POOL_RETAIN)
+    }
+
+    /// An empty pool retaining up to `retain` idle scratches (0 disables
+    /// reuse entirely — every checkout creates, every return drops).
+    pub const fn with_retain(retain: usize) -> Self {
+        ScratchPool {
+            free: std::sync::Mutex::new(Vec::new()),
+            retain,
+            created: std::sync::atomic::AtomicU64::new(0),
+            reused: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a scratch from the free list, or creates one if none is
+    /// idle. The guard returns it automatically on drop.
+    pub fn checkout(&self) -> PooledScratch<'_> {
+        use std::sync::atomic::Ordering;
+        let recycled = self.free.lock().unwrap().pop();
+        let scratch = match recycled {
+            Some(s) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                s
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                SolverScratch::new()
+            }
+        };
+        PooledScratch { scratch: Some(scratch), pool: self }
+    }
+
+    /// Scratches created because the free list was empty at checkout.
+    pub fn created(&self) -> u64 {
+        self.created.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Checkouts served from the free list.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Idle scratches currently retained.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// The retention cap this pool was built with.
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    fn put_back(&self, scratch: SolverScratch) {
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.retain {
+            free.push(scratch);
+        }
+        // else: drop — the pool never holds more than `retain` working sets.
+    }
+}
+
+/// Checkout guard for [`ScratchPool`]: derefs to [`SolverScratch`] and
+/// returns the scratch to its pool on drop (subject to the retention
+/// cap). A panicking solve drops the guard mid-solve; the scratch goes
+/// back dirty, which is safe — `begin` resets all logical state.
+pub struct PooledScratch<'p> {
+    scratch: Option<SolverScratch>,
+    pool: &'p ScratchPool,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = SolverScratch;
+    fn deref(&self) -> &SolverScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut SolverScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.put_back(scratch);
+        }
+    }
+}
+
+/// The process-wide pool behind [`crate::execute_many_to_many`]: every
+/// table query in the process draws its per-task scratches here, so
+/// repeated tables — a serving workload's steady state — stop creating
+/// scratches once the pool has seen the peak task concurrency.
+pub fn global_scratch_pool() -> &'static ScratchPool {
+    static POOL: ScratchPool = ScratchPool::new();
+    &POOL
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,5 +829,79 @@ mod tests {
         let q = s.checkout_bucket(7, 100);
         s.return_bucket(q);
         assert!(!s.finish(), "different delta reallocates");
+    }
+
+    #[test]
+    fn pool_reuses_returned_scratches() {
+        let pool = ScratchPool::new();
+        {
+            let mut a = pool.checkout();
+            a.begin(64);
+            let _ = a.view();
+            a.finish();
+        } // returned on drop
+        assert_eq!((pool.created(), pool.reused(), pool.idle()), (1, 0, 1));
+
+        {
+            let mut b = pool.checkout();
+            // The recycled scratch still has its structures: a same-size
+            // solve runs warm straight out of the pool.
+            b.begin(64);
+            let _ = b.view();
+            assert!(b.finish(), "pooled scratch is pre-sized");
+        }
+        assert_eq!((pool.created(), pool.reused(), pool.idle()), (1, 1, 1));
+    }
+
+    #[test]
+    fn pool_creates_under_concurrent_checkout() {
+        let pool = ScratchPool::new();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.created(), 2, "no idle scratch: both created");
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.checkout();
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_retention_cap_bounds_idle_memory() {
+        let pool = ScratchPool::with_retain(2);
+        let guards: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.created(), 5);
+        drop(guards);
+        assert_eq!(pool.idle(), 2, "returns beyond the cap are dropped");
+
+        let zero = ScratchPool::with_retain(0);
+        drop(zero.checkout());
+        assert_eq!(zero.idle(), 0, "retain 0 disables pooling");
+        drop(zero.checkout());
+        assert_eq!(zero.created(), 2);
+        assert_eq!(zero.reused(), 0);
+    }
+
+    #[test]
+    fn pool_checkout_is_thread_safe() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 0..50 {
+                        let mut g = pool.checkout();
+                        g.begin(32);
+                        let _ = g.view();
+                        g.finish();
+                        drop(g);
+                        let _ = round;
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.created() + pool.reused(), 200);
+        assert!(pool.created() <= 4, "at most one creation per concurrent thread");
+        assert!(pool.idle() <= 4);
     }
 }

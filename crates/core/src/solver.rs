@@ -267,15 +267,29 @@ pub fn solve_goals<'q>(query: &'q Query, buf: &'q mut Vec<VertexId>) -> Goals<'q
 /// table path behind every solver's `execute`. Each pool task reuses one
 /// pre-warmed [`SolverScratch`] across the rows it claims
 /// ([`rs_par::worker_map`] load balancing), so an r-source table performs
-/// exactly r solves.
+/// exactly r solves. Per-task scratches come from the process-wide
+/// [`crate::scratch::global_scratch_pool`], so *repeated* tables stop
+/// creating (and re-allocating) scratches once the pool has seen the peak
+/// task concurrency — the steady state a serving workload lives in.
 pub fn execute_many_to_many<S: SsspSolver + ?Sized>(solver: &S, query: &Query) -> QueryResponse {
+    execute_many_to_many_pooled(solver, query, crate::scratch::global_scratch_pool())
+}
+
+/// [`execute_many_to_many`] drawing per-task scratches from an explicit
+/// [`ScratchPool`] — the testable seam (callers wanting isolation from the
+/// process-wide pool, e.g. to assert creation counts, pass their own).
+pub fn execute_many_to_many_pooled<S: SsspSolver + ?Sized>(
+    solver: &S,
+    query: &Query,
+    pool: &crate::scratch::ScratchPool,
+) -> QueryResponse {
     let QueryShape::ManyToMany { sources, goals } = &query.shape else {
         panic!("execute_many_to_many on {:?}", query.shape)
     };
     let rows: Vec<SsspResult> = rs_par::worker_map(
         sources.len(),
         || {
-            let mut scratch = SolverScratch::new();
+            let mut scratch = pool.checkout();
             solver.warm_scratch(&mut scratch);
             scratch
         },
@@ -636,7 +650,41 @@ impl QueryBatch {
     /// reorder when request order matters, or use [`QueryBatch::execute`].
     /// Returns the aggregated [`BatchStats`] once every response is
     /// delivered.
-    pub fn stream<S, F>(&self, solver: &S, mut sink: F) -> BatchStats
+    ///
+    /// Responses flow through a **bounded** channel sized to the pool
+    /// (see [`QueryBatch::default_stream_capacity`]): a slow sink applies
+    /// backpressure to the solver workers instead of letting finished
+    /// responses pile up unboundedly. Use [`QueryBatch::stream_bounded`]
+    /// to pick the capacity explicitly.
+    pub fn stream<S, F>(&self, solver: &S, sink: F) -> BatchStats
+    where
+        S: SsspSolver + ?Sized,
+        F: FnMut(usize, QueryResponse),
+    {
+        self.stream_bounded(solver, Self::default_stream_capacity(), sink)
+    }
+
+    /// Default response-channel capacity for [`QueryBatch::stream`]: two
+    /// finished responses per pool worker (and at least 4), enough to keep
+    /// every worker busy while the sink drains without ever holding more
+    /// than `O(threads)` responses in flight.
+    pub fn default_stream_capacity() -> usize {
+        (2 * rs_par::num_threads()).max(4)
+    }
+
+    /// [`QueryBatch::stream`] with an explicit response-channel bound.
+    ///
+    /// At most `capacity` finished-but-undelivered responses are buffered;
+    /// beyond that, solver workers **block in `send`** (one completed
+    /// response held per blocked worker) until the sink catches up, so
+    /// peak memory for a batch of any length is `O(capacity + threads)`
+    /// responses rather than `O(batch)`. This cannot deadlock: the
+    /// caller's thread does nothing but drain the channel, and the
+    /// producers need no resource the sink holds.
+    ///
+    /// `capacity` is clamped to at least 1 (a rendezvous of 0 would serialise
+    /// workers against the sink for no benefit).
+    pub fn stream_bounded<S, F>(&self, solver: &S, capacity: usize, mut sink: F) -> BatchStats
     where
         S: SsspSolver + ?Sized,
         F: FnMut(usize, QueryResponse),
@@ -655,7 +703,7 @@ impl QueryBatch {
             slots_of[u].push(slot);
         }
 
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, QueryResponse)>();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, QueryResponse)>(capacity.max(1));
         std::thread::scope(|scope| {
             // The producer fans the unique queries over the pool from a
             // scoped thread; the calling thread stays free to drain the
@@ -769,7 +817,9 @@ pub struct BatchStats {
 impl BatchStats {
     /// Folds one *unique* execution's physical counters in (once per
     /// unique query, regardless of how many request slots it answers).
-    fn absorb_unique(&mut self, response: &QueryResponse) {
+    /// Public so serving layers that execute queries outside
+    /// [`QueryBatch`] (e.g. on a cache miss) can keep one stats ledger.
+    pub fn absorb_unique(&mut self, response: &QueryResponse) {
         for row in response.rows() {
             self.executed_solves += 1;
             if row.stats.scratch_reused {
@@ -782,8 +832,10 @@ impl BatchStats {
 
     /// Folds one *delivered* response's workload counters in (once per
     /// request slot; duplicates re-count, keeping means faithful to the
-    /// requested traffic).
-    fn absorb_delivered(&mut self, response: &QueryResponse) {
+    /// requested traffic). Public for the same serving layers as
+    /// [`BatchStats::absorb_unique`]; cache hits are delivered responses
+    /// that were never uniquely executed.
+    pub fn absorb_delivered(&mut self, response: &QueryResponse) {
         for row in response.rows() {
             let s = &row.stats;
             self.steps += s.steps;
@@ -823,6 +875,27 @@ impl BatchStats {
         } else {
             self.executed_solves as f64 / self.solves as f64
         }
+    }
+
+    /// Folds `other` into `self` counter-wise — exact, as every field is a
+    /// sum except `max_substeps_in_step` (a max). Serving layers use this
+    /// to roll per-lane ledgers into a server-wide total.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.solves += other.solves;
+        self.unique_solves += other.unique_solves;
+        self.executed_solves += other.executed_solves;
+        self.scratch_reuses += other.scratch_reuses;
+        self.cold_solves += other.cold_solves;
+        self.point_to_point += other.point_to_point;
+        self.one_to_many += other.one_to_many;
+        self.many_to_many += other.many_to_many;
+        self.goals_requested += other.goals_requested;
+        self.goals_reached += other.goals_reached;
+        self.steps += other.steps;
+        self.substeps += other.substeps;
+        self.max_substeps_in_step = self.max_substeps_in_step.max(other.max_substeps_in_step);
+        self.relaxations += other.relaxations;
+        self.settled += other.settled;
     }
 }
 

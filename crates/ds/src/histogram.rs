@@ -1,0 +1,271 @@
+//! Fixed-bucket latency histogram for serving telemetry.
+//!
+//! The serving layer (`rs_serve`) tracks per-lane latency SLOs — p50 /
+//! p95 / p99 over millions of requests — and cannot afford to store
+//! samples. [`LatencyHistogram`] is the classic fixed-footprint answer:
+//! 64 power-of-two buckets over `u64` sample values (microseconds, by
+//! convention), so `record` is a leading-zeros instruction plus one
+//! counter increment, quantiles are one O(64) scan, and two histograms
+//! merge bucket-wise (per-worker histograms fold into a lane total).
+//!
+//! Resolution is the power-of-two bracket: a reported quantile is the
+//! *upper bound* of its sample's bucket, i.e. within 2× of the true
+//! sample — the right trade for SLO monitoring, where orders of
+//! magnitude matter and a fixed 512-byte footprint beats exactness.
+
+/// Fixed-footprint histogram over `u64` samples with power-of-two
+/// buckets. Bucket `i` holds samples whose value needs `i` significant
+/// bits: bucket 0 = {0}, bucket 1 = {1}, bucket 2 = {2, 3}, bucket 3 =
+/// {4..=7}, … — 65 buckets cover the whole `u64` range.
+///
+/// ```
+/// use rs_ds::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for us in [120, 130, 140, 900, 9_000] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.p50() >= 120 && h.p50() <= 255, "p50 within its 2^k bracket");
+/// assert!(h.p99() >= 9_000 && h.p99() <= 16_383);
+/// assert_eq!(h.max(), 9_000, "min/max are tracked exactly");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `i` significant bits.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (fixed footprint, never allocates).
+    pub const fn new() -> Self {
+        LatencyHistogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Index of the bucket holding `value`: its significant-bit count.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^i − 1`).
+    #[inline]
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample. O(1), no allocation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th smallest sample, clamped to the
+    /// exact recorded `max` (so `quantile(1.0) == max()`). Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution; see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket-resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` bucket-wise (per-worker histograms into
+    /// a lane total). Exact: equivalent to having recorded both sample
+    /// streams into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to the empty state (footprint kept — there is nothing to
+    /// free).
+    pub fn clear(&mut self) {
+        *self = LatencyHistogram::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(7), 3);
+        assert_eq!(LatencyHistogram::bucket_of(8), 4);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LatencyHistogram::bucket_upper(0), 0);
+        assert_eq!(LatencyHistogram::bucket_upper(3), 7);
+        assert_eq!(LatencyHistogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_within_two_x() {
+        // Every reported quantile must bracket the true sample: at most
+        // 2× above, never below the bucket's lower bound.
+        let mut h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| (i * i) % 10_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for (q, _) in [(0.5, 0), (0.95, 0), (0.99, 0), (1.0, 0)] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= truth, "q{q}: reported {got} below true sample {truth}");
+            assert!(got <= truth.max(1) * 2, "q{q}: reported {got} above 2x true {truth}");
+        }
+        assert_eq!(h.quantile(1.0), *samples.last().unwrap(), "q1.0 is the exact max");
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exactish() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 1_000);
+        // All quantiles clamp into [min, max] = the sample itself.
+        assert_eq!(h.p50(), 1_000);
+        assert_eq!(h.p99(), 1_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 4096;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+}

@@ -14,16 +14,22 @@
 //!   ordered-set line of work the paper cites.
 //!
 //! [`BucketQueue`] is the cyclic bucket array classic ∆-stepping uses.
+//!
+//! [`LatencyHistogram`] is serving telemetry rather than an algorithmic
+//! structure: a fixed-footprint power-of-two-bucket histogram the server
+//! loop uses for per-lane p50/p95/p99 latency SLOs.
 
 pub mod bucket;
 pub mod dary;
 pub mod fibonacci;
+pub mod histogram;
 pub mod pairing;
 pub mod treap;
 
 pub use bucket::BucketQueue;
 pub use dary::DaryHeap;
 pub use fibonacci::FibonacciHeap;
+pub use histogram::LatencyHistogram;
 pub use pairing::PairingHeap;
 pub use treap::{Treap, TreapArena};
 

@@ -19,6 +19,9 @@
 //! * [`frontier`] — Ligra-style vertex subsets with sparse/dense duality.
 //! * [`worker`] — per-worker state handout ([`worker_map`]): fan a batch of
 //!   items over the pool with one lazily-created, reused state per task.
+//! * [`scope`](mod@scope) — scoped spawn for long-lived *service* tasks
+//!   (server lane workers) that block on channels and must therefore run
+//!   on dedicated threads, not pool workers, with panic propagation.
 //!
 //! All primitives are deterministic given deterministic input (the atomics
 //! resolve races to the same fixed point regardless of scheduling).
@@ -29,6 +32,7 @@ pub mod frontier;
 pub mod pack;
 pub mod reduce;
 pub mod scan;
+pub mod scope;
 pub mod worker;
 
 pub use atomic::{atomic_vec, AtomicBitset, AtomicMinU64};
@@ -37,6 +41,7 @@ pub use frontier::VertexSubset;
 pub use pack::{pack_indices, pack_values};
 pub use reduce::{par_min, par_min_by_key};
 pub use scan::{exclusive_scan, exclusive_scan_in_place};
+pub use scope::{scope, Scope};
 pub use worker::{worker_map, worker_map_sink};
 
 /// Sequential-fallback threshold: below this many items the parallel

@@ -1,0 +1,226 @@
+//! Scoped spawn for long-lived, non-join-shaped tasks.
+//!
+//! Everything else in this crate is *compute*: recursive fork-join work
+//! (`rayon::join`, the parallel iterators, [`crate::worker_map`]) that
+//! runs to completion quickly and never blocks. A server loop needs the
+//! opposite — **service tasks**: lane workers that live for the whole
+//! server lifetime, spend most of their time blocked on a request
+//! channel, and may borrow non-`'static` state (the solver, the graph).
+//!
+//! Those tasks deliberately do **not** run on the work-stealing pool:
+//!
+//! * a pool worker executing a task that blocks on a channel would be
+//!   lost to compute for the task's whole lifetime (with as many service
+//!   tasks as workers, solves would stall entirely);
+//! * worse, a joiner waiting for a stolen job executes *any* claimable
+//!   pool work while it waits (`wait_while_helping`) — if it claimed a
+//!   never-returning service task, it would never come back from its own
+//!   `join`: a deadlock by helping.
+//!
+//! So [`scope`] runs its tasks on dedicated OS threads (a handful of
+//! long-lived service tasks is exactly what OS threads are for), scoped
+//! so they may borrow the enclosing frame, with panic propagation: the
+//! scope joins every task before returning and rethrows the first task
+//! panic after all of them finished. Service tasks still *call into* the
+//! pool freely — a lane worker's solve fans substeps over the pool like
+//! any other caller.
+
+use std::panic;
+use std::sync::Mutex;
+
+/// A handle for spawning service tasks that may borrow the enclosing
+/// scope; created by [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    handles: Mutex<Vec<std::thread::ScopedJoinHandle<'scope, ()>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a service task on a dedicated thread. The task may borrow
+    /// anything that outlives the [`scope`] call; the scope will not
+    /// return before the task does. A panicking task is rethrown by the
+    /// scope (see [`scope`]); it never takes other tasks down with it.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let handle = std::thread::Builder::new()
+            .name(format!("rs-svc-{}", self.handles.lock().unwrap().len()))
+            .spawn_scoped(self.inner, f)
+            .expect("failed to spawn service task");
+        self.handles.lock().unwrap().push(handle);
+    }
+
+    /// Number of tasks spawned so far.
+    pub fn spawned(&self) -> usize {
+        self.handles.lock().unwrap().len()
+    }
+}
+
+/// Runs `f` with a [`Scope`] on which service tasks can be spawned, and
+/// returns `f`'s result once **every** spawned task has finished.
+///
+/// Panic contract: if any task panicked, the first captured payload is
+/// rethrown from `scope` itself — after all tasks have been joined, so
+/// no borrowed state is ever left aliased. If `f` itself panics, its
+/// unwind first drops `f`'s locals (closing any channels the tasks
+/// block on — the orderly-shutdown idiom), the tasks are joined, and
+/// `f`'s panic propagates.
+///
+/// ```
+/// use std::sync::mpsc;
+/// let (tx, rx) = mpsc::sync_channel::<u32>(4);
+/// let rx = std::sync::Mutex::new(rx);
+/// let total = std::sync::atomic::AtomicU32::new(0);
+/// rs_par::scope(|s| {
+///     // A long-lived consumer task, borrowing `rx` and `total`.
+///     s.spawn(|| {
+///         while let Ok(v) = rx.lock().unwrap().recv() {
+///             total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+///         }
+///     });
+///     for v in 1..=10 {
+///         tx.send(v).unwrap();
+///     }
+///     drop(tx); // close the channel: the task drains and exits
+/// });
+/// assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 55);
+/// ```
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let sc = Scope { inner: s, handles: Mutex::new(Vec::new()) };
+        let result = f(&sc);
+        // `f` returned normally: join every task, remembering the first
+        // panic payload. (If `f` itself panicked, std::thread::scope
+        // joins the tasks during unwind and propagates `f`'s panic.)
+        let handles = sc.handles.into_inner().unwrap();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn tasks_borrow_and_complete_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            assert_eq!(s.spawned(), 4);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4, "scope joined every task");
+    }
+
+    #[test]
+    fn returns_the_closure_result() {
+        let r = scope(|s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn service_task_drains_a_channel() {
+        // The server-loop shape: a worker blocked on recv until the
+        // producer side closes the channel.
+        let (tx, rx) = mpsc::sync_channel::<usize>(2);
+        let seen = Mutex::new(Vec::new());
+        let seen_ref = &seen;
+        scope(|s| {
+            s.spawn(move || {
+                while let Ok(v) = rx.recv() {
+                    seen_ref.lock().unwrap().push(v);
+                }
+            });
+            for v in 0..20 {
+                tx.send(v).unwrap(); // blocks when the worker falls behind
+            }
+            drop(tx);
+        });
+        let got = seen.into_inner().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let finished = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("lane worker exploded"));
+                s.spawn(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        let payload = caught.expect_err("scope must rethrow the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("lane worker exploded"), "payload preserved, got: {msg}");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            2,
+            "sibling tasks ran to completion before the panic propagated"
+        );
+    }
+
+    #[test]
+    fn tasks_can_use_the_compute_pool() {
+        // Service tasks call into the work-stealing pool like any other
+        // caller; the pool's helping join must not interact with them.
+        let sums = Mutex::new(Vec::new());
+        let sums_ref = &sums;
+        scope(|s| {
+            for t in 0..3u64 {
+                s.spawn(move || {
+                    let xs: Vec<u64> = (0..10_000).map(|i| i + t).collect();
+                    let total = crate::worker_map(
+                        4,
+                        || (),
+                        |_, chunk| xs[chunk * 2500..(chunk + 1) * 2500].iter().sum::<u64>(),
+                    )
+                    .into_iter()
+                    .sum::<u64>();
+                    sums_ref.lock().unwrap().push(total);
+                });
+            }
+        });
+        let got = sums.into_inner().unwrap();
+        assert_eq!(got.len(), 3);
+        for &s in got.iter() {
+            let base: u64 = (0..10_000u64).sum();
+            assert!((base..=base + 30_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        assert_eq!(scope(|_| "done"), "done");
+    }
+}

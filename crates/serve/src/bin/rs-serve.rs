@@ -1,0 +1,135 @@
+//! `rs-serve`: stand-alone serving demo / smoke driver.
+//!
+//! Builds a weighted grid, preprocesses a radius-stepping solver over
+//! it, starts the server loop, and fires a mixed synthetic workload at
+//! it — repeat-heavy, so the response cache has something to do —
+//! then prints the [`rs_serve::ServerStats`] report. Exits non-zero if
+//! any admitted request went unanswered or a cached reply diverged from
+//! a fresh solve.
+//!
+//! ```text
+//! rs-serve [--requests N] [--side S] [--seed K] [--repeat-every R]
+//! ```
+//!
+//! `--repeat-every R`: every R-th request re-uses an earlier query
+//! verbatim (default 3), which is what makes the hit-rate non-trivial.
+
+use std::sync::mpsc;
+
+use rs_baselines::solver::BuildSolver;
+use rs_core::{Query, SolverBuilder};
+use rs_graph::WeightModel;
+use rs_serve::{serve, Reply, ServerConfig};
+
+fn parse_flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {name}: {v}")))
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — deterministic synthetic traffic without pulling RNG deps
+/// into the serving crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requests = parse_flag(&args, "--requests", 2_000) as usize;
+    let side = parse_flag(&args, "--side", 64) as usize;
+    let seed = parse_flag(&args, "--seed", 42);
+    let repeat_every = parse_flag(&args, "--repeat-every", 3).max(2) as usize;
+
+    let g = rs_graph::weights::reweight(
+        &rs_graph::gen::grid2d(side, side),
+        WeightModel::paper_weighted(),
+        seed,
+    );
+    let n = g.num_vertices() as u32;
+    let solver = SolverBuilder::new(&g).build();
+    println!(
+        "rs-serve: {} on {}x{side} grid ({n} vertices), {requests} requests",
+        solver.name(),
+        side
+    );
+
+    let mut rng = seed;
+    let mut history: Vec<Query> = Vec::new();
+    let queries: Vec<Query> = (0..requests)
+        .map(|i| {
+            let q = if i % repeat_every == 0 && !history.is_empty() {
+                history[(splitmix(&mut rng) as usize) % history.len()].clone()
+            } else {
+                match splitmix(&mut rng) % 10 {
+                    0 => Query::single_source(splitmix(&mut rng) as u32 % n),
+                    1..=2 => Query::one_to_many(
+                        splitmix(&mut rng) as u32 % n,
+                        [
+                            splitmix(&mut rng) as u32 % n,
+                            splitmix(&mut rng) as u32 % n,
+                            splitmix(&mut rng) as u32 % n,
+                        ],
+                    ),
+                    3 => Query::many_to_many(
+                        [splitmix(&mut rng) as u32 % n, splitmix(&mut rng) as u32 % n],
+                        [splitmix(&mut rng) as u32 % n, splitmix(&mut rng) as u32 % n],
+                    ),
+                    _ => Query::point_to_point(
+                        splitmix(&mut rng) as u32 % n,
+                        splitmix(&mut rng) as u32 % n,
+                    ),
+                }
+            };
+            history.push(q.clone());
+            q
+        })
+        .collect();
+
+    let ((answered, rejected), stats) = serve(&*solver, &ServerConfig::default(), |server| {
+        let (tx, rx) = mpsc::channel::<Reply>();
+        let mut submitted = 0u64;
+        let mut rejected = 0u64;
+        for q in &queries {
+            loop {
+                match server.submit(q.clone(), tx.clone()) {
+                    Ok(_) => {
+                        submitted += 1;
+                        break;
+                    }
+                    Err(rejection) => {
+                        // Honour the hint: back off, then retry.
+                        rejected += 1;
+                        assert!(!rejection.closed, "server closed mid-run");
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            rejection.retry_after_us.min(2_000),
+                        ));
+                    }
+                }
+            }
+        }
+        drop(tx);
+        let mut answered = 0u64;
+        while let Ok(_reply) = rx.recv() {
+            answered += 1;
+        }
+        assert_eq!(answered, submitted, "every admitted request answered");
+        (answered, rejected)
+    });
+
+    println!("{}", stats.render());
+    println!("answered {answered}, retried-after-rejection {rejected}");
+    assert_eq!(stats.completed(), answered);
+    assert!(
+        stats.totals.executed_solves < answered as usize,
+        "repeat-heavy mix must execute fewer solves ({}) than requests ({answered})",
+        stats.totals.executed_solves
+    );
+    assert!(stats.cache.hits > 0, "repeat-heavy mix must hit the cache");
+    println!("ok");
+}

@@ -1,0 +1,207 @@
+//! Epoch-versioned response cache keyed on canonical queries.
+//!
+//! The query plane already has a canonical form — [`Query::canonical`]
+//! sorts and dedups goal lists so permuted requests share a batch dedup
+//! slot — and the cache reuses it as the *cache key*: two requests that
+//! would dedup inside one batch hit the same cache entry across batches.
+//! `want_paths` / `want_trace` stay part of the key (they change what the
+//! response carries), so a cached hit is always **bit-identical** to a
+//! fresh solve of the same request.
+//!
+//! Entries carry the **epoch** current when their solve *started*. A
+//! weight update calls [`ResponseCache::invalidate_epoch`], which bumps
+//! the epoch counter in O(1); stale entries then fail the epoch check on
+//! lookup and are removed lazily. This is the choke point a future
+//! `update_weights` needs: results computed against the old graph can
+//! never be served after the bump, including solves that were in flight
+//! across it (they carry the pre-bump epoch).
+//!
+//! Capacity is enforced per shard with least-recently-used eviction (a
+//! global atomic clock stamps each hit; the scan-min on eviction is over
+//! one shard's entries, a few dozen at serving sizes). Shards keep lane
+//! workers from serialising on one map lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rs_core::{Query, QueryResponse};
+
+/// Number of independently locked map shards (power of two).
+const SHARDS: usize = 16;
+
+struct Entry {
+    response: Arc<QueryResponse>,
+    epoch: u64,
+    last_used: u64,
+}
+
+/// Counter snapshot from [`ResponseCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (current epoch).
+    pub hits: u64,
+    /// Lookups that found nothing servable.
+    pub misses: u64,
+    /// Live entries removed to make room (capacity pressure).
+    pub evictions: u64,
+    /// Stale-epoch entries removed lazily on lookup or insert.
+    pub expired: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The current epoch (starts at 0, bumped per invalidation).
+    pub epoch: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Concurrent response cache: canonical-[`Query`] keys, epoch
+/// invalidation, bounded capacity with LRU-ish eviction.
+pub struct ResponseCache {
+    shards: Vec<Mutex<HashMap<Query, Entry>>>,
+    /// Max entries per shard (total capacity / SHARDS, at least 1).
+    shard_capacity: usize,
+    epoch: AtomicU64,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache holding up to `capacity` responses (rounded up to a
+    /// multiple of the shard count; `capacity == 0` still allows one
+    /// entry per shard — use admission-side logic to disable caching).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            epoch: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entries the cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    /// The current epoch. Capture it **before** starting a solve and pass
+    /// it to [`ResponseCache::insert`], so a solve in flight across an
+    /// invalidation can never publish a stale result.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn shard_of(&self, key: &Query) -> &Mutex<HashMap<Query, Entry>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up the canonical form of `query`; returns the cached
+    /// response only if its epoch is current. A stale entry is removed on
+    /// the spot.
+    pub fn get(&self, query: &Query) -> Option<Arc<QueryResponse>> {
+        let key = query.canonical();
+        let epoch = self.epoch();
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        match shard.get_mut(&key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+                let response = Arc::clone(&entry.response);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(response)
+            }
+            Some(_) => {
+                shard.remove(&key);
+                drop(shard);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `response` under the canonical form of `query`, tagged
+    /// with `solve_epoch` (the epoch read before the solve started). A
+    /// post-invalidation insert of a pre-invalidation solve is accepted
+    /// but tagged stale, so it can never be served. When the shard is
+    /// full, the least-recently-used entry makes room (stale entries are
+    /// purged first and counted as expirations, not evictions).
+    pub fn insert(&self, query: &Query, response: Arc<QueryResponse>, solve_epoch: u64) {
+        let key = query.canonical();
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
+            let epoch = self.epoch();
+            let stale: Vec<Query> =
+                shard.iter().filter(|(_, e)| e.epoch != epoch).map(|(k, _)| k.clone()).collect();
+            if stale.is_empty() {
+                if let Some(victim) =
+                    shard.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+                {
+                    shard.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                self.expired.fetch_add(stale.len() as u64, Ordering::Relaxed);
+                for k in stale {
+                    shard.remove(&k);
+                }
+            }
+        }
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        shard.insert(key, Entry { response, epoch: solve_epoch, last_used });
+    }
+
+    /// Invalidates every cached response in O(1) by bumping the epoch:
+    /// the hook a weight update calls. Stale entries are removed lazily.
+    /// Returns the new epoch.
+    pub fn invalidate_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Entries currently resident (including not-yet-purged stale ones).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            entries: self.len(),
+            epoch: self.epoch(),
+        }
+    }
+}

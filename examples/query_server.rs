@@ -26,6 +26,12 @@
 //! ```text
 //! cargo run --release --example query_server
 //! ```
+//!
+//! This example is the in-process shape of the pattern. The
+//! production-shaped version — bounded admission lanes per query
+//! shape, an epoch-versioned response cache, latency-histogram SLOs,
+//! retry-hinted load shedding — lives in `crates/serve`
+//! (`cargo run --release -p rs_serve --bin rs-serve`).
 
 use std::time::Instant;
 

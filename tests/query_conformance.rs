@@ -722,3 +722,158 @@ fn mixed_query_batches_match_fresh_executions() {
         }
     }
 }
+
+/// Wraps a solver to count completed executions — the producer-side probe
+/// for the backpressure tests.
+struct CountingSolver<'g> {
+    inner: Box<dyn SsspSolver + 'g>,
+    completed: std::sync::atomic::AtomicUsize,
+}
+
+impl SsspSolver for CountingSolver<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        self.inner.graph()
+    }
+
+    fn execute(&self, query: &Query, scratch: &mut SolverScratch) -> QueryResponse {
+        let response = self.inner.execute(query, scratch);
+        self.completed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        response
+    }
+}
+
+/// Serving acceptance: a bounded stream holds peak in-flight responses at
+/// `O(capacity + threads)` regardless of batch length — a slow sink
+/// **blocks the solver workers** instead of letting finished responses
+/// pile up — and still delivers every response without deadlock. The
+/// invariant checked at every delivery: responses completed but not yet
+/// delivered ≤ channel capacity + one held in each blocked worker's
+/// `send` + the one being delivered. Runs in CI at `RS_NUM_THREADS=1` and
+/// nproc (the `queries` job) — the no-deadlock claim covers both.
+#[test]
+fn bounded_stream_applies_backpressure_without_deadlock() {
+    use std::sync::atomic::Ordering;
+    let g = weighted(55);
+    let n = g.num_vertices() as u32;
+    let solver = CountingSolver {
+        inner: SolverBuilder::new(&g).build(),
+        completed: std::sync::atomic::AtomicUsize::new(0),
+    };
+    // An analytics-shaped batch: 10k unique point-to-point rows (unique
+    // (source, goal) pairs — duplicates would dedup away and not execute).
+    let queries: Vec<Query> = (0..10_000u32).map(|i| Query::point_to_point(i / n, i % n)).collect();
+    let batch = QueryBatch::new(&queries);
+    assert_eq!(batch.unique_queries().len(), queries.len(), "all unique");
+
+    let capacity = 4;
+    let threads = par::num_threads();
+    let mut delivered = 0usize;
+    let mut peak_in_flight = 0usize;
+    let stats = batch.stream_bounded(&solver, capacity, |_slot, resp| {
+        delivered += 1;
+        let completed = solver.completed.load(Ordering::SeqCst);
+        let in_flight = completed - delivered;
+        peak_in_flight = peak_in_flight.max(in_flight);
+        assert!(
+            in_flight <= capacity + threads,
+            "memory bound violated: {in_flight} undelivered responses \
+             with capacity {capacity} and {threads} workers"
+        );
+        // A deliberately slow sink: without backpressure the producers
+        // would race ahead and buffer the whole batch.
+        if delivered.is_multiple_of(50) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(resp); // response freed before the next is accepted
+    });
+    assert_eq!(delivered, queries.len(), "every response delivered");
+    assert_eq!(stats.unique_solves, queries.len());
+    assert_eq!(solver.completed.load(Ordering::SeqCst), queries.len());
+    // The bound must actually bind: with 2k queries and a tiny channel,
+    // an unbounded implementation would show in-flight counts in the
+    // hundreds (this assertion fails against mpsc::channel).
+    assert!(
+        peak_in_flight <= capacity + threads,
+        "peak in-flight {peak_in_flight} exceeds capacity {capacity} + threads {threads}"
+    );
+}
+
+/// The default `stream` capacity is pool-sized and the bounded path is
+/// the only path: `stream` == `stream_bounded(default)` bit-for-bit.
+#[test]
+fn default_stream_is_bounded_and_identical() {
+    let g = weighted(56);
+    let n = g.num_vertices() as u32;
+    let solver = SolverBuilder::new(&g).build();
+    let queries: Vec<Query> =
+        (0..40u32).map(|i| Query::point_to_point(i % n, (i * 5 + 2) % n)).collect();
+    let batch = QueryBatch::new(&queries);
+
+    assert!(QueryBatch::default_stream_capacity() >= 4);
+    let mut via_default: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+    let s1 = batch.stream(&*solver, |slot, r| via_default[slot] = Some(r));
+    let mut via_bounded: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+    let s2 = batch.stream_bounded(&*solver, QueryBatch::default_stream_capacity(), |slot, r| {
+        via_bounded[slot] = Some(r)
+    });
+    assert_eq!(s1, s2);
+    for (a, b) in via_default.iter().zip(&via_bounded) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.dist(), b.dist());
+    }
+    // Degenerate capacities still complete (clamped to ≥ 1).
+    let mut count = 0;
+    batch.stream_bounded(&*solver, 0, |_, _| count += 1);
+    assert_eq!(count, queries.len());
+}
+
+/// Serving acceptance: repeated `ManyToMany` tables draw per-task
+/// scratches from a [`core::ScratchPool`] — after the first table has
+/// populated the pool, further identical tables create **zero** new
+/// scratches (`created()` stabilises at peak task concurrency) while
+/// every row still reports `cold_solves == 0`.
+#[test]
+fn repeated_tables_reuse_pooled_scratches() {
+    let g = weighted(77);
+    let n = g.num_vertices() as u32;
+    let query = Query::many_to_many([0, n / 3, n / 2, n - 1], [1, n / 4, n - 2]);
+    for solver in weighted_solvers(&g).into_iter().take(4) {
+        let pool = core::ScratchPool::new();
+        let reference = solver.execute(&query, &mut SolverScratch::new());
+        let _first = core::execute_many_to_many_pooled(&*solver, &query, &pool);
+        let created_after_first = pool.created();
+        assert!(created_after_first >= 1, "{}", solver.name());
+        assert!(
+            created_after_first as usize <= par::num_threads(),
+            "{}: at most one scratch per pool task",
+            solver.name()
+        );
+        for round in 0..6 {
+            let table = core::execute_many_to_many_pooled(&*solver, &query, &pool);
+            assert_eq!(
+                pool.created(),
+                created_after_first,
+                "{}: round {round} created a scratch despite the pool",
+                solver.name()
+            );
+            assert_eq!(
+                table.distance_table(),
+                reference.distance_table(),
+                "{}: pooled table diverged",
+                solver.name()
+            );
+            // Pooled scratches are pre-sized by their previous use: every
+            // row runs warm.
+            let mut stats = BatchStats::default();
+            stats.absorb_unique(&table);
+            assert_eq!(stats.cold_solves, 0, "{}: round {round}", solver.name());
+            assert_eq!(stats.scratch_reuses, 4, "{}: round {round}", solver.name());
+        }
+        assert!(pool.reused() > 0, "{}", solver.name());
+    }
+}
