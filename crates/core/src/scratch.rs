@@ -570,10 +570,14 @@ impl ScratchPool {
         let recycled = self.free.lock().unwrap().pop();
         let scratch = match recycled {
             Some(s) => {
+                // ORDERING: created/reused are advisory telemetry counters
+                // — nothing is published through them and readers only want
+                // eventually-consistent totals.
                 self.reused.fetch_add(1, Ordering::Relaxed);
                 s
             }
             None => {
+                // ORDERING: advisory telemetry (see above).
                 self.created.fetch_add(1, Ordering::Relaxed);
                 SolverScratch::new()
             }
@@ -583,11 +587,13 @@ impl ScratchPool {
 
     /// Scratches created because the free list was empty at checkout.
     pub fn created(&self) -> u64 {
+        // ORDERING: advisory telemetry read (see checkout).
         self.created.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Checkouts served from the free list.
     pub fn reused(&self) -> u64 {
+        // ORDERING: advisory telemetry read (see checkout).
         self.reused.load(std::sync::atomic::Ordering::Relaxed)
     }
 

@@ -25,12 +25,19 @@ impl AtomicMinU64 {
     /// Reads the current value.
     #[inline]
     pub fn load(&self) -> u64 {
+        // ORDERING: the distance is the entire payload of this cell — no
+        // other data is published through it, so a Relaxed load is always
+        // a value the cell legitimately held. Phase boundaries (reading
+        // final distances after a parallel substep) synchronise through
+        // the pool's join latch, not through this load.
         self.0.load(Ordering::Relaxed)
     }
 
     /// Unconditionally stores `value` (non-racing contexts only).
     #[inline]
     pub fn store(&self, value: u64) {
+        // ORDERING: see `load` — single self-contained word, non-racing
+        // contexts per the doc contract.
         self.0.store(value, Ordering::Relaxed)
     }
 
@@ -41,6 +48,9 @@ impl AtomicMinU64 {
     /// this to decide ownership of a vertex within a substep).
     #[inline]
     pub fn write_min(&self, value: u64) -> bool {
+        // ORDERING: the RMW totally orders concurrent write_mins on this
+        // cell, which is all WriteMin's determinism needs; the value is
+        // self-contained (see `load`), so no Acquire/Release edge is owed.
         self.0.fetch_min(value, Ordering::Relaxed) > value
     }
 }
@@ -105,6 +115,9 @@ impl AtomicBitset {
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i & 63);
+        // ORDERING: the flag itself is the only datum — claiming a vertex
+        // publishes no side state through this word, and the RMW already
+        // guarantees exactly one caller sees the clear→set transition.
         self.words[i >> 6].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 
@@ -113,6 +126,8 @@ impl AtomicBitset {
     pub fn clear(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i & 63);
+        // ORDERING: see `set` — the flag is the datum, the RMW decides the
+        // unique transition.
         self.words[i >> 6].fetch_and(!mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -120,24 +135,32 @@ impl AtomicBitset {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // ORDERING: advisory read of a self-contained flag word; readers
+        // that need the bits of a finished substep sit behind the pool's
+        // join barrier.
         self.words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
     }
 
     /// Clears every bit (sequentially; cheap relative to traversals).
     pub fn clear_all(&self) {
         for w in &self.words {
+            // ORDERING: called between substeps with no concurrent
+            // writers (sequential contract in the doc); visibility to the
+            // next parallel step flows through its fork.
             w.store(0, Ordering::Relaxed);
         }
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
+        // ORDERING: post-barrier aggregate read (see `get`).
         self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
     }
 
     /// Indices of all set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
+            // ORDERING: post-barrier traversal read (see `get`).
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {

@@ -88,6 +88,11 @@ impl EpochMinArray {
     pub fn advance(&mut self) {
         if self.tag == 0 {
             for cell in &self.raw {
+                crate::model::yield_point();
+                // ORDERING: `&mut self` gives this refill exclusive access
+                // — no concurrent reader or writer exists, and the handoff
+                // back to shared use synchronises through whatever
+                // publishes the borrow (join latch / scope join).
                 cell.store(EMPTY, Ordering::Relaxed);
             }
             self.tag = FIRST_TAG;
@@ -99,6 +104,10 @@ impl EpochMinArray {
     /// Reads cell `i`: its value if written this epoch, `u64::MAX` otherwise.
     #[inline]
     pub fn load(&self, i: usize) -> u64 {
+        // ORDERING: the tag+value travel in one word, so a Relaxed load is
+        // internally consistent by itself; cross-phase visibility (writes
+        // from a finished parallel step) is provided by the pool's join
+        // latch Acquire/Release, never by this load.
         let raw = self.raw[i].load(Ordering::Relaxed);
         if raw & !MAX_STORABLE == self.tag {
             raw & MAX_STORABLE
@@ -113,8 +122,11 @@ impl EpochMinArray {
     pub fn store(&self, i: usize, value: u64) {
         if value > MAX_STORABLE {
             debug_assert_eq!(value, u64::MAX, "value exceeds the 48-bit epoch-array range");
+            // ORDERING: single self-contained word, non-racing contexts
+            // only (see doc) — same argument as `load` above.
             self.raw[i].store(EMPTY, Ordering::Relaxed);
         } else {
+            // ORDERING: see the EMPTY store above.
             self.raw[i].store(self.tag | value, Ordering::Relaxed);
         }
     }
@@ -130,8 +142,13 @@ impl EpochMinArray {
             return false;
         }
         let tagged = self.tag | value;
+        crate::model::yield_point();
         // A stale entry carries a strictly larger (older-epoch) tag, so the
         // plain fetch_min both replaces it and reports a strict lowering.
+        // ORDERING: the atomic RMW already totally orders concurrent
+        // write_mins on this cell; the tag+distance are one word, so no
+        // separate data needs an Acquire/Release edge — the engine reads
+        // results only after the join barrier of the parallel step.
         self.raw[i].fetch_min(tagged, Ordering::Relaxed) > tagged
     }
 

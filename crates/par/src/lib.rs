@@ -22,6 +22,9 @@
 //! * [`scope`](mod@scope) — scoped spawn for long-lived *service* tasks
 //!   (server lane workers) that block on channels and must therefore run
 //!   on dedicated threads, not pool workers, with panic propagation.
+//! * [`model`] — schedule-fuzzing preemption points (no-ops unless built
+//!   with `--features schedule_fuzz`); the seeded stress suites in
+//!   `tests/schedule_fuzz.rs` here and in `crates/serve` ride on it.
 //!
 //! All primitives are deterministic given deterministic input (the atomics
 //! resolve races to the same fixed point regardless of scheduling).
@@ -29,6 +32,7 @@
 pub mod atomic;
 pub mod epoch;
 pub mod frontier;
+pub mod model;
 pub mod pack;
 pub mod reduce;
 pub mod scan;

@@ -1,0 +1,9 @@
+//! Re-export of the schedule-fuzzing harness (see `rayon::model`).
+//!
+//! Downstream crates (`rs_core`, `rs_serve`) and their stress tests call
+//! these through `rs_par::model::*` so the whole workspace shares one
+//! perturbation stream. Enable with `--features rs_par/schedule_fuzz`
+//! (forwarded to the vendored pool); without the feature every call
+//! compiles to nothing.
+
+pub use rayon::model::{seed_schedule, yield_point, yields_taken};

@@ -44,6 +44,9 @@ where
             let mut state: Option<S> = None;
             let mut claimed = Vec::new();
             loop {
+                // ORDERING: the work-claim counter is the only shared word
+                // and the RMW hands each index to exactly one task; item
+                // data flows through the claimed index, not the counter.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -97,6 +100,8 @@ where
     (0..tasks).into_par_iter().with_min_len(1).for_each(|_| {
         let mut state: Option<S> = None;
         loop {
+            // ORDERING: see worker_map — unique claim via RMW, no data
+            // published through the counter.
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;

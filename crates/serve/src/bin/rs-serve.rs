@@ -92,6 +92,10 @@ fn main() {
         .collect();
 
     let ((answered, rejected), stats) = serve(&*solver, &ServerConfig::default(), |server| {
+        // Allowlisted (bounded-channels-only): this is the *client* side
+        // of the protocol — the server replies at most once per submitted
+        // request, so this buffer can never hold more than `queries.len()`
+        // items; the serving path's own queues stay bounded regardless.
         let (tx, rx) = mpsc::channel::<Reply>();
         let mut submitted = 0u64;
         let mut rejected = 0u64;

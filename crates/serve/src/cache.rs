@@ -121,24 +121,32 @@ impl ResponseCache {
     pub fn get(&self, query: &Query) -> Option<Arc<QueryResponse>> {
         let key = query.canonical();
         let epoch = self.epoch();
+        rs_par::model::yield_point();
         let mut shard = self.shard_of(&key).lock().unwrap();
         match shard.get_mut(&key) {
             Some(entry) if entry.epoch == epoch => {
+                // ORDERING: clock and the hit/miss/expired counters are
+                // advisory (LRU recency, telemetry); the entry data itself
+                // is protected by the shard mutex, and staleness safety
+                // rests on the SeqCst epoch read above, not on these.
                 entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
                 let response = Arc::clone(&entry.response);
                 drop(shard);
+                // ORDERING: advisory telemetry (see above).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(response)
             }
             Some(_) => {
                 shard.remove(&key);
                 drop(shard);
+                // ORDERING: advisory telemetry (see the hit path above).
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
             None => {
                 drop(shard);
+                // ORDERING: advisory telemetry (see the hit path above).
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -153,6 +161,7 @@ impl ResponseCache {
     /// purged first and counted as expirations, not evictions).
     pub fn insert(&self, query: &Query, response: Arc<QueryResponse>, solve_epoch: u64) {
         let key = query.canonical();
+        rs_par::model::yield_point();
         let mut shard = self.shard_of(&key).lock().unwrap();
         if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
             let epoch = self.epoch();
@@ -163,16 +172,21 @@ impl ResponseCache {
                     shard.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
                 {
                     shard.remove(&victim);
+                    // ORDERING: advisory telemetry (see get).
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             } else {
+                // ORDERING: advisory telemetry (see get).
                 self.expired.fetch_add(stale.len() as u64, Ordering::Relaxed);
                 for k in stale {
                     shard.remove(&k);
                 }
             }
         }
+        // ORDERING: recency stamp only orders evictions approximately;
+        // exactness is not part of the cache contract.
         let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        rs_par::model::yield_point();
         shard.insert(key, Entry { response, epoch: solve_epoch, last_used });
     }
 
@@ -180,6 +194,7 @@ impl ResponseCache {
     /// the hook a weight update calls. Stale entries are removed lazily.
     /// Returns the new epoch.
     pub fn invalidate_epoch(&self) -> u64 {
+        rs_par::model::yield_point();
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
@@ -196,6 +211,8 @@ impl ResponseCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ORDERING: advisory telemetry snapshot; counters are
+            // independent and eventually consistent (see get).
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),

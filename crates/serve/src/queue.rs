@@ -69,6 +69,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues `item`, or hands it straight back when the queue is full
     /// (admission rejection) or closed (shutdown). Never blocks.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        rs_par::model::yield_point();
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(PushError::Closed(item));
@@ -78,6 +79,7 @@ impl<T> BoundedQueue<T> {
         }
         inner.items.push_back(item);
         drop(inner);
+        rs_par::model::yield_point();
         self.not_empty.notify_one();
         Ok(())
     }
@@ -87,6 +89,7 @@ impl<T> BoundedQueue<T> {
     /// drained — a consumer loop `while let Some(x) = q.pop()` therefore
     /// processes every admitted item before exiting.
     pub fn pop(&self) -> Option<T> {
+        rs_par::model::yield_point();
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -103,6 +106,7 @@ impl<T> BoundedQueue<T> {
     /// lane workers to micro-batch whatever is already waiting behind the
     /// request that woke them.
     pub fn try_pop(&self) -> Option<T> {
+        rs_par::model::yield_point();
         self.inner.lock().unwrap().items.pop_front()
     }
 

@@ -1,0 +1,195 @@
+//! The checked-in exception list for `cargo xtask check`.
+//!
+//! Format of `xtask-allowlist.txt`, one entry per line:
+//!
+//! ```text
+//! <lint-name> <path> [substring]
+//! ```
+//!
+//! * `lint-name` — one of the names in [`crate::lints::ALL_LINTS`].
+//! * `path` — workspace-relative, forward slashes. A trailing `/` makes
+//!   it a directory prefix covering every file underneath.
+//! * `substring` (optional, rest of line) — the entry only suppresses
+//!   violations whose *raw source line* contains it. Omitted = every
+//!   violation of that lint in that path.
+//!
+//! `#`-prefixed lines and blank lines are comments. Every entry must
+//! suppress at least one violation — stale entries are reported as
+//! errors so the allowlist can only shrink or stay honest, never rot.
+
+use crate::lints::{Violation, ALL_LINTS};
+
+/// One parsed allowlist entry plus its match count for staleness checks.
+#[derive(Debug)]
+pub struct Entry {
+    pub lint: String,
+    pub path: String,
+    pub substring: Option<String>,
+    /// Source line in the allowlist file, for error reporting.
+    pub src_line: usize,
+    pub hits: usize,
+}
+
+impl Entry {
+    fn matches(&self, v: &Violation) -> bool {
+        if self.lint != v.lint {
+            return false;
+        }
+        let path_ok = if self.path.ends_with('/') {
+            v.file.starts_with(&self.path)
+        } else {
+            v.file == self.path
+        };
+        if !path_ok {
+            return false;
+        }
+        match &self.substring {
+            Some(s) => v.text.contains(s.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Parses the allowlist text. Returns entries or per-line error strings.
+pub fn parse(text: &str) -> Result<Vec<Entry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let lint = parts.next().unwrap_or_default().to_string();
+        let path = parts.next().unwrap_or_default().to_string();
+        let substring = parts.next().map(|s| s.trim().to_string()).filter(|s| !s.is_empty());
+        if !ALL_LINTS.contains(&lint.as_str()) {
+            errors.push(format!(
+                "xtask-allowlist.txt:{}: unknown lint `{lint}` (known: {})",
+                idx + 1,
+                ALL_LINTS.join(", ")
+            ));
+            continue;
+        }
+        if path.is_empty() || path.starts_with('/') || path.contains('\\') {
+            errors.push(format!(
+                "xtask-allowlist.txt:{}: bad path `{path}` (workspace-relative, forward slashes)",
+                idx + 1
+            ));
+            continue;
+        }
+        entries.push(Entry { lint, path, substring, src_line: idx + 1, hits: 0 });
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Splits `violations` into (kept, suppressed-count), bumping hit counts
+/// on the entries that matched.
+pub fn filter(violations: Vec<Violation>, entries: &mut [Entry]) -> (Vec<Violation>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for v in violations {
+        match entries.iter_mut().find(|e| e.matches(&v)) {
+            Some(e) => {
+                e.hits += 1;
+                suppressed += 1;
+            }
+            None => kept.push(v),
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Error strings for entries that matched nothing.
+pub fn stale(entries: &[Entry]) -> Vec<String> {
+    entries
+        .iter()
+        .filter(|e| e.hits == 0)
+        .map(|e| {
+            format!(
+                "xtask-allowlist.txt:{}: stale entry (`{} {}{}` suppressed nothing) — remove it",
+                e.src_line,
+                e.lint,
+                e.path,
+                e.substring.as_deref().map(|s| format!(" {s}")).unwrap_or_default()
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{LINT_SERVE_PANIC, LINT_THREAD};
+
+    fn violation(lint: &'static str, file: &str, text: &str) -> Violation {
+        Violation {
+            lint,
+            file: file.to_string(),
+            line: 1,
+            text: text.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_comments_and_substrings() {
+        let txt = "# comment\n\nscoped-threads-only crates/par/src/scope.rs\nserve-panic-free crates/serve/ .lock().unwrap()\n";
+        let entries = parse(txt).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].substring, None);
+        assert_eq!(entries[1].substring.as_deref(), Some(".lock().unwrap()"));
+        assert_eq!(entries[1].src_line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_lints_and_bad_paths() {
+        let errs = parse("no-such-lint crates/par/src/x.rs\nscoped-threads-only /abs/path.rs\n")
+            .unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert!(errs[0].contains("unknown lint"));
+        assert!(errs[1].contains("bad path"));
+    }
+
+    #[test]
+    fn exact_path_and_prefix_matching() {
+        let mut entries =
+            parse("scoped-threads-only crates/par/src/scope.rs\nserve-panic-free crates/serve/\n")
+                .unwrap();
+        let vs = vec![
+            violation(LINT_THREAD, "crates/par/src/scope.rs", "spawn_scoped"),
+            violation(LINT_THREAD, "crates/par/src/worker.rs", "spawn_scoped"),
+            violation(LINT_SERVE_PANIC, "crates/serve/src/cache.rs", "x.unwrap()"),
+        ];
+        let (kept, suppressed) = filter(vs, &mut entries);
+        assert_eq!(suppressed, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].file, "crates/par/src/worker.rs");
+    }
+
+    #[test]
+    fn substring_entries_only_match_that_text() {
+        let mut entries = parse("serve-panic-free crates/serve/ .lock().unwrap()\n").unwrap();
+        let vs = vec![
+            violation(LINT_SERVE_PANIC, "crates/serve/src/queue.rs", "self.inner.lock().unwrap()"),
+            violation(LINT_SERVE_PANIC, "crates/serve/src/queue.rs", "opt.unwrap()"),
+        ];
+        let (kept, suppressed) = filter(vs, &mut entries);
+        assert_eq!((kept.len(), suppressed), (1, 1));
+        assert_eq!(kept[0].text, "opt.unwrap()");
+    }
+
+    #[test]
+    fn unused_entries_are_reported_stale() {
+        let mut entries = parse("scoped-threads-only crates/par/src/scope.rs\n").unwrap();
+        let (_, suppressed) = filter(Vec::new(), &mut entries);
+        assert_eq!(suppressed, 0);
+        let msgs = stale(&entries);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("stale entry"));
+    }
+}

@@ -1,0 +1,592 @@
+//! The lint suite behind `cargo xtask check`.
+//!
+//! Five line-based checks over workspace + vendor sources, tuned to the
+//! concurrency invariants this repo's serving stack depends on:
+//!
+//! * [`LINT_UNSAFE`] — every `unsafe` block/fn/impl carries a `// SAFETY:`
+//!   comment (or a `# Safety` doc section) in the comment block directly
+//!   above it. Backed by `clippy::undocumented_unsafe_blocks` at the
+//!   workspace level; this lint additionally covers `unsafe fn` and runs
+//!   without a full build.
+//! * [`LINT_ORDERING`] — every non-`SeqCst` atomic `Ordering::` use carries
+//!   an `// ORDERING:` justification, trailing or in the comment block
+//!   above (one comment may cover a contiguous cluster of atomic lines).
+//!   Relaxed/Acquire/Release choices are exactly where weak-memory races
+//!   hide; the comment forces each one to state why it is sufficient.
+//! * [`LINT_THREAD`] — no `std::thread::spawn` / `thread::Builder` /
+//!   `spawn_scoped` outside `rs_par::scope`: dedicated service threads
+//!   must go through the one abstraction that joins them and propagates
+//!   panics (pool workers must never run blocking service loops).
+//! * [`LINT_CHANNEL`] — no unbounded `mpsc::channel()` in `crates/serve`
+//!   or `crates/core`: bounded backpressure end-to-end is a PR-6
+//!   invariant; an unbounded buffer silently reintroduces O(batch) memory.
+//! * [`LINT_SERVE_PANIC`] — no `unwrap()` / `expect()` / `println!` in
+//!   non-test `crates/serve` code: the server loop must degrade, not
+//!   abort, and speaks through replies/stats, not stdout.
+//!
+//! Test code is exempt everywhere: files under `tests/` or `benches/`
+//! never reach [`lint_source`], and `#[cfg(test)]` items inside source
+//! files are skipped by a brace-counting region tracker. Doc comments and
+//! string literals are stripped before token matching, so lints don't
+//! fire on prose or on this file's own pattern constants.
+//!
+//! The scanner is line-oriented by design (no syn, no registry access):
+//! its known blind spots are multi-line raw string literals in non-test
+//! code (none in this workspace) — the checked-in allowlist is the escape
+//! hatch if one ever appears.
+
+/// `unsafe` without an adjacent `// SAFETY:` justification.
+pub const LINT_UNSAFE: &str = "unsafe-safety-comment";
+/// Non-`SeqCst` atomic ordering without an `// ORDERING:` justification.
+pub const LINT_ORDERING: &str = "ordering-justified";
+/// Thread spawn primitives outside `rs_par::scope`.
+pub const LINT_THREAD: &str = "scoped-threads-only";
+/// Unbounded `mpsc::channel()` on the serving path.
+pub const LINT_CHANNEL: &str = "bounded-channels-only";
+/// Panic/print escape hatches in the server loop.
+pub const LINT_SERVE_PANIC: &str = "serve-panic-free";
+
+/// Every lint, for per-lint reporting.
+pub const ALL_LINTS: [&str; 5] =
+    [LINT_UNSAFE, LINT_ORDERING, LINT_THREAD, LINT_CHANNEL, LINT_SERVE_PANIC];
+
+/// One finding: `file:line` plus the offending text and what to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired (one of [`ALL_LINTS`]).
+    pub lint: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The raw source line, trimmed.
+    pub text: String,
+    /// Human-readable explanation + fix.
+    pub message: String,
+}
+
+/// A classified source line.
+struct Line {
+    /// Original text (comments included) — justification markers and
+    /// allowlist substrings match against this.
+    raw: String,
+    /// Code only: string literals blanked, `//` and `/* */` comments
+    /// removed. Token matching happens here.
+    code: String,
+    /// Comment-only line (`//`, `///`, `//!`, or inside a block comment).
+    comment: bool,
+    /// Attribute-only line (`#[...]` / `#![...]`).
+    attr: bool,
+    /// Inside a `#[cfg(test)]` item.
+    test: bool,
+}
+
+/// Strips string literals and comments from one line, tracking block
+/// comment state across lines. Returns the code portion and the updated
+/// in-block-comment state.
+fn code_portion(line: &str, mut in_block: bool) -> (String, bool) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if in_block {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                in_block = true;
+                i += 2;
+            }
+            '"' => {
+                // Skip the string literal, honouring escapes. Multi-line
+                // strings are a documented blind spot (none in non-test
+                // code here).
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            '\'' => {
+                // Char literal vs lifetime: 'x' / '\n' are skipped whole,
+                // 'a (lifetime) passes through.
+                if bytes.get(i + 1) == Some(&'\\') && bytes.get(i + 3) == Some(&'\'') {
+                    i += 4;
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, in_block)
+}
+
+/// Splits `source` into classified [`Line`]s, marking `#[cfg(test)]`
+/// regions by brace counting (armed by the attribute, opened by the next
+/// code line containing `{`, closed when the depth returns to zero).
+fn classify(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut in_block = false;
+    for raw in source.lines() {
+        let was_in_block = in_block;
+        let (code, now_in_block) = code_portion(raw, in_block);
+        in_block = now_in_block;
+        let trimmed = raw.trim_start();
+        let comment = trimmed.starts_with("//") || (was_in_block && code.trim().is_empty());
+        let attr = !comment && (trimmed.starts_with("#[") || trimmed.starts_with("#!["));
+        lines.push(Line { raw: raw.to_string(), code, comment, attr, test: false });
+    }
+
+    // Mark #[cfg(test)] items.
+    let mut armed = false;
+    let mut depth: i64 = 0;
+    let mut counting = false;
+    for line in lines.iter_mut() {
+        if counting {
+            line.test = true;
+            depth += brace_delta(&line.code);
+            if depth <= 0 {
+                counting = false;
+            }
+            continue;
+        }
+        if armed {
+            if line.comment || line.attr {
+                line.test = true;
+                continue;
+            }
+            line.test = true;
+            depth = brace_delta(&line.code);
+            if line.code.contains('{') {
+                armed = false;
+                counting = depth > 0;
+            } else if line.code.contains(';') {
+                armed = false; // e.g. `mod tests;`
+            }
+            continue;
+        }
+        if line.code.contains("#[cfg(test)]") || line.code.contains("cfg(all(test") {
+            line.test = true;
+            armed = true;
+        }
+    }
+    lines
+}
+
+fn brace_delta(code: &str) -> i64 {
+    code.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// True when `code` contains `word` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    find_word(code, word).is_some()
+}
+
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+/// Looks for any of `markers` on the flagged line itself (trailing
+/// comment) or in the contiguous comment/attribute block directly above.
+/// Lines for which `skip` returns true extend the walk (used to let one
+/// `// ORDERING:` comment cover a cluster of consecutive atomic lines).
+fn justified(lines: &[Line], i: usize, markers: &[&str], skip: impl Fn(&Line) -> bool) -> bool {
+    let contains = |raw: &str| markers.iter().any(|m| raw.contains(m));
+    if contains(&lines[i].raw) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.comment || l.attr || skip(l) {
+            if contains(&l.raw) {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Non-`SeqCst` atomic ordering tokens.
+const WEAK_ORDERINGS: [&str; 4] =
+    ["Ordering::Relaxed", "Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel"];
+
+/// Thread-spawn primitives that must stay inside `rs_par::scope` (and the
+/// pool itself, via the allowlist).
+const SPAWN_TOKENS: [&str; 3] = ["thread::spawn", "thread::Builder", "spawn_scoped"];
+
+/// Runs every lint over one file. `path` must be workspace-relative with
+/// forward slashes (it selects which path-scoped lints apply). Files
+/// under `tests/` or `benches/` are the caller's job to exclude.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let lines = classify(source);
+    let mut out = Vec::new();
+    let serve_scope = path.starts_with("crates/serve/");
+    let channel_scope = serve_scope || path.starts_with("crates/core/");
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.comment || line.test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let lineno = idx + 1;
+        let mut push = |lint: &'static str, message: String| {
+            out.push(Violation {
+                lint,
+                file: path.to_string(),
+                line: lineno,
+                text: line.raw.trim().to_string(),
+                message,
+            });
+        };
+
+        // unsafe-safety-comment: skip `unsafe fn(` — a bare function
+        // *pointer type*, not an unsafe operation site.
+        if let Some(at) = find_word(code, "unsafe") {
+            let tail: String = code[at..].split_whitespace().collect::<Vec<_>>().join(" ");
+            let is_fn_pointer_type = tail.starts_with("unsafe fn(");
+            if !is_fn_pointer_type
+                && !justified(&lines, idx, &["SAFETY:", "# Safety"], |l| {
+                    has_word(&l.code, "unsafe")
+                })
+            {
+                push(
+                    LINT_UNSAFE,
+                    "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) \
+                     directly above — state the invariant that makes this sound"
+                        .to_string(),
+                );
+            }
+        }
+
+        // ordering-justified. The upward walk treats other atomic lines
+        // and `model::yield_point()` instrumentation as transparent, so
+        // one comment can cover a contiguous cluster of atomics with
+        // schedule-fuzz probes between them.
+        if WEAK_ORDERINGS.iter().any(|t| code.contains(t))
+            && !justified(&lines, idx, &["ORDERING:"], |l| {
+                l.code.contains("Ordering::") || l.code.contains("yield_point()")
+            })
+        {
+            push(
+                LINT_ORDERING,
+                "non-SeqCst atomic ordering without an `// ORDERING:` justification — \
+                 say why this weakening cannot lose a cross-thread visibility edge"
+                    .to_string(),
+            );
+        }
+
+        // scoped-threads-only
+        if let Some(tok) = SPAWN_TOKENS.iter().find(|t| code.contains(*t)) {
+            push(
+                LINT_THREAD,
+                format!(
+                    "`{tok}` outside `rs_par::scope` — dedicated threads must be spawned \
+                     through the scoped abstraction that joins them and rethrows panics"
+                ),
+            );
+        }
+
+        // bounded-channels-only (serving path)
+        if channel_scope && code.contains("mpsc::channel") {
+            push(
+                LINT_CHANNEL,
+                "unbounded `mpsc::channel()` on the serving path — use `mpsc::sync_channel` \
+                 (or BoundedQueue) so backpressure stays bounded end-to-end"
+                    .to_string(),
+            );
+        }
+
+        // serve-panic-free
+        if serve_scope {
+            for (tok, what) in
+                [(".unwrap()", "unwrap()"), (".expect(", "expect()"), ("println!", "println!")]
+            {
+                if code.contains(tok) {
+                    push(
+                        LINT_SERVE_PANIC,
+                        format!(
+                            "`{what}` in non-test serve code — the server loop must degrade \
+                             (reject/ignore) rather than abort, and report through stats"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|v| v.lint).collect()
+    }
+
+    // --- unsafe-safety-comment -------------------------------------------
+
+    #[test]
+    fn unsafe_without_comment_is_caught() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let got = lint_source("crates/par/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lint, LINT_UNSAFE);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_passes_for_unsafe_fn() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *const u8) {}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_safety_comment_passes() {
+        let src =
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: p valid per contract\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_not_flagged() {
+        let src = "struct H {\n    execute: unsafe fn(*const H),\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        let src = "unsafe impl Send for X {}\n";
+        assert_eq!(lints_of("crates/par/src/x.rs", src), vec![LINT_UNSAFE]);
+        let ok = "// SAFETY: X owns no thread-affine state.\nunsafe impl Send for X {}\n";
+        assert!(lint_source("crates/par/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn attribute_between_comment_and_unsafe_is_transparent() {
+        let src = "// SAFETY: exclusive access per the latch protocol.\n#[allow(dead_code)]\nunsafe fn g() {}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn word_unsafe_embedded_in_identifier_is_ignored() {
+        let src = "fn f() {\n    let unsafe_count = 0;\n    let _ = unsafe_count;\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    // --- ordering-justified ----------------------------------------------
+
+    #[test]
+    fn relaxed_without_justification_is_caught() {
+        let src =
+            "fn f(a: &std::sync::atomic::AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(lints_of("crates/par/src/x.rs", src), vec![LINT_ORDERING]);
+    }
+
+    #[test]
+    fn ordering_comment_covers_a_cluster() {
+        let src = "fn f(a: &A, b: &A) {\n    // ORDERING: counters are advisory; no data is published through them.\n    a.store(1, Ordering::Relaxed);\n    b.store(2, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn yield_point_lines_are_transparent_to_the_cluster_walk() {
+        let src = "fn f(a: &A, b: &A) {\n    // ORDERING: advisory pair.\n    a.store(1, Ordering::Relaxed);\n    model::yield_point();\n    b.store(2, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_ordering_comment_passes() {
+        let src = "fn f(a: &A) {\n    a.load(Ordering::Acquire) // ORDERING: pairs with the Release in set()\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_no_justification() {
+        let src = "fn f(a: &A) {\n    a.load(Ordering::SeqCst);\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic_ordering() {
+        let src = "fn f(x: u8) -> std::cmp::Ordering {\n    match x.cmp(&3) {\n        std::cmp::Ordering::Less => std::cmp::Ordering::Less,\n        o => o,\n    }\n}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mixed_seqcst_and_relaxed_compare_exchange_is_flagged() {
+        let src = "fn f(a: &A) {\n    a.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed);\n}\n";
+        assert_eq!(lints_of("crates/par/src/x.rs", src), vec![LINT_ORDERING]);
+    }
+
+    // --- scoped-threads-only ---------------------------------------------
+
+    #[test]
+    fn bare_thread_spawn_is_caught_everywhere() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        assert_eq!(lints_of("crates/core/src/x.rs", src), vec![LINT_THREAD]);
+        assert_eq!(lints_of("vendor/rayon/src/x.rs", src), vec![LINT_THREAD]);
+    }
+
+    #[test]
+    fn thread_builder_and_spawn_scoped_are_caught() {
+        let src = "fn f() {\n    std::thread::Builder::new();\n}\n";
+        assert_eq!(lints_of("crates/core/src/x.rs", src), vec![LINT_THREAD]);
+        let src2 = "fn f(s: &S) {\n    x.spawn_scoped(s, || {});\n}\n";
+        assert_eq!(lints_of("crates/core/src/x.rs", src2), vec![LINT_THREAD]);
+    }
+
+    #[test]
+    fn structured_thread_scope_is_allowed() {
+        let src = "fn f() {\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    // --- bounded-channels-only -------------------------------------------
+
+    #[test]
+    fn unbounded_channel_in_serve_is_caught() {
+        let src = "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u32>();\n    let _ = (tx, rx);\n}\n";
+        assert_eq!(lints_of("crates/serve/src/x.rs", src), vec![LINT_CHANNEL]);
+        assert_eq!(lints_of("crates/core/src/x.rs", src), vec![LINT_CHANNEL]);
+    }
+
+    #[test]
+    fn sync_channel_passes_and_scope_is_path_limited() {
+        let bounded = "fn f() {\n    let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(8);\n    let _ = (tx, rx);\n}\n";
+        assert!(lint_source("crates/serve/src/x.rs", bounded).is_empty());
+        let unbounded = "fn f() {\n    let (tx, rx) = std::sync::mpsc::channel::<u32>();\n    let _ = (tx, rx);\n}\n";
+        assert!(lint_source("crates/bench/src/x.rs", unbounded).is_empty(), "other crates exempt");
+    }
+
+    // --- serve-panic-free ------------------------------------------------
+
+    #[test]
+    fn serve_unwrap_expect_println_are_caught() {
+        let src = "fn f(o: Option<u32>) {\n    let v = o.unwrap();\n    let w = o.expect(\"present\");\n    println!(\"{v} {w}\");\n}\n";
+        assert_eq!(
+            lints_of("crates/serve/src/x.rs", src),
+            vec![LINT_SERVE_PANIC, LINT_SERVE_PANIC, LINT_SERVE_PANIC]
+        );
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty(), "serve-only scope");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n    o.unwrap_or_else(|| 0) + o.unwrap_or(1)\n}\n";
+        assert!(lint_source("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    // --- test-code and comment exemptions --------------------------------
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_all_lints() {
+        let src = concat!(
+            "pub fn prod() {}\n",
+            "\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        let v = Some(3).unwrap();\n",
+            "        std::thread::spawn(move || v);\n",
+            "        let (tx, _rx) = std::sync::mpsc::channel::<u32>();\n",
+            "        drop(tx);\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_module_is_linted_again() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() {}\n",
+            "}\n",
+            "\n",
+            "pub fn prod(o: Option<u32>) -> u32 {\n",
+            "    o.unwrap()\n",
+            "}\n",
+        );
+        assert_eq!(lints_of("crates/serve/src/x.rs", src), vec![LINT_SERVE_PANIC]);
+    }
+
+    #[test]
+    fn doc_comments_and_strings_do_not_trigger() {
+        let src = concat!(
+            "//! Example: `rx.recv().unwrap()` and mpsc::channel() in prose.\n",
+            "/// Call `.unwrap()` — also prose. Ordering::Relaxed in docs.\n",
+            "pub fn f() -> &'static str {\n",
+            "    \"contains .unwrap() and Ordering::Relaxed and unsafe tokens\"\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_are_stripped() {
+        let src = "/* unsafe { } Ordering::Relaxed\n   more comment */\npub fn f() {}\n";
+        assert!(lint_source("crates/par/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violation_carries_location_and_text() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = &lint_source("crates/par/src/deque.rs", src)[0];
+        assert_eq!((v.file.as_str(), v.line), ("crates/par/src/deque.rs", 2));
+        assert_eq!(v.text, "unsafe { *p }");
+        assert!(v.message.contains("SAFETY"));
+    }
+}

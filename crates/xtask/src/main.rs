@@ -1,0 +1,129 @@
+//! Workspace dev tasks. `cargo xtask check` runs the concurrency lint
+//! suite over workspace + vendor sources (see `lints.rs` for the rules,
+//! `xtask-allowlist.txt` at the repo root for deliberate exceptions).
+//!
+//! Exit status: 0 clean, 1 on violations or a stale/invalid allowlist,
+//! 2 on usage errors.
+
+mod allowlist;
+mod lints;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("usage: cargo xtask check");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask check");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Collects the `.rs` files the lints cover: everything under `src/`,
+/// `crates/`, `vendor/`, and `examples/`, excluding `tests/`, `benches/`,
+/// and `target/` directories (integration tests and benches are exempt
+/// by policy, target is build output).
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "vendor", "examples"] {
+        walk(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "tests" || name == "benches" || name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_check() -> ExitCode {
+    let root = workspace_root();
+
+    let allowlist_path = root.join("xtask-allowlist.txt");
+    let allowlist_text = fs::read_to_string(&allowlist_path).unwrap_or_default();
+    let mut entries = match allowlist::parse(&allowlist_text) {
+        Ok(entries) => entries,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(1);
+        }
+    };
+
+    let files = collect_sources(&root);
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else { continue };
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        scanned += 1;
+        violations.extend(lints::lint_source(&rel, &source));
+    }
+
+    let (kept, suppressed) = allowlist::filter(violations, &mut entries);
+    let stale = allowlist::stale(&entries);
+
+    for v in &kept {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.lint, v.message);
+        println!("    {}", v.text);
+    }
+    for msg in &stale {
+        eprintln!("error: {msg}");
+    }
+
+    if kept.is_empty() && stale.is_empty() {
+        println!(
+            "xtask check: {scanned} files clean ({} allowlisted exception{})",
+            suppressed,
+            if suppressed == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut per_lint = String::new();
+        for lint in lints::ALL_LINTS {
+            let n = kept.iter().filter(|v| v.lint == lint).count();
+            if n > 0 {
+                per_lint.push_str(&format!(" {lint}={n}"));
+            }
+        }
+        eprintln!(
+            "xtask check: {} violation{} in {scanned} files{per_lint} ({} stale allowlist entr{})",
+            kept.len(),
+            if kept.len() == 1 { "" } else { "s" },
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" },
+        );
+        ExitCode::from(1)
+    }
+}

@@ -235,6 +235,9 @@ impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
         self.base.pi_len()
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`]; the caller's
+    /// disjoint once-only ranges are forwarded to the base unchanged.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
         self.base.pi_eval(lo, hi, sink);
     }
@@ -261,6 +264,9 @@ where
         self.base.pi_len()
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`]; each base item is
+    /// evaluated exactly once and mapped in place.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
         self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(item)));
     }
@@ -289,6 +295,9 @@ where
         self.base.pi_len()
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`]; one scratch value
+    /// per call, base range forwarded once.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(R)) {
         let mut scratch = (self.init)();
         self.base.pi_eval(lo, hi, &mut |item| sink((self.f)(&mut scratch, item)));
@@ -315,6 +324,10 @@ where
         self.a.pi_len().min(self.b.pi_len())
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`]; `lo..hi` is passed
+    /// to each base exactly once (`pi_len` is the min of the two bases,
+    /// so the range is in bounds for both).
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(Self::Item)) {
         let mut left = Vec::with_capacity(hi - lo);
         self.a.pi_eval(lo, hi, &mut |item| left.push(item));
@@ -427,6 +440,9 @@ impl<T: RangeInt> ParallelIterator for RangeParIter<T> {
         self.len
     }
 
+    /// # Safety
+    /// Trivially sound: produces values by arithmetic, owns nothing, and
+    /// repeated evaluation could at worst duplicate a `Copy` integer.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
         for i in lo..hi {
             sink(self.start.offset(i));
@@ -446,6 +462,9 @@ impl<'a, T: Sync + Send> ParallelIterator for SliceParIter<'a, T> {
         self.slice.len()
     }
 
+    /// # Safety
+    /// Trivially sound: hands out shared borrows of a live slice; bounds
+    /// are checked by the indexing.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a T)) {
         for item in &self.slice[lo..hi] {
             sink(item);
@@ -498,7 +517,13 @@ pub struct VecParIter<T> {
     len: usize,
 }
 
+// SAFETY: the raw pointer is just an optimisation over the owned buffer
+// in `_buf` — the iterator owns the items outright (Send for T: Send),
+// and &VecParIter only permits pi_eval, whose once-only contract prevents
+// two threads from reading the same item (Sync).
 unsafe impl<T: Send> Send for VecParIter<T> {}
+// SAFETY: see the Send impl above — the once-only pi_eval contract is
+// what makes shared references harmless.
 unsafe impl<T: Send> Sync for VecParIter<T> {}
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
@@ -509,6 +534,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
         let ptr = self.as_mut_ptr();
         let len = self.len();
         // The iterator now owns the items; the Vec only owns the buffer.
+        // SAFETY: 0 <= capacity, and the first `len` items stay
+        // initialised — ownership of them moves to the VecParIter, which
+        // reads each at most once and leaks the rest (see type doc).
         unsafe { self.set_len(0) };
         VecParIter { _buf: self, ptr, len }
     }
@@ -521,6 +549,10 @@ impl<T: Send> ParallelIterator for VecParIter<T> {
         self.len
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`] — and here it is
+    /// load-bearing: each index is moved out by raw read, so a repeated
+    /// index would double an owned value.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(T)) {
         debug_assert!(hi <= self.len);
         for i in lo..hi {
@@ -560,6 +592,9 @@ impl<'a, T: Sync + Send> ParallelIterator for ChunksParIter<'a, T> {
         self.slice.len().div_ceil(self.chunk_size)
     }
 
+    /// # Safety
+    /// Trivially sound: shared borrows of a live slice, bounds clamped to
+    /// its length.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a [T])) {
         for i in lo..hi {
             let start = i * self.chunk_size;
@@ -614,7 +649,13 @@ pub struct ChunksMutParIter<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the raw pointer stands in for the unique `&'a mut [T]` borrow
+// captured in `_marker` (Send for T: Send); sharing &self across threads
+// only exposes pi_eval, whose once-only disjoint-chunk contract prevents
+// aliasing mutable slices (Sync).
 unsafe impl<T: Send> Send for ChunksMutParIter<'_, T> {}
+// SAFETY: see the Send impl above — disjoint chunks mean shared access
+// never aliases a mutable slice.
 unsafe impl<T: Send> Sync for ChunksMutParIter<'_, T> {}
 
 impl<'a, T: Send + 'a> ParallelIterator for ChunksMutParIter<'a, T> {
@@ -624,6 +665,10 @@ impl<'a, T: Send + 'a> ParallelIterator for ChunksMutParIter<'a, T> {
         self.len.div_ceil(self.chunk_size)
     }
 
+    /// # Safety
+    /// Same contract as [`ParallelIterator::pi_eval`] — load-bearing:
+    /// chunks at distinct indices are disjoint, so once-only evaluation
+    /// is what keeps the `&mut` slices from aliasing.
     unsafe fn pi_eval(&self, lo: usize, hi: usize, sink: &mut dyn FnMut(&'a mut [T])) {
         for i in lo..hi {
             let start = i * self.chunk_size;

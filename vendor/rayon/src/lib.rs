@@ -10,6 +10,10 @@
 //!   global injector for external submissions, stack-allocated jobs, and a
 //!   drop-guarded `join` that keeps the pool usable across panics.
 //! * [`deque`] (internal) — the Chase–Lev deque (owner LIFO, thieves FIFO).
+//! * [`model`] — seeded schedule-fuzzing preemption points (`yield_point`)
+//!   compiled into the lock-free paths under `--features schedule_fuzz`
+//!   and to nothing otherwise; see the "Correctness tooling" README
+//!   section.
 //! * [`join`] — fork-join task splitting on the pool: no thread is spawned
 //!   per call, the forked closure is published to the deque and usually
 //!   popped right back by its own submitter.
@@ -34,6 +38,7 @@
 
 mod deque;
 pub mod iter;
+pub mod model;
 mod pool;
 
 pub mod prelude {

@@ -47,6 +47,16 @@ pub(crate) struct JobHeader {
     execute: unsafe fn(*const JobHeader),
 }
 
+#[cfg(test)]
+impl JobHeader {
+    /// Test-only: a header whose entry point does nothing, letting deque
+    /// tests fabricate claimable jobs without the `StackJob` machinery.
+    pub(crate) fn noop() -> JobHeader {
+        unsafe fn nop(_ptr: *const JobHeader) {}
+        JobHeader { execute: nop }
+    }
+}
+
 /// One-word type-erased handle to a pending job.
 ///
 /// Safety contract: the referenced job outlives the handle (the submitting
@@ -58,9 +68,16 @@ pub(crate) struct JobRef {
     ptr: *const JobHeader,
 }
 
+// SAFETY: a JobRef is a plain pointer whose pointee is pinned until its
+// latch is set (the submitting frame blocks on it); ownership-transfer
+// discipline (executed exactly once, by whichever thread claims it) is
+// exactly what the type exists to carry across threads.
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    /// `header` must point at a live job whose frame stays pinned until
+    /// the job executes (see the type-level contract above).
     unsafe fn new(header: *const JobHeader) -> JobRef {
         JobRef { ptr: header }
     }
@@ -75,7 +92,14 @@ impl JobRef {
         JobRef { ptr }
     }
 
+    /// # Safety
+    /// Must be called at most once per job, while the job's frame is
+    /// still pinned (the claim that produced this `JobRef` — deque pop,
+    /// steal, or injector removal — is what grants that uniqueness).
     unsafe fn execute(self) {
+        // SAFETY: per this function's contract the pointee is alive, and
+        // `execute` is the type-erased entry point installed at
+        // construction for exactly this header type.
         ((*self.ptr).execute)(self.ptr)
     }
 }
@@ -111,7 +135,13 @@ where
         JobRef::new(&self.header)
     }
 
+    /// # Safety
+    /// `ptr` must be the header of a live `StackJob<F, R>` that has not
+    /// executed yet (headers are `#[repr(C)]`-first, so the header
+    /// pointer is the job pointer).
     unsafe fn execute_erased(ptr: *const JobHeader) {
+        // SAFETY: the cast inverts as_job_ref's erasure (see contract
+        // above); the frame is pinned until the latch below is set.
         let this = &*ptr.cast::<Self>();
         let func = (*this.func.get()).take().expect("job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
@@ -134,6 +164,9 @@ where
 /// Runs a claimed job. Never unwinds: the job's own `catch_unwind` confines
 /// panics to its `result` slot.
 pub(crate) fn execute(job: JobRef) {
+    // SAFETY: every caller holds a freshly-claimed JobRef (deque pop,
+    // steal, or injector removal — each transfers unique ownership), so
+    // the at-most-once / frame-pinned contract of JobRef::execute holds.
     unsafe { job.execute() }
 }
 
@@ -153,10 +186,15 @@ impl Latch {
 
     #[inline]
     fn probe(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release in set — a joiner that
+        // observes `done` also observes the job's result write that
+        // happened before it (this edge is what makes into_result sound).
         self.done.load(Ordering::Acquire)
     }
 
     fn set(&self, registry: &Registry) {
+        // ORDERING: Release publishes the result slot written just before
+        // the latch (see execute_erased) to any Acquire probe.
         self.done.store(true, Ordering::Release);
         registry.notify_latch_waiters();
     }
@@ -242,6 +280,9 @@ impl Registry {
         if n == 0 {
             return None;
         }
+        // ORDERING: the rotation counter only spreads thieves over
+        // victims; no data is published through it and any value is a
+        // valid starting point.
         let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n;
         for k in 0..n {
             let i = (start + k) % n;
