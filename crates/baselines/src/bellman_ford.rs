@@ -103,6 +103,7 @@ pub fn bellman_ford_scratch(
         substeps: rounds,
         max_substeps_in_step: rounds,
         relaxations,
+        relaxed_edges: relaxations,
         settled,
         scratch_reused: scratch.finish(),
         trace: None,

@@ -87,6 +87,7 @@ pub fn bfs_scratch(
         substeps: rounds,
         max_substeps_in_step: rounds.min(1),
         relaxations,
+        relaxed_edges: relaxations,
         settled,
         scratch_reused: scratch.finish(),
         trace: None,

@@ -19,13 +19,14 @@
 
 use std::sync::Arc;
 
+use rs_core::engine::p2p;
 use rs_core::scratch::ScratchHeap;
 use rs_core::solver::{
-    execute_many_to_many, solve_goals, Algorithm, HeapKind, Query, QueryResponse,
-    RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
+    execute_many_to_many, solve_goals, Algorithm, HeapKind, P2pMode, Query, QueryResponse,
+    QueryShape, RadiusSteppingSolver, SolverBuilder, SolverConfig, SolverGraph, SsspSolver,
 };
 use rs_core::stats::{SsspResult, StepStats};
-use rs_core::{ShortcutExpander, SolverScratch};
+use rs_core::{Landmarks, ShortcutExpander, SolverScratch};
 use rs_ds::{DaryHeap, FibonacciHeap, PairingHeap};
 use rs_graph::{CsrGraph, Dist, INF};
 
@@ -62,10 +63,10 @@ impl<'g> BuildSolver<'g> for SolverBuilder<'g> {
                 // carry the expansion table so extracted paths unroll back
                 // to input-graph edges.
                 let config = parts.config;
-                let (graph, expander) = parts.resolve_graph_and_expander();
+                let (graph, expander, landmarks) = parts.resolve_graph_expander_landmarks();
                 match *algorithm {
                     Algorithm::Dijkstra { heap } => {
-                        Box::new(DijkstraSolver { graph, heap, config, expander })
+                        Box::new(DijkstraSolver { graph, heap, config, expander, landmarks })
                     }
                     Algorithm::DeltaStepping { delta } => {
                         Box::new(DeltaSteppingSolver { graph, delta, config, expander })
@@ -87,9 +88,46 @@ pub struct DijkstraSolver<'g> {
     pub heap: HeapKind,
     pub config: SolverConfig,
     pub expander: Option<Arc<ShortcutExpander>>,
+    /// ALT landmark table when [`SolverConfig::p2p_mode`] reads one
+    /// (guaranteed present for `GoalDirected`, optional for `Auto`).
+    pub landmarks: Option<Arc<Landmarks>>,
 }
 
 impl DijkstraSolver<'_> {
+    /// The mode `execute` dispatches for a point-to-point query: `Auto`
+    /// resolves to goal-directed when preprocessing supplied landmarks,
+    /// else bidirectional.
+    fn effective_p2p(&self) -> P2pMode {
+        match self.config.p2p_mode {
+            P2pMode::Auto if self.landmarks.is_some() => P2pMode::GoalDirected,
+            P2pMode::Auto => P2pMode::Bidirectional,
+            mode => mode,
+        }
+    }
+
+    /// Runs the configured non-forward point-to-point kernel, or `None`
+    /// when the forward early-exit path should serve the query.
+    fn run_p2p<H: ScratchHeap>(
+        &self,
+        query: &Query,
+        source: u32,
+        goal: u32,
+        scratch: &mut SolverScratch,
+    ) -> Option<QueryResponse> {
+        let want_paths = self.config.wants_paths(query);
+        let out = match self.effective_p2p() {
+            P2pMode::Forward | P2pMode::Auto => return None,
+            P2pMode::Bidirectional => {
+                p2p::bidirectional::<H>(&self.graph, source, goal, want_paths, scratch)
+            }
+            P2pMode::GoalDirected => {
+                let lm = self.landmarks.as_ref().expect("GoalDirected owns landmarks");
+                p2p::goal_directed::<H>(&self.graph, source, goal, lm, want_paths, scratch)
+            }
+        };
+        Some(QueryResponse::single(query.clone(), out).with_expander(self.expander.clone()))
+    }
+
     fn run_scratch<H: ScratchHeap>(
         &self,
         query: &Query,
@@ -116,6 +154,7 @@ impl DijkstraSolver<'_> {
             substeps: settled,
             max_substeps_in_step: settled.min(1),
             relaxations,
+            relaxed_edges: relaxations,
             settled,
             scratch_reused: scratch.finish(),
             trace: None,
@@ -139,6 +178,16 @@ impl SsspSolver for DijkstraSolver<'_> {
         if query.is_many_to_many() {
             return execute_many_to_many(self, query).with_expander(self.expander.clone());
         }
+        if let QueryShape::PointToPoint { source, goal } = query.shape {
+            let kernel = match self.heap {
+                HeapKind::Dary => self.run_p2p::<DaryHeap>(query, source, goal, scratch),
+                HeapKind::Pairing => self.run_p2p::<PairingHeap>(query, source, goal, scratch),
+                HeapKind::Fibonacci => self.run_p2p::<FibonacciHeap>(query, source, goal, scratch),
+            };
+            if let Some(response) = kernel {
+                return response;
+            }
+        }
         match self.heap {
             HeapKind::Dary => self.run_scratch::<DaryHeap>(query, scratch),
             HeapKind::Pairing => self.run_scratch::<PairingHeap>(query, scratch),
@@ -149,6 +198,14 @@ impl SsspSolver for DijkstraSolver<'_> {
     fn warm_scratch(&self, scratch: &mut SolverScratch) {
         scratch.warm_up(&self.graph);
         let n = self.graph.num_vertices();
+        if self.effective_p2p() == P2pMode::Bidirectional {
+            scratch.warm_up_bidir(&self.graph);
+            match self.heap {
+                HeapKind::Dary => scratch.warm_heap_rev::<DaryHeap>(n),
+                HeapKind::Pairing => scratch.warm_heap_rev::<PairingHeap>(n),
+                HeapKind::Fibonacci => scratch.warm_heap_rev::<FibonacciHeap>(n),
+            }
+        }
         match self.heap {
             HeapKind::Dary => scratch.warm_heap::<DaryHeap>(n),
             HeapKind::Pairing => scratch.warm_heap::<PairingHeap>(n),
@@ -173,6 +230,7 @@ impl DeltaSteppingSolver<'_> {
             substeps: out.phases,
             max_substeps_in_step: out.max_phases_in_bucket,
             relaxations: out.relaxations,
+            relaxed_edges: out.relaxations,
             settled,
             scratch_reused: out.scratch_reused,
             trace: None,

@@ -5,7 +5,7 @@
 //!       [--duration SECS] [--rate QPS]
 //!
 //! EXPERIMENTS: fig2 fig3 fig4 fig5 table1 table2 table3 table4 table5
-//!              table6 table7 bounds queries | --all (default)
+//!              table6 table7 bounds queries p2p | --all (default)
 //! --scale N    divide the paper's graph sizes by N (default 16; 1 = paper scale)
 //! --sources N  sampled sources per graph (default 5; paper used 1000)
 //! --out DIR    CSV output directory (default results/)
@@ -15,12 +15,14 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use rs_bench::experiments::{bounds, fig2, queries, shortcuts, steps, substeps, table1, ExpConfig};
+use rs_bench::experiments::{
+    bounds, fig2, p2p, queries, shortcuts, steps, substeps, table1, ExpConfig,
+};
 use rs_bench::table::Table;
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6",
-    "table7", "bounds", "substeps", "queries",
+    "table7", "bounds", "substeps", "queries", "p2p",
 ];
 
 fn main() {
@@ -103,6 +105,10 @@ fn main() {
         let run = timed("query-plane throughput (BENCH_queries.json)", || queries::run(&cfg));
         emitted.push(("queries".into(), queries::table(&run)));
         emitted.push(("queries_sustained".into(), queries::sustained_table(&run)));
+    }
+    if wanted.contains("p2p") {
+        let run = timed("point-to-point modes (BENCH_p2p.json)", || p2p::run(&cfg));
+        emitted.push(("p2p".into(), p2p::table(&run)));
     }
 
     for (stem, table) in &emitted {

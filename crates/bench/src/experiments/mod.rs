@@ -2,6 +2,7 @@
 
 pub mod bounds;
 pub mod fig2;
+pub mod p2p;
 pub mod queries;
 pub mod shortcuts;
 pub mod steps;

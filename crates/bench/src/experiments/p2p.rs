@@ -1,0 +1,217 @@
+//! Point-to-point mode experiment: forward early-exit vs bidirectional
+//! vs goal-directed (ALT) on far-apart grid pairs.
+//!
+//! The paper's engines answer point-to-point queries by early-exiting a
+//! single-source solve — a ball of radius `d(s, t)` around the source.
+//! This experiment measures what the PR-8 kernels buy on the worst shape
+//! for that strategy: far-apart endpoints on a square grid, where the
+//! forward ball covers essentially the whole graph. Reported per mode:
+//! edges relaxed (`StepStats::relaxed_edges`), vertices settled, and
+//! wall-clock solve rate; the run also asserts all three modes return
+//! bit-identical goal distances, so the speed numbers can never drift
+//! away from correctness.
+//!
+//! Results land in `BENCH_p2p.json` (hand-rolled JSON, like the other
+//! experiments) with a precomputed `goal_directed_fewer` flag and the
+//! forward/goal-directed relaxed-edge ratio — the CI smoke greps these.
+
+use std::time::Instant;
+
+use rs_baselines::solver::BuildSolver;
+use rs_core::solver::{P2pMode, Query, SolverBuilder};
+use rs_core::SolverScratch;
+use rs_graph::{gen, weights, CsrGraph, WeightModel};
+
+use crate::table::Table;
+
+use super::ExpConfig;
+
+/// One mode's aggregate over every measured pair.
+#[derive(Debug, Clone)]
+pub struct ModeMeasurement {
+    /// Mode label (`forward` / `bidirectional` / `goal_directed`).
+    pub name: String,
+    /// Edges relaxed across all pairs.
+    pub relaxed_edges: u64,
+    /// Vertices settled across all pairs.
+    pub settled: u64,
+    /// Wall-clock seconds for all pairs (warm scratch).
+    pub seconds: f64,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+/// The experiment's output.
+#[derive(Debug, Clone)]
+pub struct P2pRun {
+    pub side: usize,
+    pub vertices: usize,
+    pub edges: usize,
+    pub pairs: usize,
+    pub modes: Vec<ModeMeasurement>,
+}
+
+impl P2pRun {
+    fn mode(&self, name: &str) -> &ModeMeasurement {
+        self.modes.iter().find(|m| m.name == name).expect("all three modes measured")
+    }
+
+    /// Forward-over-goal-directed relaxed-edge ratio (the headline).
+    pub fn speedup(&self) -> f64 {
+        self.mode("forward").relaxed_edges as f64
+            / (self.mode("goal_directed").relaxed_edges as f64).max(1.0)
+    }
+}
+
+/// Grid side length for the configured scale: the paper-scale run uses
+/// the 256×256 acceptance grid; scaled-down runs shrink the area by
+/// `scale_denom` (floor 16×16 so "far apart" still means something).
+fn grid_side(cfg: &ExpConfig) -> usize {
+    let target = (256 * 256) / cfg.scale_denom.max(1);
+    ((target as f64).sqrt() as usize).max(16)
+}
+
+/// Runs all three modes over mirrored far-apart pairs and writes
+/// `BENCH_p2p.json` into `cfg.out_dir`.
+pub fn run(cfg: &ExpConfig) -> P2pRun {
+    let side = grid_side(cfg);
+    let g: CsrGraph =
+        weights::reweight(&gen::grid2d(side, side), WeightModel::paper_weighted(), cfg.seed);
+    let n = g.num_vertices() as u32;
+    // Mirrored pairs: source walks the top edge, goal is the diagonally
+    // opposite vertex — every pair spans the full grid diameter.
+    let pairs: Vec<(u32, u32)> = (0..cfg.sources.max(2))
+        .map(|i| {
+            let s = (i as u32 * 37) % side as u32;
+            (s, n - 1 - s)
+        })
+        .collect();
+
+    let modes: [(&str, P2pMode); 3] = [
+        ("forward", P2pMode::Forward),
+        ("bidirectional", P2pMode::Bidirectional),
+        ("goal_directed", P2pMode::GoalDirected),
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    let mut measurements = Vec::new();
+    for (name, mode) in modes {
+        let solver = SolverBuilder::new(&g).p2p_mode(mode).build();
+        let mut scratch = SolverScratch::new();
+        solver.warm_scratch(&mut scratch);
+        let mut relaxed = 0u64;
+        let mut settled = 0u64;
+        let mut goals = Vec::with_capacity(pairs.len());
+        let t = Instant::now();
+        for &(s, goal) in &pairs {
+            let resp = solver.execute(&Query::point_to_point(s, goal), &mut scratch);
+            relaxed += resp.stats().relaxed_edges;
+            settled += resp.stats().settled as u64;
+            goals.push(resp.dist()[goal as usize]);
+        }
+        let seconds = t.elapsed().as_secs_f64();
+        // Self-check: every mode must return the same goal distances.
+        match &reference {
+            None => reference = Some(goals),
+            Some(truth) => assert_eq!(&goals, truth, "{name}: goal distances diverged"),
+        }
+        measurements.push(ModeMeasurement {
+            name: name.into(),
+            relaxed_edges: relaxed,
+            settled,
+            seconds,
+            qps: pairs.len() as f64 / seconds.max(1e-9),
+        });
+    }
+
+    let out = P2pRun {
+        side,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        pairs: pairs.len(),
+        modes: measurements,
+    };
+    if let Err(e) = write_json(cfg, &out) {
+        eprintln!("warning: failed to write BENCH_p2p.json: {e}");
+    }
+    out
+}
+
+/// Renders the run as a display table.
+pub fn table(run: &P2pRun) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Point-to-point modes on a {s}x{s} grid (n={}, m={}, {} far pairs) — \
+             forward relaxes {:.1}x the edges of goal-directed",
+            run.vertices,
+            run.edges,
+            run.pairs,
+            run.speedup(),
+            s = run.side,
+        ),
+        &["mode", "relaxed edges", "settled", "seconds", "qps"],
+    );
+    for m in &run.modes {
+        t.push_row(vec![
+            m.name.clone(),
+            m.relaxed_edges.to_string(),
+            m.settled.to_string(),
+            format!("{:.4}", m.seconds),
+            format!("{:.0}", m.qps),
+        ]);
+    }
+    t
+}
+
+/// Hand-rolled JSON (no serde in the workspace).
+fn write_json(cfg: &ExpConfig, run: &P2pRun) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let fwd = run.mode("forward").relaxed_edges;
+    let gd = run.mode("goal_directed").relaxed_edges;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"grid_side\": {},", run.side);
+    let _ = writeln!(s, "  \"vertices\": {},", run.vertices);
+    let _ = writeln!(s, "  \"edges\": {},", run.edges);
+    let _ = writeln!(s, "  \"pairs\": {},", run.pairs);
+    let _ = writeln!(s, "  \"modes\": [");
+    for (i, m) in run.modes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(s, "      \"relaxed_edges\": {},", m.relaxed_edges);
+        let _ = writeln!(s, "      \"settled\": {},", m.settled);
+        let _ = writeln!(s, "      \"seconds\": {:.6},", m.seconds);
+        let _ = writeln!(s, "      \"qps\": {:.1}", m.qps);
+        let _ = writeln!(s, "    }}{}", if i + 1 == run.modes.len() { "" } else { "," });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"forward_over_goal_directed\": {:.2},", run.speedup());
+    let _ = writeln!(s, "  \"goal_directed_fewer\": {}", gd < fwd);
+    let _ = writeln!(s, "}}");
+    std::fs::create_dir_all(&cfg.out_dir)?;
+    std::fs::write(cfg.out_dir.join("BENCH_p2p.json"), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_tiny_and_emits_json() {
+        let mut cfg = ExpConfig::tiny();
+        cfg.out_dir = std::env::temp_dir().join(format!("rs_bench_p2p_{}", std::process::id()));
+        let run = run(&cfg);
+        assert_eq!(run.modes.len(), 3);
+        assert!(
+            run.mode("goal_directed").relaxed_edges < run.mode("forward").relaxed_edges,
+            "goal-directed must relax fewer edges than forward even at tiny scale"
+        );
+        assert!(run.speedup() > 1.0);
+        let json =
+            std::fs::read_to_string(cfg.out_dir.join("BENCH_p2p.json")).expect("json emitted");
+        assert!(json.contains("\"goal_directed_fewer\": true"));
+        assert!(json.contains("\"forward_over_goal_directed\""));
+        let t = table(&run);
+        assert_eq!(t.rows.len(), 3);
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

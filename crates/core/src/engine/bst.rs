@@ -254,6 +254,8 @@ pub(crate) fn run_with(
     }
     scratch.return_treap_arena(arena);
     stats.scratch_reused = scratch.finish();
+    // Forward solves scan every edge they relax.
+    stats.relaxed_edges = stats.relaxations;
     let mut result = SsspResult::new(out_dist, stats);
     result.parent = parent;
     result

@@ -14,6 +14,7 @@
 
 pub mod bst;
 pub mod frontier;
+pub mod p2p;
 pub mod unweighted;
 
 use rs_graph::{CsrGraph, VertexId};

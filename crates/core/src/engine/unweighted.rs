@@ -102,6 +102,8 @@ pub(crate) fn run_with(
         }
     }
     stats.scratch_reused = scratch.finish();
+    // Forward solves scan every edge they relax.
+    stats.relaxed_edges = stats.relaxations;
     let mut result = SsspResult::new(dist, stats);
     if config.record_parents {
         // Levels carry no per-relaxation writer identity (edge_map claims

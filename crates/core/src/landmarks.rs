@@ -1,0 +1,233 @@
+//! ALT landmark tables for goal-directed point-to-point search.
+//!
+//! ALT (A*, Landmarks, Triangle inequality — Goldberg & Harrelson, SODA
+//! 2005) prunes a goal-bounded search with the lower bound
+//! `h(v) = max_L |d(L, v) − d(L, t)|`: by the triangle inequality every
+//! `s`–`t` path through `v` has length at least `d(s, v) + h(v)`, so
+//! relaxations that cannot improve the goal's tentative distance are
+//! skipped. On the undirected graphs this workspace builds the bound is
+//! *consistent*, which keeps A* pop order Dijkstra-exact — bit-identical
+//! distances, far fewer scanned edges.
+//!
+//! Landmarks are elected by farthest-point traversal (the standard
+//! heuristic: spread landmarks to the periphery, where the triangle bound
+//! is tight) and their full distance fields are stored row-per-landmark.
+//! Preprocessing persists the table in the `RSP4` cache next to the radii
+//! (the (k, ρ) ball machinery already computes multi-source distance
+//! fields; landmarks are the same shape of artifact), and solvers built
+//! with [`crate::P2pMode::GoalDirected`] without a preprocessing pass
+//! build the table once at construction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+/// How many landmarks preprocessing and on-demand construction elect.
+pub const DEFAULT_LANDMARKS: usize = 8;
+
+/// A set of landmark vertices with their full distance fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Landmarks {
+    ids: Vec<VertexId>,
+    /// `dists[l][v]` = d(landmark `l`, `v`); `INF` when unreachable.
+    dists: Vec<Vec<Dist>>,
+}
+
+impl Landmarks {
+    /// Elects up to `k` landmarks on `g` by farthest-point traversal and
+    /// computes their distance fields (`k` sequential Dijkstras). Election
+    /// is deterministic: the first landmark is the vertex farthest from
+    /// vertex 0, each next one maximises the minimum distance to the
+    /// already-chosen set, ties break toward the lowest id, and vertices
+    /// unreachable from the chosen set are never elected.
+    pub fn build(g: &CsrGraph, k: usize) -> Landmarks {
+        let n = g.num_vertices();
+        let mut lm = Landmarks { ids: Vec::new(), dists: Vec::new() };
+        if n == 0 || k == 0 {
+            return lm;
+        }
+        // Seed: the farthest reachable vertex from vertex 0 (vertex 0
+        // itself when nothing else is reachable).
+        let d0 = sequential_dijkstra(g, 0);
+        let first = farthest(&d0).unwrap_or(0);
+        lm.push_landmark(g, first);
+        let mut min_dist = lm.dists[0].clone();
+        while lm.ids.len() < k.min(n) {
+            let Some(next) = farthest(&min_dist) else { break };
+            if min_dist[next as usize] == 0 {
+                break; // every reachable vertex is already a landmark
+            }
+            lm.push_landmark(g, next);
+            let field = lm.dists.last().expect("just pushed");
+            for (m, &d) in min_dist.iter_mut().zip(field) {
+                *m = (*m).min(d);
+            }
+        }
+        lm
+    }
+
+    fn push_landmark(&mut self, g: &CsrGraph, v: VertexId) {
+        self.dists.push(sequential_dijkstra(g, v));
+        self.ids.push(v);
+    }
+
+    /// Reassembles a table from persisted parts (the `RSP4` loader).
+    ///
+    /// # Panics
+    /// If the shapes disagree.
+    pub fn from_parts(ids: Vec<VertexId>, dists: Vec<Vec<Dist>>) -> Landmarks {
+        assert_eq!(ids.len(), dists.len(), "one distance field per landmark");
+        let mut n = None;
+        for field in &dists {
+            assert_eq!(*n.get_or_insert(field.len()), field.len(), "ragged distance fields");
+        }
+        Landmarks { ids, dists }
+    }
+
+    /// The elected landmark vertices.
+    pub fn ids(&self) -> &[VertexId] {
+        &self.ids
+    }
+
+    /// The distance field of landmark `l` (row order matches
+    /// [`Landmarks::ids`]).
+    pub fn field(&self, l: usize) -> &[Dist] {
+        &self.dists[l]
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no landmarks were elected (empty graph / `k = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The per-landmark goal rows `d(L, goal)`, hoisted out of the solve's
+    /// inner loop by [`crate::engine::p2p`].
+    pub fn goal_row(&self, goal: VertexId) -> Vec<Dist> {
+        self.dists.iter().map(|field| field[goal as usize]).collect()
+    }
+
+    /// The ALT lower bound on `d(v, goal)` given the hoisted
+    /// [`Landmarks::goal_row`]: `max_L |d(L, v) − d(L, goal)|`, with the
+    /// `INF` cases resolved soundly — both infinite contributes nothing
+    /// (the landmark sees neither endpoint), exactly one infinite proves
+    /// `v` and the goal lie in different components (the bound is `INF`
+    /// and the caller prunes).
+    pub fn lower_bound(&self, v: VertexId, goal_row: &[Dist]) -> Dist {
+        let mut h = 0;
+        for (field, &dg) in self.dists.iter().zip(goal_row) {
+            let dv = field[v as usize];
+            let bound = match (dv == INF, dg == INF) {
+                (true, true) => 0,
+                (false, false) => dv.abs_diff(dg),
+                _ => return INF,
+            };
+            h = h.max(bound);
+        }
+        h
+    }
+}
+
+/// Index of the largest finite entry (ties toward the lowest id); `None`
+/// when every entry is `INF`.
+fn farthest(dist: &[Dist]) -> Option<VertexId> {
+    let mut best: Option<(Dist, VertexId)> = None;
+    for (v, &d) in dist.iter().enumerate() {
+        if d != INF && best.is_none_or(|(bd, _)| d > bd) {
+            best = Some((d, v as VertexId));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Plain sequential Dijkstra over a std binary heap with lazy deletion —
+/// preprocessing-time only (landmark fields are built once and cached),
+/// so it deliberately avoids the scratch machinery.
+fn sequential_dijkstra(g: &CsrGraph, s: VertexId) -> Vec<Dist> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.edges(u) {
+            let cand = d.saturating_add(w as Dist);
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push(Reverse((cand, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_graph::{gen, EdgeListBuilder};
+
+    #[test]
+    fn election_is_deterministic_and_spread() {
+        let g = gen::grid2d(9, 9);
+        let a = Landmarks::build(&g, 4);
+        let b = Landmarks::build(&g, 4);
+        assert_eq!(a, b, "deterministic election");
+        assert_eq!(a.len(), 4);
+        let mut sorted = a.ids().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "landmarks are distinct");
+    }
+
+    #[test]
+    fn lower_bound_is_valid_everywhere() {
+        let g = gen::grid2d(7, 8);
+        let lm = Landmarks::build(&g, 4);
+        let n = g.num_vertices();
+        for goal in [0u32, 17, (n - 1) as u32] {
+            let truth = sequential_dijkstra(&g, goal);
+            let row = lm.goal_row(goal);
+            for v in 0..n as u32 {
+                assert!(
+                    lm.lower_bound(v, &row) <= truth[v as usize],
+                    "h({v}) must lower-bound d({v}, {goal})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_prove_unreachability() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        b.add_edge(3, 4, 2); // second component: {3, 4, 5}
+        b.add_edge(4, 5, 2);
+        let g = b.build();
+        let lm = Landmarks::build(&g, 2);
+        // Landmarks live in vertex 0's component; a goal over there gets an
+        // INF bound from any vertex of the other component.
+        let row = lm.goal_row(2);
+        assert_eq!(lm.lower_bound(3, &row), INF);
+        assert_eq!(lm.lower_bound(0, &row), lm.lower_bound(0, &row).min(7));
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_overcount() {
+        assert!(Landmarks::build(&CsrGraph::empty(0), 8).is_empty());
+        let lone = Landmarks::build(&CsrGraph::empty(1), 8);
+        assert!(lone.len() <= 1);
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 1, 1);
+        let pair = Landmarks::build(&b.build(), 8);
+        assert!(pair.len() <= 2, "never more landmarks than vertices");
+    }
+}

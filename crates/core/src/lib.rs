@@ -31,6 +31,7 @@
 //! ```
 
 pub mod engine;
+pub mod landmarks;
 pub mod preprocess;
 pub mod radii;
 pub mod scratch;
@@ -42,13 +43,14 @@ pub use engine::{
     radius_stepping, radius_stepping_with, radius_stepping_with_scratch, EngineConfig, EngineKind,
     Goals,
 };
+pub use landmarks::{Landmarks, DEFAULT_LANDMARKS};
 pub use preprocess::{PreprocessConfig, Preprocessed, ShortcutExpander};
 pub use radii::RadiiSpec;
 pub use scratch::{global_scratch_pool, PooledScratch, ScratchPool, SolverScratch};
 pub use solver::{
     execute_many_to_many, execute_many_to_many_pooled, Algorithm, BatchOutcome, BatchStats,
-    HeapKind, Query, QueryBatch, QueryResponse, QueryShape, Radii, SolverBuilder, SolverConfig,
-    SsspSolver,
+    HeapKind, P2pMode, Query, QueryBatch, QueryResponse, QueryShape, Radii, SolverBuilder,
+    SolverConfig, SsspSolver,
 };
 pub use stats::{
     derive_parents, extract_path, goal_path_parents, goals_path_parents, SsspResult, StepStats,

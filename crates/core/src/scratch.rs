@@ -190,6 +190,18 @@ pub struct ScratchView<'a> {
     pub dists: &'a mut Vec<Dist>,
 }
 
+/// The reverse half of a bidirectional point-to-point solve, produced by
+/// [`SolverScratch::view_bidir`] next to the ordinary [`ScratchView`]. Kept
+/// out of [`SolverScratch::view`] so forward-only solvers never materialise
+/// (or pay the reset of) a second distance array.
+pub struct ReverseScratch<'a> {
+    /// Reverse tentative distances (from the goal over the transposed
+    /// graph), logically all-`∞` at view time (epoch-reset).
+    pub dist: &'a EpochMinArray,
+    /// Reverse settled flags, cleared at view time.
+    pub settled: &'a AtomicBitset,
+}
+
 /// Reusable working state for any [`crate::solver::SsspSolver`].
 ///
 /// Protocol (what every `solve_with_scratch` implementation does):
@@ -230,7 +242,10 @@ pub struct SolverScratch {
     keys_c: Vec<(Dist, VertexId)>,
     keys_d: Vec<(Dist, VertexId)>,
     dists: Vec<Dist>,
+    dist_rev: EpochMinArray,
+    mark_d: AtomicBitset,
     heap: HeapSlot,
+    heap_rev: HeapSlot,
     bucket: Option<BucketQueue>,
     treap: TreapArena,
     treap_mark: u64,
@@ -368,6 +383,71 @@ impl SolverScratch {
     /// Materialises and resets the shared working state for this solve.
     /// Call at most once per [`SolverScratch::begin`] (each call resets).
     pub fn view(&mut self) -> ScratchView<'_> {
+        self.reset_forward();
+        ScratchView {
+            dist: &self.dist,
+            settled: &self.settled,
+            mark_a: &self.mark_a,
+            mark_b: &self.mark_b,
+            mark_c: &self.mark_c,
+            verts_a: &mut self.verts_a,
+            verts_b: &mut self.verts_b,
+            verts_c: &mut self.verts_c,
+            verts_d: &mut self.verts_d,
+            verts_e: &mut self.verts_e,
+            pairs: &mut self.pairs,
+            claims: &mut self.claims,
+            keys_a: &mut self.keys_a,
+            keys_b: &mut self.keys_b,
+            keys_c: &mut self.keys_c,
+            keys_d: &mut self.keys_d,
+            dists: &mut self.dists,
+        }
+    }
+
+    /// Materialises and resets the working state of a bidirectional
+    /// point-to-point solve: the ordinary forward [`ScratchView`] plus the
+    /// reverse distance array and settled bitset. Same contract as
+    /// [`SolverScratch::view`] (at most once per `begin`, each call
+    /// resets); the two halves borrow disjoint fields.
+    pub fn view_bidir(&mut self) -> (ScratchView<'_>, ReverseScratch<'_>) {
+        self.reset_forward();
+        let n = self.n;
+        self.allocated |= self.dist_rev.ensure(n);
+        self.dist_rev.advance();
+        if self.mark_d.len() < n {
+            self.mark_d = AtomicBitset::new(n);
+            self.allocated = true;
+        } else {
+            self.mark_d.clear_all();
+        }
+        (
+            ScratchView {
+                dist: &self.dist,
+                settled: &self.settled,
+                mark_a: &self.mark_a,
+                mark_b: &self.mark_b,
+                mark_c: &self.mark_c,
+                verts_a: &mut self.verts_a,
+                verts_b: &mut self.verts_b,
+                verts_c: &mut self.verts_c,
+                verts_d: &mut self.verts_d,
+                verts_e: &mut self.verts_e,
+                pairs: &mut self.pairs,
+                claims: &mut self.claims,
+                keys_a: &mut self.keys_a,
+                keys_b: &mut self.keys_b,
+                keys_c: &mut self.keys_c,
+                keys_d: &mut self.keys_d,
+                dists: &mut self.dists,
+            },
+            ReverseScratch { dist: &self.dist_rev, settled: &self.mark_d },
+        )
+    }
+
+    /// The shared reset behind [`SolverScratch::view`] /
+    /// [`SolverScratch::view_bidir`].
+    fn reset_forward(&mut self) {
         debug_assert!(self.in_solve, "view() outside begin()/finish()");
         let n = self.n;
         self.allocated |= self.dist.ensure(n);
@@ -395,25 +475,18 @@ impl SolverScratch {
         self.keys_b.clear();
         self.keys_c.clear();
         self.keys_d.clear();
-        ScratchView {
-            dist: &self.dist,
-            settled: &self.settled,
-            mark_a: &self.mark_a,
-            mark_b: &self.mark_b,
-            mark_c: &self.mark_c,
-            verts_a: &mut self.verts_a,
-            verts_b: &mut self.verts_b,
-            verts_c: &mut self.verts_c,
-            verts_d: &mut self.verts_d,
-            verts_e: &mut self.verts_e,
-            pairs: &mut self.pairs,
-            claims: &mut self.claims,
-            keys_a: &mut self.keys_a,
-            keys_b: &mut self.keys_b,
-            keys_c: &mut self.keys_c,
-            keys_d: &mut self.keys_d,
-            dists: &mut self.dists,
-        }
+    }
+
+    /// Pre-sizes the reverse distance array and settled bitset (plus the
+    /// forward structures, like [`SolverScratch::warm_up`]) so a solver
+    /// configured for bidirectional point-to-point runs its first warm
+    /// query allocation-free.
+    pub fn warm_up_bidir(&mut self, g: &CsrGraph) {
+        self.begin(g.num_vertices());
+        let _ = self.view_bidir();
+        // Warming is not a solve: undo begin()'s bookkeeping.
+        self.in_solve = false;
+        self.solves -= 1;
     }
 
     /// Checks out a cleared decrease-key heap covering the current vertex
@@ -437,6 +510,30 @@ impl SolverScratch {
     /// Returns a heap checked out with [`SolverScratch::checkout_heap`].
     pub fn return_heap<H: ScratchHeap>(&mut self, heap: H) {
         heap.put(&mut self.heap);
+    }
+
+    /// Checks out the second cleared decrease-key heap — the reverse
+    /// frontier of a bidirectional solve, cached in its own slot so both
+    /// directions run warm. Return it with
+    /// [`SolverScratch::return_heap_rev`].
+    pub fn checkout_heap_rev<H: ScratchHeap>(&mut self) -> H {
+        debug_assert!(self.in_solve, "checkout_heap_rev() outside begin()/finish()");
+        match H::take(&mut self.heap_rev) {
+            Some(mut h) if h.capacity() >= self.n => {
+                h.clear();
+                h
+            }
+            _ => {
+                self.allocated = true;
+                H::with_capacity(self.n)
+            }
+        }
+    }
+
+    /// Returns a heap checked out with
+    /// [`SolverScratch::checkout_heap_rev`].
+    pub fn return_heap_rev<H: ScratchHeap>(&mut self, heap: H) {
+        heap.put(&mut self.heap_rev);
     }
 
     /// Checks out a cleared ∆-stepping bucket queue compatible with
@@ -492,6 +589,16 @@ impl SolverScratch {
             _ => H::with_capacity(n),
         };
         heap.put(&mut self.heap);
+    }
+
+    /// Pre-sizes the reverse heap slot — the bidirectional counterpart of
+    /// [`SolverScratch::warm_heap`].
+    pub fn warm_heap_rev<H: ScratchHeap>(&mut self, n: usize) {
+        let heap = match H::take(&mut self.heap_rev) {
+            Some(h) if h.capacity() >= n => h,
+            _ => H::with_capacity(n),
+        };
+        heap.put(&mut self.heap_rev);
     }
 
     /// Pre-sizes the cached bucket queue without opening a solve — the
@@ -701,6 +808,50 @@ mod tests {
         s.begin(100);
         assert!(!s.visited_set().get(7), "cleared per solve");
         assert!(s.finish(), "bitset-only reuse is warm");
+    }
+
+    #[test]
+    fn bidir_view_cold_then_warm() {
+        let mut s = SolverScratch::new();
+        s.begin(80);
+        {
+            let (view, rev) = s.view_bidir();
+            view.dist.store(1, 5);
+            rev.dist.store(2, 9);
+            assert!(rev.settled.set(3));
+        }
+        assert!(!s.finish(), "first bidir solve allocates");
+
+        s.begin(80);
+        {
+            let (view, rev) = s.view_bidir();
+            assert_eq!(view.dist.load(1), u64::MAX, "forward epoch reset");
+            assert_eq!(rev.dist.load(2), u64::MAX, "reverse epoch reset");
+            assert!(!rev.settled.get(3), "reverse bitset cleared");
+        }
+        assert!(s.finish(), "second bidir solve reuses everything");
+
+        // A plain forward view never pays for the reverse structures.
+        s.begin(80);
+        let _ = s.view();
+        assert!(s.finish());
+    }
+
+    #[test]
+    fn warm_up_bidir_makes_first_solve_warm() {
+        let g = rs_graph::gen::grid2d(8, 8);
+        let mut s = SolverScratch::new();
+        s.warm_up_bidir(&g);
+        s.warm_heap::<DaryHeap>(g.num_vertices());
+        s.warm_heap_rev::<DaryHeap>(g.num_vertices());
+        assert_eq!(s.solves(), 0, "warming is not a solve");
+        s.begin(g.num_vertices());
+        let hf: DaryHeap = s.checkout_heap();
+        let hr: DaryHeap = s.checkout_heap_rev();
+        s.return_heap(hf);
+        s.return_heap_rev(hr);
+        let _ = s.view_bidir();
+        assert!(s.finish(), "first bidir query after warm-up must not allocate");
     }
 
     #[test]

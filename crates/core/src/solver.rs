@@ -59,7 +59,8 @@ use std::sync::Arc;
 
 use rs_graph::{CsrGraph, Dist, VertexId, INF};
 
-use crate::engine::{radius_stepping_with_scratch, EngineConfig, EngineKind, Goals};
+use crate::engine::{p2p, radius_stepping_with_scratch, EngineConfig, EngineKind, Goals};
+use crate::landmarks::{Landmarks, DEFAULT_LANDMARKS};
 use crate::preprocess::{PreprocessConfig, Preprocessed, ShortcutExpander};
 use crate::radii::RadiiSpec;
 use crate::scratch::SolverScratch;
@@ -810,6 +811,9 @@ pub struct BatchStats {
     pub max_substeps_in_step: usize,
     /// Total relaxations over delivered responses.
     pub relaxations: u64,
+    /// Total edges scanned during relaxation over delivered responses
+    /// (see [`crate::StepStats::relaxed_edges`]).
+    pub relaxed_edges: u64,
     /// Total settled vertices over delivered responses.
     pub settled: usize,
 }
@@ -842,6 +846,7 @@ impl BatchStats {
             self.substeps += s.substeps;
             self.max_substeps_in_step = self.max_substeps_in_step.max(s.max_substeps_in_step);
             self.relaxations += s.relaxations;
+            self.relaxed_edges += s.relaxed_edges;
             self.settled += s.settled;
         }
         match &response.query.shape {
@@ -895,6 +900,7 @@ impl BatchStats {
         self.substeps += other.substeps;
         self.max_substeps_in_step = self.max_substeps_in_step.max(other.max_substeps_in_step);
         self.relaxations += other.relaxations;
+        self.relaxed_edges += other.relaxed_edges;
         self.settled += other.settled;
     }
 }
@@ -961,6 +967,34 @@ impl Default for Algorithm {
     }
 }
 
+/// How a solver answers the [`QueryShape::PointToPoint`] serving shape.
+///
+/// Every mode returns the same goal distance bit-for-bit (asserted by the
+/// p2p conformance suite); they differ only in how many edges they scan
+/// ([`crate::StepStats::relaxed_edges`]) and which non-goal entries carry
+/// finite upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum P2pMode {
+    /// The goal-bounded forward solve (the engine/baseline early-exit
+    /// path). The default: bit-identical by construction with one-to-many
+    /// solves over the same goal set.
+    #[default]
+    Forward,
+    /// Bidirectional meet-in-the-middle search over the graph and its
+    /// cached [`rs_graph::CsrGraph::transpose`]
+    /// ([`crate::engine::p2p::bidirectional`]).
+    Bidirectional,
+    /// Goal-directed ALT search ([`crate::engine::p2p::goal_directed`]).
+    /// Requires a [`crate::Landmarks`] table: solvers built with this mode
+    /// take it from the attached preprocessing (persisted in the `RSP4`
+    /// cache) or elect one at construction time.
+    GoalDirected,
+    /// `GoalDirected` when the attached preprocessing supplies landmarks,
+    /// `Bidirectional` otherwise — goal-directed pruning when it is free,
+    /// never a construction-time landmark build.
+    Auto,
+}
+
 /// Cross-algorithm output options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverConfig {
@@ -968,6 +1002,8 @@ pub struct SolverConfig {
     pub trace: bool,
     /// Attach the shortest-path tree (`SsspResult::parent`) to results.
     pub record_parents: bool,
+    /// Point-to-point execution strategy (see [`P2pMode`]).
+    pub p2p_mode: P2pMode,
 }
 
 impl SolverConfig {
@@ -1099,6 +1135,14 @@ impl<'g> SolverBuilder<'g> {
         self
     }
 
+    /// Selects the point-to-point execution strategy (see [`P2pMode`]).
+    /// `GoalDirected` without attached preprocessing elects a landmark
+    /// table at build time (`DEFAULT_LANDMARKS` sequential Dijkstras).
+    pub fn p2p_mode(mut self, mode: P2pMode) -> Self {
+        self.config.p2p_mode = mode;
+        self
+    }
+
     /// Decomposes the builder (used by `rs_baselines::solver::BuildSolver`,
     /// which constructs the baseline adapters this crate cannot name).
     pub fn into_parts(self) -> BuilderParts<'g> {
@@ -1161,13 +1205,35 @@ impl<'g> BuilderParts<'g> {
     /// are preserved, so every solver stays exact) plus the shortcut
     /// expansion table for input-graph-exact path extraction.
     pub fn resolve_graph_and_expander(&self) -> (SolverGraph<'g>, Option<Arc<ShortcutExpander>>) {
-        match &self.preprocess {
-            None => (SolverGraph::Borrowed(self.graph), None),
+        let (graph, expander, _) = self.resolve_graph_expander_landmarks();
+        (graph, expander)
+    }
+
+    /// [`BuilderParts::resolve_graph_and_expander`] plus the ALT landmark
+    /// table the configured [`P2pMode`] calls for: the preprocessing's
+    /// persisted table when one is attached, a build-time election for
+    /// `GoalDirected` without preprocessing, `None` for the modes that
+    /// never read landmarks.
+    pub fn resolve_graph_expander_landmarks(
+        &self,
+    ) -> (SolverGraph<'g>, Option<Arc<ShortcutExpander>>, Option<Arc<Landmarks>>) {
+        let (graph, expander, mut landmarks) = match &self.preprocess {
+            None => (SolverGraph::Borrowed(self.graph), None, None),
             Some(cfg) => {
                 let pre = resolve_preprocessed(self.graph, cfg, self.preprocess_cache.as_deref());
-                (SolverGraph::Owned(pre.graph), Some(pre.expander))
+                (SolverGraph::Owned(pre.graph), Some(pre.expander), pre.landmarks)
             }
+        };
+        match self.config.p2p_mode {
+            P2pMode::GoalDirected if landmarks.is_none() => {
+                // Shortcuts preserve distances, so a table elected on the
+                // resolved graph bounds input-graph distances too.
+                landmarks = Some(Arc::new(Landmarks::build(&graph, DEFAULT_LANDMARKS)));
+            }
+            P2pMode::Forward | P2pMode::Bidirectional => landmarks = None,
+            _ => {}
         }
+        (graph, expander, landmarks)
     }
 
     /// [`BuilderParts::resolve_graph_and_expander`] dropping the expander.
@@ -1220,6 +1286,9 @@ pub struct RadiusSteppingSolver<'g> {
     /// Shortcut expansion table when preprocessing replaced the graph —
     /// attached to every response so extracted paths ride input edges.
     expander: Option<Arc<ShortcutExpander>>,
+    /// ALT landmark table when the configured [`P2pMode`] reads one
+    /// (guaranteed present for `GoalDirected`, optional for `Auto`).
+    landmarks: Option<Arc<Landmarks>>,
 }
 
 impl<'g> RadiusSteppingSolver<'g> {
@@ -1231,12 +1300,14 @@ impl<'g> RadiusSteppingSolver<'g> {
             engine,
             config: SolverConfig::default(),
             expander: None,
+            landmarks: None,
         }
     }
 
     /// Construction from builder state: preprocessing (when attached)
-    /// replaces both the graph and the radii, loading from / saving to the
-    /// `cache` path when one was supplied.
+    /// replaces both the graph and the radii — and supplies the persisted
+    /// landmark table when the configured [`P2pMode`] reads one — loading
+    /// from / saving to the `cache` path when one was supplied.
     pub fn from_parts(
         graph: &'g CsrGraph,
         engine: EngineKind,
@@ -1246,23 +1317,48 @@ impl<'g> RadiusSteppingSolver<'g> {
         config: SolverConfig,
     ) -> Self {
         match preprocess {
-            None => RadiusSteppingSolver {
-                graph: SolverGraph::Borrowed(graph),
-                radii,
-                engine,
-                config,
-                expander: None,
-            },
+            None => {
+                let landmarks = (config.p2p_mode == P2pMode::GoalDirected)
+                    .then(|| Arc::new(Landmarks::build(graph, DEFAULT_LANDMARKS)));
+                RadiusSteppingSolver {
+                    graph: SolverGraph::Borrowed(graph),
+                    radii,
+                    engine,
+                    config,
+                    expander: None,
+                    landmarks,
+                }
+            }
             Some(cfg) => {
                 let pre = resolve_preprocessed(graph, &cfg, cache);
+                let landmarks = match config.p2p_mode {
+                    P2pMode::GoalDirected => pre.landmarks.clone().or_else(|| {
+                        Some(Arc::new(Landmarks::build(&pre.graph, DEFAULT_LANDMARKS)))
+                    }),
+                    P2pMode::Auto => pre.landmarks.clone(),
+                    P2pMode::Forward | P2pMode::Bidirectional => None,
+                };
                 RadiusSteppingSolver {
                     graph: SolverGraph::Owned(pre.graph),
                     radii: Radii::PerVertex(pre.radii),
                     engine,
                     config,
                     expander: Some(pre.expander),
+                    landmarks,
                 }
             }
+        }
+    }
+
+    /// The mode [`SsspSolver::execute`] actually dispatches for a
+    /// point-to-point query: `Auto` resolves to goal-directed when a
+    /// landmark table is on hand (i.e. came with preprocessing), else
+    /// bidirectional.
+    fn effective_p2p(&self) -> P2pMode {
+        match self.config.p2p_mode {
+            P2pMode::Auto if self.landmarks.is_some() => P2pMode::GoalDirected,
+            P2pMode::Auto => P2pMode::Bidirectional,
+            mode => mode,
         }
     }
 }
@@ -1289,6 +1385,39 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
         if query.is_many_to_many() {
             return execute_many_to_many(self, query).with_expander(self.expander.clone());
         }
+        // Point-to-point queries go through the goal-bounded kernels when a
+        // non-forward mode is configured (frontier engine only — the BST
+        // and unweighted engines always run the forward early-exit path).
+        if let QueryShape::PointToPoint { source, goal } = query.shape {
+            if self.engine == EngineKind::Frontier {
+                let want_paths = self.config.wants_paths(query);
+                let out = match self.effective_p2p() {
+                    P2pMode::Forward | P2pMode::Auto => None,
+                    P2pMode::Bidirectional => Some(p2p::bidirectional::<rs_ds::DaryHeap>(
+                        &self.graph,
+                        source,
+                        goal,
+                        want_paths,
+                        scratch,
+                    )),
+                    P2pMode::GoalDirected => {
+                        let lm = self.landmarks.as_ref().expect("GoalDirected owns landmarks");
+                        Some(p2p::goal_directed::<rs_ds::DaryHeap>(
+                            &self.graph,
+                            source,
+                            goal,
+                            lm,
+                            want_paths,
+                            scratch,
+                        ))
+                    }
+                };
+                if let Some(out) = out {
+                    return QueryResponse::single(query.clone(), out)
+                        .with_expander(self.expander.clone());
+                }
+            }
+        }
         let mut goal_buf = Vec::new();
         let goals = solve_goals(query, &mut goal_buf);
         let want_paths = self.config.wants_paths(query);
@@ -1314,6 +1443,18 @@ impl SsspSolver for RadiusSteppingSolver<'_> {
 
     fn warm_scratch(&self, scratch: &mut SolverScratch) {
         warm_for_engine(scratch, &self.graph, self.engine);
+        if self.engine == EngineKind::Frontier {
+            let n = self.graph.num_vertices();
+            match self.effective_p2p() {
+                P2pMode::Bidirectional => {
+                    scratch.warm_up_bidir(&self.graph);
+                    scratch.warm_heap::<rs_ds::DaryHeap>(n);
+                    scratch.warm_heap_rev::<rs_ds::DaryHeap>(n);
+                }
+                P2pMode::GoalDirected => scratch.warm_heap::<rs_ds::DaryHeap>(n),
+                P2pMode::Forward | P2pMode::Auto => {}
+            }
+        }
     }
 }
 

@@ -177,6 +177,11 @@ pub struct StepStats {
     pub max_substeps_in_step: usize,
     /// Edge relaxations attempted (a sequential-work proxy).
     pub relaxations: u64,
+    /// Edges actually scanned during relaxation. Equal to `relaxations`
+    /// for forward solves; the goal-bounded kernels (bidirectional,
+    /// ALT-pruned) report the smaller number of edges they touched, which
+    /// is the quantity the point-to-point speedups are measured by.
+    pub relaxed_edges: u64,
     /// Vertices settled (equals reachable vertices on termination).
     pub settled: usize,
     /// True iff this solve ran entirely on pre-allocated

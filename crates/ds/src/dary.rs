@@ -106,6 +106,10 @@ impl DecreaseKeyHeap for DaryHeap {
         Some((item, key))
     }
 
+    fn peek_min(&self) -> Option<(u32, u64)> {
+        self.slots.first().map(|&(key, item)| (item, key))
+    }
+
     fn key_of(&self, item: u32) -> Option<u64> {
         match self.pos[item as usize] {
             NONE => None,

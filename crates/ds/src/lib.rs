@@ -64,6 +64,12 @@ pub trait DecreaseKeyHeap {
     /// Removes and returns the minimum-key item (ties broken arbitrarily).
     fn pop_min(&mut self) -> Option<(u32, u64)>;
 
+    /// The minimum-key item without removing it — what a bidirectional
+    /// search's stopping rule reads each round. Ties match
+    /// [`DecreaseKeyHeap::pop_min`]'s arbitrary choice only in key, not
+    /// necessarily in item.
+    fn peek_min(&self) -> Option<(u32, u64)>;
+
     /// Current key of `item`, if queued.
     fn key_of(&self, item: u32) -> Option<u64>;
 
@@ -102,6 +108,14 @@ pub(crate) mod heap_test_support {
                 }
                 6..=8 => {
                     let expect_min = model.values().copied().min();
+                    assert_eq!(
+                        heap.peek_min().map(|(_, k)| k),
+                        expect_min,
+                        "peek_min key must match the model minimum"
+                    );
+                    if let Some((item, key)) = heap.peek_min() {
+                        assert_eq!(heap.key_of(item), Some(key), "peek_min item/key mismatch");
+                    }
                     match heap.pop_min() {
                         None => assert!(model.is_empty()),
                         Some((item, key)) => {

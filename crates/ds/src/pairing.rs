@@ -167,6 +167,16 @@ impl DecreaseKeyHeap for PairingHeap {
         Some((item, key))
     }
 
+    fn peek_min(&self) -> Option<(u32, u64)> {
+        match self.root {
+            NONE => None,
+            idx => {
+                let node = &self.nodes[idx as usize];
+                Some((node.item, node.key))
+            }
+        }
+    }
+
     fn key_of(&self, item: u32) -> Option<u64> {
         match self.slot[item as usize] {
             NONE => None,

@@ -15,6 +15,7 @@
 //! bound (if the caller picks a `sync_channel`) back-pressures the lane
 //! workers themselves. Nothing in the loop can accumulate unboundedly.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
@@ -113,10 +114,44 @@ pub struct Rejection {
     pub closed: bool,
     /// Requests buffered in the lane at refusal time.
     pub queued: usize,
-    /// Suggested back-off before retrying, in microseconds: the lane's
-    /// median latency times the queue it would wait behind (floor 100µs
-    /// while the histogram is still empty).
+    /// Suggested back-off before retrying, in microseconds: the queue it
+    /// would wait behind divided by the lane's *observed drain rate* over
+    /// a recent window of completion timestamps, clamped to
+    /// [[`RETRY_MIN_US`], [`RETRY_MAX_US`]]. A lane with too few recent
+    /// completions to estimate a rate (idle, or just started) hands out
+    /// the clamp floor — retry soon, rather than a hint derived from
+    /// stale latency quantiles.
     pub retry_after_us: u64,
+}
+
+/// Completion timestamps retained per lane for the drain-rate estimate.
+const RATE_WINDOW: usize = 128;
+/// Retry-hint clamp floor (µs): also the idle-lane answer.
+const RETRY_MIN_US: u64 = 100;
+/// Retry-hint clamp ceiling (µs): half a second — beyond that the caller
+/// should be load-shedding, not sleeping on a hint.
+const RETRY_MAX_US: u64 = 500_000;
+
+/// Derives a [`Rejection::retry_after_us`] hint from observed lane
+/// throughput: `completions` holds the wall-clock times of the lane's
+/// most recent completions (oldest first, at most [`RATE_WINDOW`]); the
+/// average inter-completion gap over the window ending at `now` is the
+/// lane's current per-request drain time, and the hint is that gap times
+/// the `queued` requests a retry would wait behind (plus itself).
+/// Measuring the window against `now` (not the last completion) keeps the
+/// estimate honest for a lane that *was* fast and has stalled: the gap
+/// grows with the stall. Pure so the idle/saturated cases unit-test
+/// without a running server.
+fn retry_hint(queued: usize, completions: &VecDeque<Instant>, now: Instant) -> u64 {
+    if completions.len() < 2 {
+        return RETRY_MIN_US;
+    }
+    let span_us = completions
+        .front()
+        .map(|oldest| now.saturating_duration_since(*oldest).as_micros() as u64)
+        .unwrap_or(0);
+    let per_request_us = span_us / completions.len() as u64;
+    per_request_us.saturating_mul(queued as u64 + 1).clamp(RETRY_MIN_US, RETRY_MAX_US)
 }
 
 impl std::fmt::Display for Rejection {
@@ -148,6 +183,9 @@ struct Request {
 struct Telemetry {
     latency: LatencyHistogram,
     stats: BatchStats,
+    /// Wall-clock completion times, oldest first, capped at
+    /// [`RATE_WINDOW`] — the drain-rate window behind [`retry_hint`].
+    completions: VecDeque<Instant>,
 }
 
 struct Lane {
@@ -304,13 +342,9 @@ impl<'s> Server<'s> {
                 lane.rejected.fetch_add(1, Ordering::SeqCst);
                 let closed = matches!(err, PushError::Closed(_));
                 let queued = lane.queue.len();
-                let p50 = lane.telemetry.lock().unwrap().latency.p50().max(100);
-                Err(Rejection {
-                    shape: lane.shape,
-                    closed,
-                    queued,
-                    retry_after_us: p50.saturating_mul(queued as u64 + 1),
-                })
+                let retry_after_us =
+                    retry_hint(queued, &lane.telemetry.lock().unwrap().completions, Instant::now());
+                Err(Rejection { shape: lane.shape, closed, queued, retry_after_us })
             }
         }
     }
@@ -426,7 +460,14 @@ impl<'s> Server<'s> {
     /// requester is ignored — the work is already done).
     fn finish(&self, lane: &Lane, request: Request, response: Arc<QueryResponse>, cached: bool) {
         let latency_us = request.submitted.elapsed().as_micros() as u64;
-        lane.telemetry.lock().unwrap().latency.record(latency_us);
+        {
+            let mut telemetry = lane.telemetry.lock().unwrap();
+            telemetry.latency.record(latency_us);
+            telemetry.completions.push_back(Instant::now());
+            if telemetry.completions.len() > RATE_WINDOW {
+                telemetry.completions.pop_front();
+            }
+        }
         lane.completed.fetch_add(1, Ordering::SeqCst);
         let _ = request.reply.send(Reply { id: request.id, response, cached, latency_us });
     }
@@ -459,4 +500,62 @@ pub fn serve<R>(
     });
     let stats = server.stats();
     (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A completion ring whose entries end `last_gap_us` before `now`,
+    /// spaced `gap_us` apart (oldest first).
+    fn ring(count: usize, gap_us: u64, last_gap_us: u64, now: Instant) -> VecDeque<Instant> {
+        (0..count)
+            .map(|i| {
+                let back = last_gap_us + gap_us * (count - 1 - i) as u64;
+                now - Duration::from_micros(back)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idle_lane_gets_the_clamp_floor() {
+        let now = Instant::now();
+        assert_eq!(retry_hint(50, &VecDeque::new(), now), RETRY_MIN_US);
+        let one = ring(1, 0, 10_000_000, now);
+        assert_eq!(retry_hint(50, &one, now), RETRY_MIN_US, "one stale completion is no rate");
+    }
+
+    #[test]
+    fn saturated_lane_hint_tracks_drain_rate_and_queue_depth() {
+        let now = Instant::now();
+        // 128 completions, 100µs apart, the last one just now: the lane
+        // drains ~1 request per 100µs.
+        let completions = ring(RATE_WINDOW, 100, 0, now);
+        let shallow = retry_hint(8, &completions, now);
+        let deep = retry_hint(64, &completions, now);
+        // ~99µs/req × 9 ≈ 0.9ms; ~99µs/req × 65 ≈ 6.4ms.
+        assert!((500..2_000).contains(&shallow), "shallow queue hint {shallow}µs");
+        assert!((4_000..10_000).contains(&deep), "deep queue hint {deep}µs");
+        assert!(deep > shallow, "a deeper queue must hint a longer back-off");
+    }
+
+    #[test]
+    fn stalled_lane_hint_grows_with_the_stall_and_clamps() {
+        let now = Instant::now();
+        // Burst of completions that ended 2s ago: the window span against
+        // `now` is dominated by the stall, so the hint hits the ceiling
+        // instead of replaying the burst-era rate.
+        let completions = ring(RATE_WINDOW, 100, 2_000_000, now);
+        assert_eq!(retry_hint(64, &completions, now), RETRY_MAX_US);
+    }
+
+    #[test]
+    fn hint_clamps_to_the_floor_for_a_fast_lane_and_tiny_queue() {
+        let now = Instant::now();
+        // 1µs per request, nothing queued: raw estimate is ~1µs — the
+        // floor keeps the hint meaningful.
+        let completions = ring(RATE_WINDOW, 1, 0, now);
+        assert_eq!(retry_hint(0, &completions, now), RETRY_MIN_US);
+    }
 }

@@ -100,7 +100,7 @@ pub mod prelude {
         PreprocessConfig, Preprocessed, ShortcutExpander, ShortcutHeuristic,
     };
     pub use rs_core::solver::{
-        Algorithm, BatchOutcome, BatchStats, HeapKind, Query, QueryBatch, QueryResponse,
+        Algorithm, BatchOutcome, BatchStats, HeapKind, P2pMode, Query, QueryBatch, QueryResponse,
         QueryShape, Radii, SolverBuilder, SolverConfig, SsspSolver,
     };
     pub use rs_core::{

@@ -7,22 +7,48 @@
 //! orderings follow Lê, Pop, Cohen & Zappa Nardelli, *Correct and Efficient
 //! Work-Stealing for Weak Memory Models* (PPoPP '13).
 //!
-//! The buffer is fixed-capacity: fork-join recursion keeps at most one
-//! pending job per live `join` frame on the owner's stack, so the occupancy
-//! is bounded by the recursion depth (logarithmic for every splitter in this
-//! workspace). If a pathological caller ever fills it, [`WorkerDeque::push`]
-//! reports failure and `join` degrades to a sequential call — correct, just
-//! not parallel — instead of reallocating concurrently-read memory.
+//! Storage is a chunked ring: a fixed directory of [`NUM_SEGMENTS`] segment
+//! pointers, each segment holding [`SEGMENT_SIZE`] slots and allocated
+//! lazily by the owner the first time an index lands in it. A fresh deque
+//! therefore costs one small directory (no 64 KiB up-front buffer), and
+//! occupancy can grow to [`CAPACITY`] = `SEGMENT_SIZE × NUM_SEGMENTS` slots
+//! before [`WorkerDeque::push`] reports failure and `join` degrades to a
+//! sequential call. Growth never reallocates concurrently-read memory: a
+//! published segment stays at its address until the deque itself is
+//! dropped, so thieves can dereference segment pointers without any
+//! reclamation protocol.
 
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
 use crate::model;
 use crate::pool::{JobHeader, JobRef};
 
-/// Slots per deque. Far above any sane fork-join depth (occupancy tracks
-/// recursion depth, not total task count).
-const CAPACITY: usize = 8192;
+/// Slots per segment. One segment covers any sane fork-join depth
+/// (occupancy tracks recursion depth, not total task count), so the lazy
+/// path beyond segment 0 is exercised only by pathological or injected
+/// workloads.
+const SEGMENT_SIZE: usize = 8192;
+const SEGMENT_MASK: usize = SEGMENT_SIZE - 1;
+
+/// Segment-directory length: total capacity is 64 × 8192 = 524 288 slots.
+const NUM_SEGMENTS: usize = 64;
+
+/// Total slots addressable before `push` reports failure.
+const CAPACITY: usize = SEGMENT_SIZE * NUM_SEGMENTS;
 const MASK: usize = CAPACITY - 1;
+
+/// One lazily-allocated chunk of the ring.
+struct Segment {
+    slots: [AtomicPtr<JobHeader>; SEGMENT_SIZE],
+}
+
+impl Segment {
+    fn alloc() -> *mut Segment {
+        Box::into_raw(Box::new(Segment {
+            slots: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }))
+    }
+}
 
 /// A single worker's deque. `push`/`take` must only be called by the owning
 /// worker thread; `steal` is safe from any thread.
@@ -31,17 +57,60 @@ pub(crate) struct WorkerDeque {
     top: AtomicIsize,
     /// Next slot the owner pushes to.
     bottom: AtomicIsize,
-    slots: Box<[AtomicPtr<JobHeader>]>,
+    /// Segment directory; null until the owner first touches the segment.
+    segments: Box<[AtomicPtr<Segment>]>,
 }
 
 impl WorkerDeque {
     pub(crate) fn new() -> Self {
-        let slots = (0..CAPACITY).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect::<Vec<_>>();
+        let segments =
+            (0..NUM_SEGMENTS).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect::<Vec<_>>();
         WorkerDeque {
             top: AtomicIsize::new(0),
             bottom: AtomicIsize::new(0),
-            slots: slots.into_boxed_slice(),
+            segments: segments.into_boxed_slice(),
         }
+    }
+
+    /// Owner-only: the segment covering ring index `idx`, allocating it on
+    /// first touch. Returns a reference valid for the deque's lifetime —
+    /// segments are freed only in [`Drop`].
+    fn owner_segment(&self, idx: usize) -> &Segment {
+        let dir = &self.segments[idx / SEGMENT_SIZE];
+        // ORDERING: Relaxed load — only the owner stores into the
+        // directory, so it reads back its own last store. The Release
+        // store publishes the freshly zeroed segment before the owner's
+        // later Release store of `bottom` hands any of its slots to
+        // thieves (see the slot-publication comment in `push`).
+        let mut seg = dir.load(Ordering::Relaxed);
+        if seg.is_null() {
+            seg = Segment::alloc();
+            // ORDERING: Release publish of the zeroed segment; pairs with
+            // the Acquire directory load in `shared_segment` (reached by
+            // thieves only after the Release `bottom` store in `push`, so
+            // the zeroed slots are visible before any slot they read).
+            dir.store(seg, Ordering::Release);
+        }
+        // SAFETY: `seg` came from `Segment::alloc` (via this call or an
+        // earlier owner store) and is freed only in Drop, which takes
+        // `&mut self` — no segment is freed while any `&self` method runs.
+        unsafe { &*seg }
+    }
+
+    /// Any-thread: the already-published segment covering ring index
+    /// `idx`. Callers must have observed (via an Acquire edge on `bottom`)
+    /// a push into this segment, which guarantees the pointer is non-null.
+    fn shared_segment(&self, idx: usize) -> &Segment {
+        // ORDERING: Acquire pairs with the owner's Release store in
+        // `owner_segment`; combined with the Acquire load of `bottom` that
+        // proved this index in-range, the segment contents (zeroed slots +
+        // the job pointer we are after) are visible.
+        let seg = self.segments[idx / SEGMENT_SIZE].load(Ordering::Acquire);
+        debug_assert!(!seg.is_null(), "segment read before publication");
+        // SAFETY: non-null per the caller contract above; segments are
+        // freed only in Drop (`&mut self`), never while readers hold
+        // `&self`.
+        unsafe { &*seg }
     }
 
     /// Owner-only: pushes `job` at the bottom. Fails (returning the job)
@@ -56,12 +125,15 @@ impl WorkerDeque {
         if b - t >= CAPACITY as isize {
             return Err(job);
         }
+        let idx = (b as usize) & MASK;
+        let segment = self.owner_segment(idx);
         model::yield_point();
         // ORDERING: Relaxed slot store is safe because nothing reads this
         // slot until the Release store of bottom below publishes it; the
-        // Release/Acquire edge on bottom carries the slot write to any
+        // Release/Acquire edge on bottom carries both the slot write and
+        // the segment-directory write (if this push allocated) to any
         // thief that observes the new bottom.
-        self.slots[(b as usize) & MASK].store(job.as_ptr(), Ordering::Relaxed);
+        segment.slots[idx & SEGMENT_MASK].store(job.as_ptr(), Ordering::Relaxed);
         model::yield_point();
         self.bottom.store(b + 1, Ordering::Release);
         Ok(())
@@ -86,10 +158,12 @@ impl WorkerDeque {
         // before our fence, we see its increment.
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
+            let idx = (b as usize) & MASK;
             // ORDERING: Relaxed slot load — the owner itself stored this
             // slot (program order), no other thread writes it while
-            // bottom reserves it.
-            let job = self.slots[(b as usize) & MASK].load(Ordering::Relaxed);
+            // bottom reserves it; the segment exists because the owner's
+            // own push allocated it.
+            let job = self.owner_segment(idx).slots[idx & SEGMENT_MASK].load(Ordering::Relaxed);
             if t == b {
                 model::yield_point();
                 // Single element left: decide the race via CAS on top.
@@ -126,16 +200,18 @@ impl WorkerDeque {
         // increments so we start from a current index; the SeqCst fence
         // pairs with the fence in take (see there). Acquire on bottom
         // pairs with the owner's Release store in push, carrying the slot
-        // write to us.
+        // write (and any segment allocation that preceded it) to us.
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         model::yield_point();
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
+            let idx = (t as usize) & MASK;
             // ORDERING: Relaxed slot load — made visible by the Acquire
             // load of bottom above (the owner stored the slot before its
-            // Release store of bottom).
-            let job = self.slots[(t as usize) & MASK].load(Ordering::Relaxed);
+            // Release store of bottom); `shared_segment` Acquire-loads the
+            // segment pointer published before that same edge.
+            let job = self.shared_segment(idx).slots[idx & SEGMENT_MASK].load(Ordering::Relaxed);
             model::yield_point();
             // ORDERING: Relaxed on CAS failure — on a lost race we return
             // None and use nothing the winner published.
@@ -153,8 +229,26 @@ impl WorkerDeque {
     pub(crate) fn has_jobs(&self) -> bool {
         // ORDERING: advisory emptiness probe; a stale answer only delays a
         // wake-up or causes one spurious steal attempt, both harmless (the
-        // parker re-checks under the sleep mutex with a bounded timeout).
+        // parker re-checks for work under the sleep mutex before sleeping,
+        // and every push is followed by an event-counted wake-up).
         self.bottom.load(Ordering::Relaxed) > self.top.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerDeque {
+    fn drop(&mut self) {
+        // Segments are freed here and ONLY here: `&mut self` proves no
+        // owner or thief still holds a reference into them, which is the
+        // whole reclamation story for the chunked ring.
+        for dir in self.segments.iter_mut() {
+            let seg = *dir.get_mut();
+            if !seg.is_null() {
+                // SAFETY: every non-null directory entry came from
+                // `Segment::alloc` (Box::into_raw) and was never freed
+                // before this point.
+                unsafe { drop(Box::from_raw(seg)) };
+            }
+        }
     }
 }
 
@@ -185,6 +279,80 @@ mod tests {
         assert_eq!(index_of(&headers, deque.take().expect("last")), 1);
         assert!(deque.take().is_none());
         assert!(deque.steal().is_none());
+    }
+
+    /// Occupancy beyond one segment: pushes cross the first 8192-slot
+    /// segment boundary (forcing a lazy allocation while thieves hold
+    /// references into segment 0 via concurrent steals), then every job is
+    /// drained and must be seen exactly once.
+    #[test]
+    fn grows_past_one_segment_with_concurrent_thief() {
+        const JOBS: usize = SEGMENT_SIZE + 128;
+        let headers: Vec<JobHeader> = (0..JOBS).map(|_| JobHeader::noop()).collect();
+        let deque = WorkerDeque::new();
+        let claims: Vec<AtomicUsize> = (0..JOBS).map(|_| AtomicUsize::new(0)).collect();
+        let done = AtomicBool::new(false);
+        let record = |job: JobRef| {
+            claims[index_of(&headers, job)].fetch_add(1, O::SeqCst);
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !done.load(O::SeqCst) {
+                    if let Some(job) = deque.steal() {
+                        record(job);
+                    }
+                }
+            });
+            for i in 0..JOBS {
+                deque.push(job_at(&headers, i)).ok().expect("below total capacity");
+            }
+            while let Some(job) = deque.take() {
+                record(job);
+            }
+            done.store(true, O::SeqCst);
+        });
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(O::SeqCst), 1, "job {i} claimed {} times", c.load(O::SeqCst));
+        }
+    }
+
+    /// The ring wraps: after draining `CAPACITY - 16` pushed-and-taken
+    /// jobs in chunks, indices exceed `CAPACITY` and wrap onto segment 0
+    /// again. Uses take-only draining so the test stays fast and
+    /// deterministic.
+    #[test]
+    fn indices_wrap_around_total_capacity() {
+        let headers: Vec<JobHeader> = (0..64).map(|_| JobHeader::noop()).collect();
+        let deque = WorkerDeque::new();
+        // Advance top/bottom past CAPACITY in lockstep batches.
+        let batches = CAPACITY / headers.len() + 2;
+        for _ in 0..batches {
+            for i in 0..headers.len() {
+                deque.push(job_at(&headers, i)).ok().expect("never full in lockstep");
+            }
+            for _ in 0..headers.len() {
+                assert!(deque.take().is_some());
+            }
+        }
+        assert!(deque.take().is_none());
+        assert!(deque.steal().is_none());
+    }
+
+    /// A full deque reports failure instead of overwriting live slots.
+    #[test]
+    fn push_fails_at_total_capacity() {
+        let headers: Vec<JobHeader> = vec![JobHeader::noop()];
+        let deque = WorkerDeque::new();
+        // Fill to CAPACITY with the same noop header (claims are not
+        // tracked here; only the occupancy accounting matters).
+        for _ in 0..CAPACITY {
+            deque.push(job_at(&headers, 0)).ok().expect("below capacity");
+        }
+        assert!(deque.push(job_at(&headers, 0)).is_err(), "overfull push must fail");
+        assert!(deque.take().is_some(), "draining reopens capacity");
+        deque.push(job_at(&headers, 0)).ok().expect("one slot free again");
+        // Drain fully so Drop sees a quiesced deque.
+        while deque.take().is_some() {}
     }
 
     /// The single-hardest Chase–Lev schedule: one job left, the owner's

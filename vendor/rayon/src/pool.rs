@@ -9,8 +9,11 @@
 //!   pool, and the sleep/latch condition variables.
 //! * **Workers** — `num_threads()` OS threads spawned once at registry
 //!   creation. Each loops: pop own deque (LIFO) → steal from a sibling or
-//!   the injector (FIFO) → park briefly. Parked workers are woken whenever
-//!   new work is published.
+//!   the injector (FIFO) → park. Parking is event-counted and
+//!   timeout-free: publication bumps an epoch counter and a worker only
+//!   commits to sleeping when the epoch it sampled is still current under
+//!   the sleep mutex, so the first job after an idle period wakes a
+//!   worker immediately instead of after a polling interval.
 //! * **Jobs** — stack-allocated [`StackJob`]s referenced by a type-erased
 //!   one-word [`JobRef`]. No allocation per `join`; the job lives in the
 //!   joining caller's frame, which is pinned until the job's latch is set.
@@ -34,7 +37,6 @@ use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
-use std::time::Duration;
 
 use crate::deque::WorkerDeque;
 
@@ -218,12 +220,20 @@ pub(crate) struct Registry {
     num_threads: usize,
     /// Rotates steal start positions so thieves spread over victims.
     steal_seed: AtomicUsize,
-    /// Idle-worker parking. `sleepers` gates the notify fast path.
+    /// Idle-worker parking. `sleepers` gates the notify fast path;
+    /// `sleep_epoch` is the event counter that makes the parking
+    /// timeout-free: every job publication bumps it, and a worker only
+    /// commits to sleeping if the epoch it sampled before its last work
+    /// check is still current under the mutex.
     sleepers: AtomicUsize,
+    sleep_epoch: AtomicUsize,
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
-    /// Joiners blocked on a stolen job's latch.
+    /// Joiners blocked on a stolen job's latch; same event-counted
+    /// protocol. Bumped by every latch set *and* every job publication
+    /// (so a parked joiner wakes to help with fresh work).
     latch_waiters: AtomicUsize,
+    latch_epoch: AtomicUsize,
     latch_mutex: Mutex<()>,
     latch_cond: Condvar,
 }
@@ -241,9 +251,11 @@ pub(crate) fn global() -> &'static Registry {
             num_threads,
             steal_seed: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
+            sleep_epoch: AtomicUsize::new(0),
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
             latch_waiters: AtomicUsize::new(0),
+            latch_epoch: AtomicUsize::new(0),
             latch_mutex: Mutex::new(()),
             latch_cond: Condvar::new(),
         }));
@@ -317,17 +329,33 @@ impl Registry {
         self.deques.iter().any(WorkerDeque::has_jobs) || !self.injector.lock().unwrap().is_empty()
     }
 
-    /// Wakes parked workers after publishing a job. The lock acquire/release
-    /// pairs with the sleeper's re-check under the same mutex; the parked
-    /// side additionally uses a bounded timeout as a lost-wakeup backstop.
+    /// Wakes parked workers after publishing a job — the *only* wake-up
+    /// mechanism now that parking is event-counted and timeout-free, so
+    /// every publication path must route through here. The epoch bump
+    /// comes first: a worker that sampled the old epoch before its final
+    /// work check will refuse to sleep once it re-reads the counter under
+    /// the mutex, and a worker already past that re-check has necessarily
+    /// registered in `sleepers` (it increments before taking the mutex),
+    /// so the notify branch below reaches it. The lock acquire/release
+    /// serialises us against a worker between its re-check and its
+    /// `wait`, which holds the mutex for that whole window.
     fn notify_new_job(&self) {
+        self.sleep_epoch.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             drop(self.sleep_mutex.lock().unwrap());
             self.sleep_cond.notify_all();
         }
+        // Parked joiners can help with the new job too — without this a
+        // joiner whose latch is slow to resolve would idle next to
+        // claimable work (the old bounded timeout used to paper over
+        // this by polling).
+        self.notify_latch_waiters();
     }
 
+    /// Same event-counted protocol as [`Registry::notify_new_job`], for
+    /// the latch condvar: bump first, then notify if anyone registered.
     fn notify_latch_waiters(&self) {
+        self.latch_epoch.fetch_add(1, Ordering::SeqCst);
         if self.latch_waiters.load(Ordering::SeqCst) > 0 {
             drop(self.latch_mutex.lock().unwrap());
             self.latch_cond.notify_all();
@@ -342,15 +370,25 @@ fn worker_main(registry: &'static Registry, index: usize) {
             execute(job);
             continue;
         }
-        // Idle: register as sleeping, re-check (a publisher that missed our
-        // registration races the check), then park with a bounded timeout.
+        // Idle: event-counted parking, no timeout. Sample the epoch,
+        // register as sleeping, re-check for work (a publisher that
+        // missed our registration races the check), then commit to the
+        // sleep only if the epoch is unchanged under the mutex — any
+        // publication between the sample and the re-check bumped it, and
+        // any publication after the re-check sees our `sleepers`
+        // registration and notifies (see `notify_new_job`).
+        let epoch = registry.sleep_epoch.load(Ordering::SeqCst);
         registry.sleepers.fetch_add(1, Ordering::SeqCst);
         if registry.has_visible_work() {
             registry.sleepers.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
         let guard = registry.sleep_mutex.lock().unwrap();
-        let _ = registry.sleep_cond.wait_timeout(guard, Duration::from_millis(5)).unwrap();
+        if registry.sleep_epoch.load(Ordering::SeqCst) == epoch && !registry.has_visible_work() {
+            drop(registry.sleep_cond.wait(guard).unwrap());
+        } else {
+            drop(guard);
+        }
         registry.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -364,11 +402,16 @@ fn wait_while_helping(registry: &'static Registry, latch: &Latch, worker: Option
             execute(job);
             continue;
         }
+        // Event-counted park (see `worker_main` for the race argument):
+        // the latch epoch is bumped by every latch set and every job
+        // publication, so a committed sleeper is woken both when its own
+        // latch resolves and when fresh work appears to help with.
+        let epoch = registry.latch_epoch.load(Ordering::SeqCst);
         registry.latch_waiters.fetch_add(1, Ordering::SeqCst);
         if !latch.probe() {
             let guard = registry.latch_mutex.lock().unwrap();
-            if !latch.probe() {
-                let _ = registry.latch_cond.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+            if registry.latch_epoch.load(Ordering::SeqCst) == epoch && !latch.probe() {
+                drop(registry.latch_cond.wait(guard).unwrap());
             }
         }
         registry.latch_waiters.fetch_sub(1, Ordering::SeqCst);
