@@ -5,7 +5,7 @@
 //!       [--duration SECS] [--rate QPS]
 //!
 //! EXPERIMENTS: fig2 fig3 fig4 fig5 table1 table2 table3 table4 table5
-//!              table6 table7 bounds queries p2p | --all (default)
+//!              table6 table7 bounds queries p2p shard | --all (default)
 //! --scale N    divide the paper's graph sizes by N (default 16; 1 = paper scale)
 //! --sources N  sampled sources per graph (default 5; paper used 1000)
 //! --out DIR    CSV output directory (default results/)
@@ -16,13 +16,13 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rs_bench::experiments::{
-    bounds, fig2, p2p, queries, shortcuts, steps, substeps, table1, ExpConfig,
+    bounds, fig2, p2p, queries, shard, shortcuts, steps, substeps, table1, ExpConfig,
 };
 use rs_bench::table::Table;
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "table5", "table6",
-    "table7", "bounds", "substeps", "queries", "p2p",
+    "table7", "bounds", "substeps", "queries", "p2p", "shard",
 ];
 
 fn main() {
@@ -109,6 +109,10 @@ fn main() {
     if wanted.contains("p2p") {
         let run = timed("point-to-point modes (BENCH_p2p.json)", || p2p::run(&cfg));
         emitted.push(("p2p".into(), p2p::table(&run)));
+    }
+    if wanted.contains("shard") {
+        let run = timed("sharded serving (BENCH_shard.json)", || shard::run(&cfg));
+        emitted.push(("shard".into(), shard::table(&run)));
     }
 
     for (stem, table) in &emitted {

@@ -4,6 +4,7 @@ pub mod bounds;
 pub mod fig2;
 pub mod p2p;
 pub mod queries;
+pub mod shard;
 pub mod shortcuts;
 pub mod steps;
 pub mod substeps;

@@ -9,9 +9,12 @@
 //! *consistent*, which keeps A* pop order Dijkstra-exact — bit-identical
 //! distances, far fewer scanned edges.
 //!
-//! Landmarks are elected by farthest-point traversal (the standard
-//! heuristic: spread landmarks to the periphery, where the triangle bound
-//! is tight) and their full distance fields are stored row-per-landmark.
+//! Landmarks are elected by coverage-first farthest-point traversal:
+//! every connected component gets a landmark (at its periphery, where
+//! the triangle bound is tight) before the spread refines the largest
+//! components, so goal-directed queries are never blind inside a
+//! component just because vertex 0 lives elsewhere. Full distance fields
+//! are stored row-per-landmark.
 //! Preprocessing persists the table in the `RSP4` cache next to the radii
 //! (the (k, ρ) ball machinery already computes multi-source distance
 //! fields; landmarks are the same shape of artifact), and solvers built
@@ -35,30 +38,41 @@ pub struct Landmarks {
 }
 
 impl Landmarks {
-    /// Elects up to `k` landmarks on `g` by farthest-point traversal and
-    /// computes their distance fields (`k` sequential Dijkstras). Election
-    /// is deterministic: the first landmark is the vertex farthest from
-    /// vertex 0, each next one maximises the minimum distance to the
-    /// already-chosen set, ties break toward the lowest id, and vertices
-    /// unreachable from the chosen set are never elected.
+    /// Elects up to `k` landmarks on `g` by coverage-first farthest-point
+    /// traversal and computes their distance fields (sequential
+    /// Dijkstras). Election is deterministic and **per-component**: while
+    /// any component has no landmark, the lowest-id uncovered vertex
+    /// seeds a probe Dijkstra and the farthest vertex of that component
+    /// is elected (on a connected graph this reproduces the classic
+    /// "farthest from vertex 0" seed exactly); once every component is
+    /// covered, each next landmark maximises the minimum distance to the
+    /// already-chosen set. Ties break toward the lowest id. Goal-directed
+    /// searches inside *any* component therefore get finite, tight
+    /// bounds — not just vertex 0's component.
     pub fn build(g: &CsrGraph, k: usize) -> Landmarks {
         let n = g.num_vertices();
         let mut lm = Landmarks { ids: Vec::new(), dists: Vec::new() };
         if n == 0 || k == 0 {
             return lm;
         }
-        // Seed: the farthest reachable vertex from vertex 0 (vertex 0
-        // itself when nothing else is reachable).
-        let d0 = sequential_dijkstra(g, 0);
-        let first = farthest(&d0).unwrap_or(0);
-        lm.push_landmark(g, first);
-        let mut min_dist = lm.dists[0].clone();
+        // min over elected fields; `INF` marks a still-uncovered vertex.
+        let mut min_dist = vec![INF; n];
         while lm.ids.len() < k.min(n) {
-            let Some(next) = farthest(&min_dist) else { break };
-            if min_dist[next as usize] == 0 {
-                break; // every reachable vertex is already a landmark
+            if let Some(seed) = min_dist.iter().position(|&d| d == INF) {
+                // Coverage first: a component no landmark can see gets
+                // one (its periphery, found via a probe from the seed —
+                // an isolated vertex elects itself).
+                let probe = sequential_dijkstra(g, seed as VertexId);
+                let pick = farthest(&probe).unwrap_or(seed as VertexId);
+                lm.push_landmark(g, pick);
+            } else {
+                // Every component covered: farthest-point spread.
+                let Some(next) = farthest(&min_dist) else { break };
+                if min_dist[next as usize] == 0 {
+                    break; // every vertex is already a landmark
+                }
+                lm.push_landmark(g, next);
             }
-            lm.push_landmark(g, next);
             let field = lm.dists.last().expect("just pushed");
             for (m, &d) in min_dist.iter_mut().zip(field) {
                 *m = (*m).min(d);
@@ -213,11 +227,43 @@ mod tests {
         b.add_edge(4, 5, 2);
         let g = b.build();
         let lm = Landmarks::build(&g, 2);
-        // Landmarks live in vertex 0's component; a goal over there gets an
-        // INF bound from any vertex of the other component.
+        // Coverage-first election: one landmark per component before any
+        // spread — the periphery of {0,1,2} then the periphery of {3,4,5}.
+        assert_eq!(lm.ids(), &[2, 5]);
+        // A goal in one component still gets an INF bound from any vertex
+        // of the other (the landmark in the goal's component proves it).
         let row = lm.goal_row(2);
         assert_eq!(lm.lower_bound(3, &row), INF);
         assert_eq!(lm.lower_bound(0, &row), lm.lower_bound(0, &row).min(7));
+    }
+
+    #[test]
+    fn every_component_gets_finite_bounds() {
+        // Three components of different shapes, plus an isolated vertex.
+        let mut b = EdgeListBuilder::new(10);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        b.add_edge(3, 4, 2);
+        b.add_edge(4, 5, 2);
+        b.add_edge(6, 7, 5); // third component: {6, 7, 8}
+        b.add_edge(7, 8, 1); // vertex 9 is isolated
+        let g = b.build();
+        let lm = Landmarks::build(&g, 4);
+        assert_eq!(lm.len(), 4, "one landmark per component");
+        // Within every component the bound is finite, valid, and (here)
+        // tight enough to be nonzero between distinct vertices.
+        for (s, goal, exact) in [(0u32, 2u32, 7), (3, 5, 4), (6, 8, 6), (9, 9, 0)] {
+            let row = lm.goal_row(goal);
+            let h = lm.lower_bound(s, &row);
+            assert!(h <= exact, "h({s}) must lower-bound d({s}, {goal})");
+            assert_ne!(h, INF, "same-component bound must be finite");
+            if s != goal {
+                assert!(h > 0, "periphery landmarks separate {s} and {goal}");
+            }
+        }
+        // Cross-component bounds still prove unreachability.
+        assert_eq!(lm.lower_bound(0, &lm.goal_row(9)), INF);
+        assert_eq!(lm.lower_bound(6, &lm.goal_row(3)), INF);
     }
 
     #[test]

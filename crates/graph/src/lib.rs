@@ -16,6 +16,8 @@
 //! * [`io`] — DIMACS `.gr` and fast binary serialisation.
 //! * [`analysis`] — connectivity, largest-component extraction, degree and
 //!   eccentricity statistics.
+//! * [`partition`] — vertex→part assignments and induced subgraph views
+//!   with global↔local remapping (the substrate under `rs_shard`).
 
 pub mod analysis;
 pub mod builder;
@@ -23,11 +25,13 @@ pub mod csr;
 pub mod edge_map;
 pub mod gen;
 pub mod io;
+pub mod partition;
 pub mod weights;
 
 pub use builder::EdgeListBuilder;
 pub use csr::CsrGraph;
 pub use edge_map::{edge_map, EdgeMapResult};
+pub use partition::{induced_subgraph, PartitionAssignment, SubgraphView};
 pub use weights::WeightModel;
 
 /// Vertex identifier. Graphs are limited to `u32::MAX - 1` vertices.

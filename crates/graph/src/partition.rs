@@ -1,0 +1,202 @@
+//! Partition views: vertex→part assignments and induced subgraphs with
+//! global↔local vertex remapping.
+//!
+//! This is the graph-layer substrate under `rs_shard`: a
+//! [`PartitionAssignment`] says which part owns each vertex, and
+//! [`induced_subgraph`] materialises one part as a self-contained
+//! [`CsrGraph`] over dense local ids plus the mapping back to the input
+//! graph's ids. Cut arcs (endpoints in different parts) are *dropped* by
+//! the induced view — they live in the boundary skeleton the shard layer
+//! builds on top — so distances inside a part view are within-part
+//! distances: upper bounds on the input graph's distances, exact for any
+//! pair whose shortest path never leaves the part.
+
+use crate::{CsrGraph, VertexId};
+
+/// A total assignment of vertices to `num_parts` parts.
+///
+/// Parts may be empty (a part that never claimed a vertex); every vertex
+/// belongs to exactly one part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionAssignment {
+    part_of: Vec<u32>,
+    num_parts: usize,
+}
+
+impl PartitionAssignment {
+    /// Wraps a per-vertex part array.
+    ///
+    /// # Panics
+    /// If any entry is `>= num_parts` or `num_parts == 0`.
+    pub fn new(part_of: Vec<u32>, num_parts: usize) -> PartitionAssignment {
+        assert!(num_parts > 0, "a partition needs at least one part");
+        for (v, &p) in part_of.iter().enumerate() {
+            assert!((p as usize) < num_parts, "vertex {v} assigned to out-of-range part {p}");
+        }
+        PartitionAssignment { part_of, num_parts }
+    }
+
+    /// The part owning `v`.
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.part_of[v as usize]
+    }
+
+    /// Number of parts (fixed at construction; parts may be empty).
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Number of assigned vertices (the graph's vertex count).
+    pub fn len(&self) -> usize {
+        self.part_of.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.part_of.is_empty()
+    }
+
+    /// The raw per-vertex part array.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.part_of
+    }
+
+    /// Per-part member lists, each sorted ascending by global id — the
+    /// order [`induced_subgraph`] uses for local ids, so
+    /// `members()[p][local]` is the global id of part `p`'s vertex
+    /// `local`.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut members = vec![Vec::new(); self.num_parts];
+        for (v, &p) in self.part_of.iter().enumerate() {
+            members[p as usize].push(v as VertexId);
+        }
+        members
+    }
+}
+
+/// One part of a partitioned graph: the induced subgraph over dense local
+/// ids plus the local→global mapping.
+#[derive(Debug, Clone)]
+pub struct SubgraphView {
+    /// The induced subgraph (cut arcs dropped), over local ids
+    /// `0..to_global.len()`.
+    pub graph: CsrGraph,
+    /// `to_global[local]` = the input graph's id; sorted ascending, so
+    /// [`SubgraphView::to_local`] is a binary search.
+    pub to_global: Vec<VertexId>,
+}
+
+impl SubgraphView {
+    /// The local id of global vertex `global`, if it belongs to this part.
+    pub fn to_local(&self, global: VertexId) -> Option<VertexId> {
+        self.to_global.binary_search(&global).ok().map(|i| i as VertexId)
+    }
+
+    /// The global id of local vertex `local`.
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.to_global[local as usize]
+    }
+
+    /// Number of vertices in the part.
+    pub fn len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// True for an empty part.
+    pub fn is_empty(&self) -> bool {
+        self.to_global.is_empty()
+    }
+}
+
+/// Extracts the subgraph of `g` induced by `members` (which must be
+/// sorted ascending and duplicate-free), remapped to dense local ids in
+/// `members` order.
+///
+/// Runs in `O(|members| + deg(members))`: `g`'s adjacency is sorted by
+/// global target id and local ids preserve global order, so filtering and
+/// remapping keeps each local adjacency list sorted — the output is a
+/// valid [`CsrGraph`] without re-sorting.
+///
+/// # Panics
+/// If `members` is not sorted ascending / contains duplicates or ids out
+/// of range.
+pub fn induced_subgraph(g: &CsrGraph, members: &[VertexId]) -> SubgraphView {
+    assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be sorted and distinct");
+    if let Some(&last) = members.last() {
+        assert!((last as usize) < g.num_vertices(), "member {last} out of range");
+    }
+    // Dense global→local map; u32::MAX marks "not in this part".
+    let mut local_of = vec![VertexId::MAX; g.num_vertices()];
+    for (local, &global) in members.iter().enumerate() {
+        local_of[global as usize] = local as VertexId;
+    }
+    let mut offsets = Vec::with_capacity(members.len() + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for &global in members {
+        for (t, w) in g.neighbors(global).iter().zip(g.weights_of(global)) {
+            let local = local_of[*t as usize];
+            if local != VertexId::MAX {
+                targets.push(local);
+                weights.push(*w);
+            }
+        }
+        offsets.push(targets.len());
+    }
+    SubgraphView {
+        graph: CsrGraph::from_parts(offsets, targets, weights),
+        to_global: members.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, EdgeListBuilder};
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 7); // cut when {0,1} | {2,..}
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 5, 2);
+        let g = b.build();
+        let view = induced_subgraph(&g, &[2, 3, 5]);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.to_global(0), 2);
+        assert_eq!(view.to_local(5), Some(2));
+        assert_eq!(view.to_local(1), None);
+        // Edges 2-3 and 3-5 survive (remapped); 1-2 is cut.
+        assert_eq!(view.graph.num_edges(), 2);
+        assert_eq!(view.graph.arc_weight(0, 1), Some(1));
+        assert_eq!(view.graph.arc_weight(1, 2), Some(2));
+        assert_eq!(view.graph.arc_weight(0, 2), None);
+        view.graph.check_invariants().expect("valid CSR");
+    }
+
+    #[test]
+    fn assignment_members_match_local_order() {
+        let g = gen::grid2d(4, 4);
+        let part_of: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 3).collect();
+        let asg = PartitionAssignment::new(part_of, 3);
+        let members = asg.members();
+        assert_eq!(members.iter().map(|m| m.len()).sum::<usize>(), g.num_vertices());
+        for (p, m) in members.iter().enumerate() {
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "sorted members");
+            let view = induced_subgraph(&g, m);
+            for (local, &global) in m.iter().enumerate() {
+                assert_eq!(asg.part_of(global), p as u32);
+                assert_eq!(view.to_local(global), Some(local as VertexId));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and distinct")]
+    fn unsorted_members_rejected() {
+        let g = gen::grid2d(2, 2);
+        induced_subgraph(&g, &[1, 0]);
+    }
+}

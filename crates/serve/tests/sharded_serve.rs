@@ -1,0 +1,107 @@
+//! [`rs_shard::ShardedSolver`] behind the server loop, unchanged: the
+//! sharded solver is just another [`SsspSolver`], so admission lanes,
+//! the response cache, and shutdown-drain all work against it with no
+//! serving-layer modifications. Replies must be bit-identical to direct
+//! sharded executions, and cache hits bit-identical to fresh solves.
+
+use std::sync::mpsc;
+
+use rs_core::{Query, SolverScratch, SsspSolver};
+use rs_graph::{CsrGraph, WeightModel};
+use rs_serve::{serve, Reply, ServerConfig};
+use rs_shard::{Partitioner, ShardedSolver};
+
+fn weighted(seed: u64) -> CsrGraph {
+    rs_graph::weights::reweight(&rs_graph::gen::grid2d(10, 13), WeightModel::paper_weighted(), seed)
+}
+
+/// Every query shape served through the loop answers exactly what a
+/// direct sharded execution answers, and repeats hit the cache.
+#[test]
+fn sharded_solver_serves_every_shape_unchanged() {
+    let g = weighted(41);
+    let n = g.num_vertices() as u32;
+    let pg = Partitioner::new(4).partition(&g);
+    let solver = ShardedSolver::new(&g, &pg);
+
+    let queries = vec![
+        Query::single_source(0),
+        Query::point_to_point(1, n - 1).with_paths(),
+        Query::one_to_many(2, [n - 1, 5, n / 2, 2]).with_paths(),
+        Query::many_to_many([0, n / 2, n - 1], [3, n - 2, 0]).with_paths(),
+    ];
+
+    // Direct reference executions, outside the server.
+    let mut scratch = SolverScratch::new();
+    let reference: Vec<_> = queries.iter().map(|q| solver.execute(q, &mut scratch)).collect();
+
+    let (replies, stats) = serve(&solver, &ServerConfig::default(), |server| {
+        let mut replies = Vec::new();
+        for q in &queries {
+            let (tx, rx) = mpsc::channel::<Reply>();
+            server.submit(q.clone(), tx.clone()).unwrap();
+            let first = rx.recv().unwrap();
+            assert!(!first.cached, "first submit must solve");
+            server.submit(q.clone(), tx).unwrap();
+            let second = rx.recv().unwrap();
+            assert!(second.cached, "repeat submit must hit the cache");
+            assert_eq!(
+                first.response.distance_table(),
+                second.response.distance_table(),
+                "cache hit must be bit-identical to the fresh solve"
+            );
+            replies.push(first);
+        }
+        replies
+    });
+
+    assert_eq!(stats.completed(), 2 * queries.len() as u64, "every submit answered");
+    for (reply, reference) in replies.iter().zip(&reference) {
+        assert_eq!(
+            reply.response.distance_table(),
+            reference.distance_table(),
+            "served answer diverged from direct sharded execution"
+        );
+    }
+}
+
+/// Replies through the loop match direct execution distance-for-distance
+/// and path-for-path (determinism holds across the lane-worker thread).
+#[test]
+fn served_replies_match_direct_execution() {
+    let g = weighted(42);
+    let n = g.num_vertices() as u32;
+    let pg = Partitioner::new(3).partition(&g);
+    let solver = ShardedSolver::new(&g, &pg);
+
+    let queries = [
+        Query::point_to_point(0, n - 1).with_paths(),
+        Query::many_to_many([0, 7, n - 1], [1, n / 2, n - 1]).with_paths(),
+    ];
+    let mut scratch = SolverScratch::new();
+    let reference: Vec<_> = queries.iter().map(|q| solver.execute(q, &mut scratch)).collect();
+
+    let (replies, _) = serve(&solver, &ServerConfig::default(), |server| {
+        queries
+            .iter()
+            .map(|q| {
+                let (tx, rx) = mpsc::channel::<Reply>();
+                server.submit(q.clone(), tx).unwrap();
+                rx.recv().unwrap()
+            })
+            .collect::<Vec<_>>()
+    });
+
+    for (reply, reference) in replies.iter().zip(&reference) {
+        assert_eq!(reply.response.distance_table(), reference.distance_table());
+        for (row, _) in reference.query.sources().iter().enumerate() {
+            for &goal in reference.query.goals() {
+                assert_eq!(
+                    reply.response.path_in_row(row, goal),
+                    reference.path_in_row(row, goal),
+                    "served path diverged from direct execution"
+                );
+            }
+        }
+    }
+}

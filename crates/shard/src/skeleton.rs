@@ -1,0 +1,333 @@
+//! The boundary skeleton: an overlay graph over boundary vertices whose
+//! distances equal the input graph's distances exactly.
+//!
+//! **Nodes** are the boundary vertices — every vertex with at least one
+//! cut arc (an arc whose endpoints live in different parts). **Edges**
+//! are (a) every cut arc, at its input weight, and (b) for each part, a
+//! clique over that part's boundary vertices weighted by *within-part*
+//! distances (shortest paths in the part's induced subgraph).
+//!
+//! Exactness: a shortest path between boundary vertices decomposes at its
+//! cut arcs into maximal within-part segments; each segment joins two
+//! boundary vertices of one part and is no shorter than their within-part
+//! distance (it lies entirely inside the part), so the skeleton never
+//! underestimates — and every skeleton edge is realised by an actual
+//! input-graph path, so it never overestimates either.
+//!
+//! The within-part distances are produced by the existing (k, ρ)
+//! preprocessing + one-to-many machinery: each part is preprocessed with
+//! [`Preprocessed`]-backed solvers and each boundary vertex runs one
+//! `OneToMany` solve over its part. The solves request paths, and the
+//! returned input-graph routes are recorded as per-part [`ChainTable`]s —
+//! the same parent-link discipline as
+//! [`rs_core::ShortcutExpander`] — so a skeleton hop can later be
+//! unrolled into exact input-graph edges.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rs_core::solver::{Query, SolverBuilder, SsspSolver};
+use rs_core::{PreprocessConfig, SolverScratch, StepStats};
+use rs_graph::partition::SubgraphView;
+use rs_graph::{CsrGraph, Dist, VertexId, INF};
+
+/// Per-part parent links for expanding a within-part skeleton hop into
+/// input-graph edges: `(boundary_source_local, v_local) → parent_local`
+/// along a shortest within-part path — the [`rs_core::ShortcutExpander`]
+/// discipline, keyed in part-local ids.
+///
+/// Links from different goals may overwrite each other at shared
+/// vertices; every recorded link satisfies
+/// `d(b, parent) + w(parent, v) = d(b, v)` exactly, so any walk
+/// telescopes correctly and strictly descends toward `b`.
+#[derive(Debug, Clone, Default)]
+pub struct ChainTable {
+    links: HashMap<(VertexId, VertexId), VertexId>,
+}
+
+impl ChainTable {
+    /// An empty table.
+    pub fn new() -> ChainTable {
+        ChainTable::default()
+    }
+
+    /// Records `parent` as the predecessor of `v` on a shortest
+    /// within-part path from boundary source `b` (all part-local ids).
+    pub fn insert(&mut self, b: VertexId, v: VertexId, parent: VertexId) {
+        self.links.insert((b, v), parent);
+    }
+
+    /// The recorded predecessor of `v` on the path from `b`.
+    pub fn parent(&self, b: VertexId, v: VertexId) -> Option<VertexId> {
+        self.links.get(&(b, v)).copied()
+    }
+
+    /// Number of recorded links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when no links are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Deterministically ordered link list (for persistence).
+    pub fn sorted_links(&self) -> Vec<(VertexId, VertexId, VertexId)> {
+        let mut out: Vec<_> = self.links.iter().map(|(&(b, v), &p)| (b, v, p)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Walks the chain from `v` back to `b`, returning the *forward*
+    /// local path `b … v`. `None` when the chain is broken (never happens
+    /// for pairs the skeleton recorded).
+    pub fn walk(&self, b: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != b {
+            cur = self.parent(b, cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// The boundary-skeleton graph: CSR over skeleton node ids with `u64`
+/// weights (within-part distances can exceed any single edge weight), the
+/// node↔global mapping, and the per-part [`ChainTable`]s.
+#[derive(Debug, Clone)]
+pub struct SkeletonGraph {
+    /// `node_global[node]` = the input graph's vertex id; sorted
+    /// ascending, so node lookup is a binary search.
+    node_global: Vec<VertexId>,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<Dist>,
+    chains: Vec<ChainTable>,
+}
+
+/// Counters from one skeleton solve, folded into the sharded response's
+/// [`StepStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SkeletonSolve {
+    /// Skeleton nodes settled.
+    pub settled: usize,
+    /// Successful relaxations.
+    pub relaxations: u64,
+    /// Skeleton edges examined.
+    pub relaxed_edges: u64,
+}
+
+impl SkeletonGraph {
+    /// Assembles a skeleton from raw parts (the build path and the RSP5
+    /// loader). `edges` are directed `(node, node, dist)` entries; they
+    /// are symmetrised and min-deduplicated here.
+    pub fn from_edges(
+        node_global: Vec<VertexId>,
+        edges: Vec<(u32, u32, Dist)>,
+        chains: Vec<ChainTable>,
+    ) -> SkeletonGraph {
+        let nodes = node_global.len();
+        debug_assert!(node_global.windows(2).all(|w| w[0] < w[1]), "nodes sorted");
+        let mut arcs: Vec<(u32, u32, Dist)> = Vec::with_capacity(edges.len() * 2);
+        for (u, v, w) in edges {
+            debug_assert!((u as usize) < nodes && (v as usize) < nodes && u != v);
+            arcs.push((u, v, w));
+            arcs.push((v, u, w));
+        }
+        arcs.sort_unstable();
+        arcs.dedup_by_key(|&mut (u, v, _)| (u, v)); // sorted: keeps the min weight
+        let mut offsets = vec![0usize; nodes + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let targets = arcs.iter().map(|&(_, v, _)| v).collect();
+        let weights = arcs.iter().map(|&(_, _, w)| w).collect();
+        SkeletonGraph { node_global, offsets, targets, weights, chains }
+    }
+
+    /// Number of skeleton nodes (boundary vertices).
+    pub fn num_nodes(&self) -> usize {
+        self.node_global.len()
+    }
+
+    /// Number of undirected skeleton edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The input-graph vertex behind skeleton node `node`.
+    pub fn global_of_node(&self, node: u32) -> VertexId {
+        self.node_global[node as usize]
+    }
+
+    /// The skeleton node of input vertex `global`, if it is a boundary
+    /// vertex.
+    pub fn node_of_global(&self, global: VertexId) -> Option<u32> {
+        self.node_global.binary_search(&global).ok().map(|i| i as u32)
+    }
+
+    /// The sorted boundary vertex ids (node order).
+    pub fn node_globals(&self) -> &[VertexId] {
+        &self.node_global
+    }
+
+    /// The per-part chain tables (index = part id).
+    pub fn chains(&self) -> &[ChainTable] {
+        &self.chains
+    }
+
+    /// Raw CSR views (for persistence).
+    pub fn raw_parts(&self) -> (&[usize], &[u32], &[Dist]) {
+        (&self.offsets, &self.targets, &self.weights)
+    }
+
+    /// Multi-source Dijkstra over the skeleton with per-seed distance
+    /// offsets: computes `dist[node] = min_seed (offset + d_skel(seed,
+    /// node))`. With the offsets set to within-part distances from a
+    /// query source `s` to its part's boundary, `dist[node]` is the
+    /// *exact input-graph* distance `d(s, node)` for every skeleton node
+    /// (see the module docs). Deterministic: the heap breaks distance
+    /// ties toward the lowest node id, and parents are fixed at first
+    /// settle.
+    pub fn multi_source(
+        &self,
+        seeds: &[(u32, Dist)],
+        want_parents: bool,
+    ) -> (Vec<Dist>, Option<Vec<u32>>, SkeletonSolve) {
+        let nodes = self.num_nodes();
+        let mut dist = vec![INF; nodes];
+        let mut parent = want_parents.then(|| vec![u32::MAX; nodes]);
+        let mut stats = SkeletonSolve::default();
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        for &(node, offset) in seeds {
+            if offset < dist[node as usize] {
+                dist[node as usize] = offset;
+                if let Some(p) = parent.as_mut() {
+                    p[node as usize] = node; // seed: self-parented root
+                }
+                heap.push(Reverse((offset, node)));
+            }
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale entry
+            }
+            stats.settled += 1;
+            let (lo, hi) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+            for (&v, &w) in self.targets[lo..hi].iter().zip(&self.weights[lo..hi]) {
+                stats.relaxed_edges += 1;
+                let cand = d.saturating_add(w);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    if let Some(p) = parent.as_mut() {
+                        p[v as usize] = u;
+                    }
+                    stats.relaxations += 1;
+                    heap.push(Reverse((cand, v)));
+                }
+            }
+        }
+        (dist, parent, stats)
+    }
+}
+
+/// Builds the skeleton for a partition: identifies boundary vertices,
+/// collects cut arcs, and runs one `OneToMany` solve per boundary vertex
+/// over its part — through a per-part (k, ρ)-preprocessed solver when
+/// `pre_cfg` is given (the preprocessing's `ShortcutExpander` makes the
+/// recorded chain paths input-graph exact automatically), a plain
+/// frontier solver otherwise. Also returns the accumulated solve stats
+/// for telemetry.
+pub fn build_skeleton(
+    g: &CsrGraph,
+    part_of: &[u32],
+    parts: &[SubgraphView],
+    pre_cfg: Option<&PreprocessConfig>,
+) -> (SkeletonGraph, StepStats) {
+    // Boundary nodes: tails of cut arcs (heads are covered by symmetry).
+    let mut node_global: Vec<VertexId> = Vec::new();
+    for u in 0..g.num_vertices() as VertexId {
+        if g.neighbors(u).iter().any(|&t| part_of[t as usize] != part_of[u as usize]) {
+            node_global.push(u);
+        }
+    }
+    let node_of = |global: VertexId| -> u32 {
+        node_global.binary_search(&global).expect("boundary vertex has a node") as u32
+    };
+
+    let mut edges: Vec<(u32, u32, Dist)> = Vec::new();
+    // Cut arcs at input weight (one direction; from_edges symmetrises).
+    for &u in &node_global {
+        for (t, w) in g.edges(u) {
+            if part_of[t as usize] != part_of[u as usize] && u < t {
+                edges.push((node_of(u), node_of(t), w as Dist));
+            }
+        }
+    }
+
+    // Per-part boundary cliques via one OneToMany solve per boundary
+    // vertex, recording the solved paths as chain links.
+    let mut chains: Vec<ChainTable> = vec![ChainTable::new(); parts.len()];
+    let mut stats = StepStats::default();
+    for (p, view) in parts.iter().enumerate() {
+        let boundary_locals: Vec<VertexId> = view
+            .to_global
+            .iter()
+            .enumerate()
+            .filter(|&(_, &gv)| node_global.binary_search(&gv).is_ok())
+            .map(|(local, _)| local as VertexId)
+            .collect();
+        if boundary_locals.len() < 2 {
+            continue;
+        }
+        let solver = match pre_cfg {
+            Some(cfg) => SolverBuilder::new(&view.graph)
+                .preprocess(*cfg)
+                .radius_stepping_solver_from_algorithm(),
+            None => SolverBuilder::new(&view.graph).radius_stepping_solver_from_algorithm(),
+        };
+        let mut scratch = SolverScratch::new();
+        solver.warm_scratch(&mut scratch);
+        for &b in &boundary_locals {
+            let goals: Vec<VertexId> =
+                boundary_locals.iter().copied().filter(|&o| o != b).collect();
+            let resp =
+                solver.execute(&Query::one_to_many(b, goals.clone()).with_paths(), &mut scratch);
+            absorb_stats(&mut stats, resp.stats());
+            for &o in &goals {
+                let d = resp.dist()[o as usize];
+                if d == INF {
+                    continue;
+                }
+                edges.push((node_of(view.to_global(b)), node_of(view.to_global(o)), d));
+                // goal_path_to expands shortcut hops through the part
+                // preprocessing's expander, so these links ride input
+                // edges only.
+                if let Some(path) = resp.goal_path_to(o) {
+                    for hop in path.windows(2) {
+                        chains[p].insert(b, hop[1], hop[0]);
+                    }
+                }
+            }
+        }
+    }
+    (SkeletonGraph::from_edges(node_global, edges, chains), stats)
+}
+
+/// Folds one solve's counters into an accumulator (steps are summed — a
+/// sharded answer is a sequence of small solves).
+pub fn absorb_stats(acc: &mut StepStats, one: &StepStats) {
+    acc.steps += one.steps;
+    acc.substeps += one.substeps;
+    acc.max_substeps_in_step = acc.max_substeps_in_step.max(one.max_substeps_in_step);
+    acc.relaxations += one.relaxations;
+    acc.relaxed_edges += one.relaxed_edges;
+    acc.settled += one.settled;
+    acc.scratch_reused &= one.scratch_reused;
+}

@@ -1,0 +1,233 @@
+//! Sharded conformance: [`ShardedSolver`] answers must match the
+//! flat-graph reference for **every** query shape — `SingleSource`,
+//! `PointToPoint`, `OneToMany`, `ManyToMany` — on grid, random, and
+//! disconnected graphs, including queries whose endpoints share a part.
+//!
+//! What "match" means, precisely:
+//! * goal **distances** are bit-identical to the flat reference
+//!   (`distance_table()` compared directly; `SingleSource` compares the
+//!   full distance array);
+//! * **paths** are exact input-graph routes: every hop is an input edge
+//!   and the hop weights telescope to exactly the flat distance (two
+//!   exact solvers may pick different equal-length routes under ties, so
+//!   path *bytes* are compared only where a single shortest route can be
+//!   certified — telescoped length is asserted always);
+//! * unreachable goals answer `None` on both sides;
+//! * repeated sharded executions are bit-identical (the CI `shard` job
+//!   runs this suite at `RS_NUM_THREADS=1` and `nproc`, so determinism
+//!   across pool sizes is asserted by transitivity).
+
+use rs_core::solver::{Query, QueryResponse, SolverBuilder, SsspSolver};
+use rs_core::SolverScratch;
+use rs_graph::{gen, weights, CsrGraph, Dist, EdgeListBuilder, VertexId, WeightModel};
+use rs_shard::{
+    Coordinates, PartitionConfig, PartitionStrategy, PartitionedGraph, Partitioner, ShardedSolver,
+};
+
+/// Sums a path's hop weights, asserting every hop is an input edge.
+fn path_length(g: &CsrGraph, path: &[VertexId]) -> Dist {
+    assert!(!path.is_empty(), "paths are never empty");
+    path.windows(2)
+        .map(|hop| {
+            g.arc_weight(hop[0], hop[1])
+                .unwrap_or_else(|| panic!("hop {} -> {} is not an input edge", hop[0], hop[1]))
+                as Dist
+        })
+        .sum()
+}
+
+/// Asserts a goal-bounded sharded response matches the flat reference on
+/// every goal: bit-identical distances, and paths that are valid
+/// input-graph routes telescoping to the flat distance.
+fn assert_goals_match(g: &CsrGraph, query: &Query, sharded: &QueryResponse, flat: &QueryResponse) {
+    assert_eq!(
+        sharded.distance_table(),
+        flat.distance_table(),
+        "goal distances diverged for {query:?}"
+    );
+    if !query.want_paths {
+        return;
+    }
+    for (row, &source) in query.sources().iter().enumerate() {
+        for (j, &goal) in query.goals().iter().enumerate() {
+            let truth = flat.distance_table()[row][j];
+            let s_path = sharded.path_in_row(row, goal);
+            let f_path = flat.path_in_row(row, goal);
+            match truth {
+                None => {
+                    assert!(s_path.is_none(), "sharded path to unreachable goal {goal}");
+                    assert!(f_path.is_none(), "flat path to unreachable goal {goal}");
+                }
+                Some(d) => {
+                    let s_path = s_path.expect("reachable goal must have a sharded path");
+                    let f_path = f_path.expect("reachable goal must have a flat path");
+                    for path in [&s_path, &f_path] {
+                        assert_eq!(path.first(), Some(&source));
+                        assert_eq!(path.last(), Some(&goal));
+                        assert_eq!(
+                            path_length(g, path),
+                            d,
+                            "path must telescope to d({source}, {goal})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The three test graphs: paper-weighted grid, random, and a
+/// disconnected multigraph (two islands + an isolated vertex).
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    let grid = weights::reweight(&gen::grid2d(9, 11), WeightModel::paper_weighted(), 0x5eed);
+    let random =
+        weights::reweight(&gen::erdos_renyi(140, 420, 7), WeightModel::paper_weighted(), 3);
+    let mut b = EdgeListBuilder::new(61);
+    // Island A: vertices 0..30 as a weighted ring with chords.
+    for v in 0..30u32 {
+        b.add_edge(v, (v + 1) % 30, 2 + v % 7);
+        if v % 5 == 0 {
+            b.add_edge(v, (v + 13) % 30, 9 + v % 3);
+        }
+    }
+    // Island B: vertices 30..60 as a path with a few shortcuts; 60 isolated.
+    for v in 30..59u32 {
+        b.add_edge(v, v + 1, 1 + v % 4);
+    }
+    b.add_edge(31, 44, 5);
+    b.add_edge(35, 58, 40);
+    let disconnected = b.build();
+    vec![("grid", grid), ("random", random), ("disconnected", disconnected)]
+}
+
+/// A pair of vertices in different parts (None when P = 1 or one part
+/// holds everything).
+fn cross_part_pair(pg: &PartitionedGraph) -> Option<(VertexId, VertexId)> {
+    let n = pg.vertex_map().len() as VertexId;
+    let (p0, _) = pg.locate(0);
+    (1..n).find(|&v| pg.locate(v).0 != p0).map(|v| (0, v))
+}
+
+/// A pair of distinct vertices sharing a part.
+fn same_part_pair(pg: &PartitionedGraph) -> Option<(VertexId, VertexId)> {
+    let n = pg.vertex_map().len() as VertexId;
+    let (p0, _) = pg.locate(0);
+    (1..n).find(|&v| pg.locate(v).0 == p0).map(|v| (0, v))
+}
+
+#[test]
+fn sharded_matches_flat_on_every_shape() {
+    for (name, g) in graphs() {
+        let n = g.num_vertices() as VertexId;
+        let flat = SolverBuilder::new(&g).radius_stepping_solver_from_algorithm();
+        for parts in [1usize, 3, 5] {
+            let pg = Partitioner::new(parts).partition(&g);
+            let sharded = ShardedSolver::new(&g, &pg);
+            let mut scratch = SolverScratch::new();
+            let mut flat_scratch = SolverScratch::new();
+
+            // SingleSource: full distance arrays bit-identical.
+            for source in [0, n / 2, n - 1] {
+                let q = Query::single_source(source);
+                let sr = sharded.execute(&q, &mut scratch);
+                let fr = flat.execute(&q, &mut flat_scratch);
+                assert_eq!(sr.dist(), fr.dist(), "{name}/P={parts}: single-source from {source}");
+            }
+
+            // PointToPoint: same-part (flat fallback) and cross-part
+            // (three-phase route), both with paths.
+            let mut pairs: Vec<(VertexId, VertexId)> = vec![(0, n - 1), (n / 3, 2 * n / 3)];
+            pairs.extend(same_part_pair(&pg));
+            pairs.extend(cross_part_pair(&pg));
+            for (s, t) in pairs {
+                if s == t {
+                    continue;
+                }
+                let q = Query::point_to_point(s, t).with_paths();
+                let sr = sharded.execute(&q, &mut scratch);
+                let fr = flat.execute(&q, &mut flat_scratch);
+                assert_goals_match(&g, &q, &sr, &fr);
+            }
+
+            // OneToMany: goals spread over parts, including the source's
+            // own part, the source itself, and (on the disconnected
+            // graph) unreachable goals.
+            let goals: Vec<VertexId> = vec![0, 1, n / 4, n / 2, 3 * n / 4, n - 1];
+            let q = Query::one_to_many(0, goals.clone()).with_paths();
+            let sr = sharded.execute(&q, &mut scratch);
+            let fr = flat.execute(&q, &mut flat_scratch);
+            assert_goals_match(&g, &q, &sr, &fr);
+
+            // ManyToMany: rows pinned to their sources' parts.
+            let sources: Vec<VertexId> = vec![0, n / 2, n - 1, 1];
+            let q = Query::many_to_many(sources, goals).with_paths();
+            let sr = sharded.execute(&q, &mut scratch);
+            let fr = flat.execute(&q, &mut flat_scratch);
+            assert_goals_match(&g, &q, &sr, &fr);
+
+            // Determinism: a repeated table run is bit-identical.
+            let sr2 = sharded.execute(&q, &mut scratch);
+            assert_eq!(sr.distance_table(), sr2.distance_table(), "{name}/P={parts}");
+            for (row, _) in sr.query.sources().iter().enumerate() {
+                for &goal in sr.query.goals() {
+                    assert_eq!(
+                        sr.path_in_row(row, goal),
+                        sr2.path_in_row(row, goal),
+                        "{name}/P={parts}: repeated run changed a path"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spatial_partition_conforms_on_the_grid() {
+    let (rows, cols) = (10, 12);
+    let g = weights::reweight(&gen::grid2d(rows, cols), WeightModel::paper_weighted(), 11);
+    let cfg = PartitionConfig::new(4)
+        .with_strategy(PartitionStrategy::Spatial(Coordinates::grid(rows, cols)));
+    let pg = Partitioner::with_config(cfg).partition(&g);
+    let sharded = ShardedSolver::new(&g, &pg);
+    let flat = SolverBuilder::new(&g).radius_stepping_solver_from_algorithm();
+    let mut scratch = SolverScratch::new();
+    let mut flat_scratch = SolverScratch::new();
+    let n = g.num_vertices() as VertexId;
+    let q = Query::many_to_many(vec![0, n - 1, n / 2], vec![1, n / 3, n - 2, 0]).with_paths();
+    let sr = sharded.execute(&q, &mut scratch);
+    let fr = flat.execute(&q, &mut flat_scratch);
+    assert_goals_match(&g, &q, &sr, &fr);
+}
+
+#[test]
+fn plain_skeleton_solver_conforms_without_preprocessing() {
+    // skeleton_preprocess = None exercises the plain-frontier
+    // construction path; answers must be identical either way.
+    let g = weights::reweight(&gen::grid2d(8, 8), WeightModel::paper_weighted(), 23);
+    let cfg = PartitionConfig::new(3).with_skeleton_preprocess(None);
+    let pg = Partitioner::with_config(cfg).partition(&g);
+    let sharded = ShardedSolver::new(&g, &pg);
+    let flat = SolverBuilder::new(&g).radius_stepping_solver_from_algorithm();
+    let mut scratch = SolverScratch::new();
+    let mut flat_scratch = SolverScratch::new();
+    let q = Query::one_to_many(5, vec![63, 32, 7, 5]).with_paths();
+    let sr = sharded.execute(&q, &mut scratch);
+    let fr = flat.execute(&q, &mut flat_scratch);
+    assert_goals_match(&g, &q, &sr, &fr);
+}
+
+#[test]
+fn many_to_many_rows_reuse_part_pools() {
+    let g = weights::reweight(&gen::grid2d(8, 8), WeightModel::paper_weighted(), 5);
+    let pg = Partitioner::new(4).partition(&g);
+    let sharded = ShardedSolver::new(&g, &pg);
+    let mut scratch = SolverScratch::new();
+    let sources: Vec<VertexId> = (0..16).collect();
+    let goals: Vec<VertexId> = vec![60, 61, 62, 63];
+    let q = Query::many_to_many(sources, goals);
+    sharded.execute(&q, &mut scratch);
+    sharded.execute(&q, &mut scratch);
+    let (created, reused) = sharded.pool_counters();
+    assert!(created > 0, "part solves must draw pooled scratch");
+    assert!(reused > 0, "a second table run must reuse part-pool scratch, got created={created}");
+}
