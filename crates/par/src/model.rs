@@ -4,6 +4,17 @@
 //! these through `rs_par::model::*` so the whole workspace shares one
 //! perturbation stream. Enable with `--features rs_par/schedule_fuzz`
 //! (forwarded to the vendored pool); without the feature every call
-//! compiles to nothing.
+//! compiles to nothing and [`run_scenario`] degenerates to a plain seed
+//! loop.
+//!
+//! Stress suites wrap their per-seed loops in [`run_scenario`], which
+//! captures every yield decision and, on a failing seed, writes an
+//! `RSTRACE1` trace whose path feeds `cargo xtask replay` — see
+//! `rayon::model` for the capture/replay model and the `RS_REPLAY_TRACE`
+//! / `RS_RECORD_TRACE` / `RS_TRACE_DIR` environment knobs.
 
-pub use rayon::model::{seed_schedule, yield_point, yields_taken};
+pub use rayon::model::{
+    run_scenario, seed_schedule, start_recording, start_replay, stop_recording, stop_replay,
+    yield_point, yields_taken, ScenarioSpec, Trace, DECISION_NOTHING, DECISION_SPIN_BASE,
+    DECISION_YIELD, TRACE_MAGIC,
+};

@@ -17,12 +17,23 @@
 //!
 //! Run with `RS_NUM_THREADS=1` and the machine default; the pool-based
 //! test below picks the thread count up from the environment.
+//!
+//! Every scenario runs through [`model::run_scenario`], which captures
+//! the yield-decision stream per seed: a failing seed prints the path of
+//! an `RSTRACE1` trace plus the `cargo xtask replay` command that
+//! re-executes that exact schedule.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use rayon::prelude::*;
 use rs_par::epoch::EPOCHS_PER_FILL;
+use rs_par::model::ScenarioSpec;
 use rs_par::{model, EpochMinArray};
+
+/// The [`ScenarioSpec`] for a test in this file.
+fn spec(scenario: &str) -> ScenarioSpec {
+    ScenarioSpec::new(env!("CARGO_PKG_NAME"), file!(), scenario)
+}
 
 /// Full seed budget under `schedule_fuzz` (≥1000 schedules, per the
 /// acceptance bar); trimmed when the yields are no-ops anyway so the
@@ -49,8 +60,7 @@ fn fuzz_epoch_rollover_under_contention() {
     const CELLS: usize = 8;
     const WRITES: usize = 32;
     const ROUNDS: u64 = 4;
-    for seed in 0..SEEDS {
-        model::seed_schedule(seed);
+    model::run_scenario(spec("fuzz_epoch_rollover_under_contention"), SEEDS, |seed| {
         let mut a = EpochMinArray::new();
         a.ensure(CELLS);
         // Park the tag just shy of the wrap so the ROUNDS below cross the
@@ -117,15 +127,18 @@ fn fuzz_epoch_rollover_under_contention() {
             }
             a.advance();
         }
-    }
+    });
 }
 
 /// Exactly one racer per strict lowering: both threads offer the same
 /// smaller value; precisely one `write_min` may report success.
+///
+/// This is also CI's replay-smoke scenario: `write_min` is
+/// `fetch_min`-based (no retry loop), so the yield-point call count is
+/// schedule-independent and a strict replay consumes the trace exactly.
 #[test]
 fn fuzz_exactly_one_lowering_winner() {
-    for seed in 0..SEEDS {
-        model::seed_schedule(seed.rotate_left(17) ^ 0xDEAD_BEEF);
+    model::run_scenario(spec("fuzz_exactly_one_lowering_winner"), SEEDS, |seed| {
         let mut a = EpochMinArray::new();
         a.ensure(1);
         a.store(0, 100);
@@ -136,7 +149,7 @@ fn fuzz_exactly_one_lowering_winner() {
         });
         assert_eq!(wins, 1, "seed {seed}: a strict lowering must have exactly one winner");
         assert_eq!(a.load(0), 50);
-    }
+    });
 }
 
 /// The same fixpoint property through the real work-stealing pool (the
@@ -152,8 +165,7 @@ fn fuzz_pool_contended_relaxation_fixpoint() {
     let seeds = if cfg!(feature = "schedule_fuzz") { 64u64 } else { 16 };
     let mut a = EpochMinArray::new();
     a.ensure(4);
-    for seed in 0..seeds {
-        model::seed_schedule(seed.wrapping_mul(0x1234_5678_9ABC_DEF1) | 1);
+    model::run_scenario(spec("fuzz_pool_contended_relaxation_fixpoint"), seeds, |seed| {
         a.advance();
         (0..N).into_par_iter().for_each(|i| {
             a.write_min((i % 4) as usize, 1 + (i ^ (seed & 63)));
@@ -166,5 +178,5 @@ fn fuzz_pool_contended_relaxation_fixpoint() {
                 .expect("cell nonempty");
             assert_eq!(a.load(cell), want, "seed {seed}: pool relaxation missed cell {cell}");
         }
-    }
+    });
 }

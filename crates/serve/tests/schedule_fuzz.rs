@@ -21,7 +21,16 @@ use std::sync::Arc;
 
 use rs_core::{Query, QueryResponse, SsspResult, StepStats};
 use rs_par::model;
+use rs_par::model::ScenarioSpec;
 use rs_serve::{BoundedQueue, PushError, ResponseCache};
+
+/// The [`ScenarioSpec`] for a test in this file. Each scenario runs via
+/// [`model::run_scenario`], so a failing seed leaves an `RSTRACE1` trace
+/// behind and prints the `cargo xtask replay` command that re-executes
+/// its exact schedule.
+fn spec(scenario: &str) -> ScenarioSpec {
+    ScenarioSpec::new(env!("CARGO_PKG_NAME"), file!(), scenario)
+}
 
 /// Full seed budget under `schedule_fuzz` (≥1000 schedules, per the
 /// acceptance bar); trimmed when the yields are no-ops anyway.
@@ -37,8 +46,7 @@ fn fuzz_queue_bound_and_exactly_once_delivery() {
     const PRODUCERS: usize = 2;
     const PER_PRODUCER: usize = 8;
     const CAPACITY: usize = 2;
-    for seed in 0..SEEDS {
-        model::seed_schedule(seed.wrapping_mul(0x9E37_79B9) | 1);
+    model::run_scenario(spec("fuzz_queue_bound_and_exactly_once_delivery"), SEEDS, |seed| {
         let q = BoundedQueue::<usize>::new(CAPACITY);
         let claims: Vec<AtomicUsize> =
             (0..PRODUCERS * PER_PRODUCER).map(|_| AtomicUsize::new(0)).collect();
@@ -101,7 +109,7 @@ fn fuzz_queue_bound_and_exactly_once_delivery() {
             );
         }
         assert!(q.is_empty(), "seed {seed}: close-to-drain left residue");
-    }
+    });
 }
 
 /// A response whose payload encodes the epoch its "solve" started in, so
@@ -124,8 +132,7 @@ fn response_tagged(query: &Query, epoch: u64) -> Arc<QueryResponse> {
 #[test]
 fn fuzz_cache_never_serves_invalidated_epoch() {
     const WRITER_ROUNDS: u64 = 12;
-    for seed in 0..SEEDS {
-        model::seed_schedule(seed.rotate_left(23) ^ 0x5EED_CAFE);
+    model::run_scenario(spec("fuzz_cache_never_serves_invalidated_epoch"), SEEDS, |seed| {
         let cache = ResponseCache::new(64);
         let q = Query::single_source(0);
         std::thread::scope(|s| {
@@ -173,7 +180,7 @@ fn fuzz_cache_never_serves_invalidated_epoch() {
             cache.len(),
             cache.capacity()
         );
-    }
+    });
 }
 
 /// A stale insert — tagged with an epoch captured before an invalidation
@@ -181,23 +188,26 @@ fn fuzz_cache_never_serves_invalidated_epoch() {
 /// the bump (the in-flight-solve race `ResponseCache::epoch` documents).
 #[test]
 fn fuzz_inflight_solve_across_invalidation_never_served() {
-    for seed in 0..SEEDS {
-        model::seed_schedule(seed ^ 0xA5A5_A5A5_A5A5_A5A5);
-        let cache = ResponseCache::new(16);
-        let q = Query::single_source(1);
-        let pre = cache.epoch();
-        std::thread::scope(|s| {
-            // In-flight "solve" racing the invalidation: the insert may
-            // land before or after the bump depending on the schedule.
-            let t = s.spawn(|| cache.insert(&q, response_tagged(&q, pre), pre));
-            cache.invalidate_epoch();
-            t.join().expect("insert must not panic");
-        });
-        // Whichever order the schedule produced, the pre-bump tag must
-        // fail the epoch check now.
-        assert!(
-            cache.get(&q).is_none(),
-            "seed {seed}: pre-invalidation solve served after the bump"
-        );
-    }
+    model::run_scenario(
+        spec("fuzz_inflight_solve_across_invalidation_never_served"),
+        SEEDS,
+        |seed| {
+            let cache = ResponseCache::new(16);
+            let q = Query::single_source(1);
+            let pre = cache.epoch();
+            std::thread::scope(|s| {
+                // In-flight "solve" racing the invalidation: the insert may
+                // land before or after the bump depending on the schedule.
+                let t = s.spawn(|| cache.insert(&q, response_tagged(&q, pre), pre));
+                cache.invalidate_epoch();
+                t.join().expect("insert must not panic");
+            });
+            // Whichever order the schedule produced, the pre-bump tag must
+            // fail the epoch check now.
+            assert!(
+                cache.get(&q).is_none(),
+                "seed {seed}: pre-invalidation solve served after the bump"
+            );
+        },
+    );
 }

@@ -10,8 +10,11 @@
 //! * `path` — workspace-relative, forward slashes. A trailing `/` makes
 //!   it a directory prefix covering every file underneath.
 //! * `substring` (optional, rest of line) — the entry only suppresses
-//!   violations whose *raw source line* contains it. Omitted = every
-//!   violation of that lint in that path.
+//!   violations whose *violating token's line* contains it (the trimmed
+//!   source line the flagged token starts on — for a construct split
+//!   across lines by rustfmt, that is the token's own line, not the
+//!   line the statement began on). Omitted = every violation of that
+//!   lint in that path.
 //!
 //! `#`-prefixed lines and blank lines are comments. Every entry must
 //! suppress at least one violation — stale entries are reported as
@@ -131,7 +134,10 @@ mod tests {
             lint,
             file: file.to_string(),
             line: 1,
+            col: 1,
+            span: 1,
             text: text.to_string(),
+            text_col: 1,
             message: String::new(),
         }
     }

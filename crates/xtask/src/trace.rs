@@ -1,0 +1,138 @@
+//! Parser for `RSTRACE1` schedule-trace files.
+//!
+//! The writer lives in `vendor/rayon/src/model.rs` (`Trace::to_bytes`);
+//! this is a dependency-free mirror so `cargo xtask replay` can read a
+//! trace header without linking the model crate. Layout, all integers
+//! little-endian u64:
+//!
+//! ```text
+//! magic   b"RSTRACE1"
+//! string  package      (len + utf-8 bytes)  e.g. "rs_par"
+//! string  target       (len + bytes)        test file stem, e.g. "schedule_fuzz"
+//! string  scenario     (len + bytes)        test fn name
+//! string  threads_env  (len + bytes)        RS_NUM_THREADS at record time ("" = unset)
+//! u64     seed
+//! u64     yields_taken
+//! u64     decision count
+//! bytes   decisions    (count bytes: 0 = nothing, 1 = yield, 2+n = spin n)
+//! ```
+
+pub const MAGIC: &[u8; 8] = b"RSTRACE1";
+
+/// A parsed schedule trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    pub package: String,
+    pub target: String,
+    pub scenario: String,
+    /// `RS_NUM_THREADS` at record time; empty when it was unset.
+    pub threads_env: String,
+    pub seed: u64,
+    pub yields_taken: u64,
+    pub decisions: Vec<u8>,
+}
+
+impl Trace {
+    /// Parses a trace file; the error string names the first malformed
+    /// field.
+    pub fn parse(bytes: &[u8]) -> Result<Trace, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8, "magic")?;
+        if magic != MAGIC {
+            return Err("bad magic (expected RSTRACE1)".to_string());
+        }
+        let package = r.string("package")?;
+        let target = r.string("target")?;
+        let scenario = r.string("scenario")?;
+        let threads_env = r.string("threads_env")?;
+        let seed = r.u64("seed")?;
+        let yields_taken = r.u64("yields_taken")?;
+        let count = r.u64("decision count")? as usize;
+        let decisions = r.take(count, "decisions")?.to_vec();
+        if r.pos != r.bytes.len() {
+            return Err(format!("{} trailing bytes after decisions", r.bytes.len() - r.pos));
+        }
+        Ok(Trace { package, target, scenario, threads_env, seed, yields_taken, decisions })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let out = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(format!("truncated {what} at byte {}", self.pos)),
+        }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8) returns 8 bytes")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u64(what)? as usize;
+        if len > 4096 {
+            return Err(format!("{what} length {len} is implausible"));
+        }
+        let b = self.take(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| format!("{what} is not utf-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        for s in ["rs_par", "schedule_fuzz", "deque_single_item_race", ""] {
+            b.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            b.extend_from_slice(s.as_bytes());
+        }
+        b.extend_from_slice(&7u64.to_le_bytes()); // seed
+        b.extend_from_slice(&2u64.to_le_bytes()); // yields_taken
+        b.extend_from_slice(&4u64.to_le_bytes()); // count
+        b.extend_from_slice(&[0, 1, 5, 1]);
+        b
+    }
+
+    #[test]
+    fn round_trips_the_sample() {
+        let t = Trace::parse(&sample()).unwrap();
+        assert_eq!(t.package, "rs_par");
+        assert_eq!(t.target, "schedule_fuzz");
+        assert_eq!(t.scenario, "deque_single_item_race");
+        assert_eq!(t.threads_env, "");
+        assert_eq!((t.seed, t.yields_taken), (7, 2));
+        assert_eq!(t.decisions, vec![0, 1, 5, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_truncation_and_trailing_bytes() {
+        assert!(Trace::parse(b"NOTTRACE").unwrap_err().contains("magic"));
+        let s = sample();
+        assert!(Trace::parse(&s[..s.len() - 2]).unwrap_err().contains("truncated"));
+        let mut long = s.clone();
+        long.push(0);
+        assert!(Trace::parse(&long).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_implausible_string_lengths() {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Trace::parse(&b).unwrap_err().contains("implausible"));
+    }
+}

@@ -101,10 +101,11 @@ impl WorkerDeque {
     /// `idx`. Callers must have observed (via an Acquire edge on `bottom`)
     /// a push into this segment, which guarantees the pointer is non-null.
     fn shared_segment(&self, idx: usize) -> &Segment {
-        // ORDERING: Acquire pairs with the owner's Release store in
-        // `owner_segment`; combined with the Acquire load of `bottom` that
-        // proved this index in-range, the segment contents (zeroed slots +
-        // the job pointer we are after) are visible.
+        // ORDERING: Acquire pairs with the owner's Release store to the
+        // `segments` directory slot in `owner_segment`; combined with the
+        // Acquire load of `bottom` that proved this index in-range, the
+        // segment contents (zeroed slots + the job pointer we are after)
+        // are visible.
         let seg = self.segments[idx / SEGMENT_SIZE].load(Ordering::Acquire);
         debug_assert!(!seg.is_null(), "segment read before publication");
         // SAFETY: non-null per the caller contract above; segments are

@@ -1,31 +1,62 @@
 //! Schedule-fuzzing preemption points (a lightweight, shuttle-style model
-//! harness).
+//! harness) with deterministic capture/replay.
 //!
 //! Real model checkers (Loom, Shuttle) replace the sync primitives and
 //! enumerate interleavings; we are offline and the substrate is shared
 //! with production builds, so this module takes the cheaper route that
 //! still finds single-preemption races: **seeded pseudo-random yields at
-//! hand-placed interleaving points**.
+//! hand-placed interleaving points** — and, since PR 10, records every
+//! decision so a failing schedule can be re-executed exactly.
 //!
 //! [`yield_point`] is sprinkled through the lock-free hot paths (deque
 //! push/take/steal, `EpochMinArray` writes/refill, `ResponseCache`
 //! insert/lookup/invalidate, the lane queue). Outside
 //! `cfg(feature = "schedule_fuzz")` it compiles to an empty `#[inline]`
 //! function — zero cost in production. With the feature on, each call
-//! consults a global splitmix64 stream and either does nothing, spins
-//! briefly, or calls `std::thread::yield_now()` — widening the window of
-//! every racy region a different way on every seed.
+//! draws a **decision byte** — do nothing, spin briefly, or
+//! `std::thread::yield_now()` — widening the window of every racy region
+//! a different way on every seed.
 //!
-//! Stress tests drive thousands of seeds via [`seed_schedule`] and check
-//! *invariants* (exactly-once, monotonicity, bounds) rather than exact
-//! outcomes: a seed changes the schedule, never the specification. The
-//! RNG is deliberately process-global and lock-free: concurrent callers
-//! interleave their draws, which *adds* schedule entropy on top of the
-//! seed — this is fuzzing for variety, not deterministic replay.
+//! ## Capture and replay
+//!
+//! Stress tests wrap their per-seed loops in [`run_scenario`], which
+//! records the decision byte of every `yield_point` call (in global call
+//! order) into an in-memory log. When a seed's body panics, the log is
+//! written as a compact `RSTRACE1` trace file and the panic message is
+//! followed by the path plus a `cargo xtask replay <path>` hint: the
+//! replay re-runs that one scenario feeding the i-th recorded decision
+//! back to the i-th `yield_point` call, reproducing the decision
+//! sequence of the failing schedule exactly.
+//!
+//! What replay pins down is the *decision sequence*, not OS thread
+//! timing: the i-th arrival at a yield point gets the i-th recorded
+//! decision whichever thread makes it. For the single-threaded and
+//! no-retry (`fetch_min`-style) paths the call order itself is
+//! deterministic, so replay is exact; for heavily racing paths it
+//! re-applies the same preemption pattern, which in practice re-widens
+//! the same windows. While capture or replay is active the decision
+//! draw is serialized through one mutex (that global order is what makes
+//! a trace meaningful); outside [`run_scenario`] the stream stays the
+//! PR 7 lock-free Relaxed RNG, whose racing draws deliberately *add*
+//! schedule entropy.
+//!
+//! Environment knobs, all read by [`run_scenario`]:
+//!
+//! * `RS_REPLAY_TRACE=<file>` — if the trace's package/target/scenario
+//!   match, replay it (one run, recorded seed) instead of the seed sweep.
+//!   `cargo xtask replay <file>` sets this up for you.
+//! * `RS_REPLAY_STRICT=1` — additionally assert the replay consumed
+//!   every recorded decision, echoed them byte-identically, and took the
+//!   same number of yields.
+//! * `RS_RECORD_TRACE=1` — also write the seed-0 trace on *success*
+//!   (used by CI's replay smoke and for capturing baselines).
+//! * `RS_TRACE_DIR=<dir>` — where traces go (default: the system temp
+//!   dir under `rs-schedule-traces/`).
 
 #[cfg(feature = "schedule_fuzz")]
 mod active {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, PoisonError};
 
     // ORDERING: the RNG stream and the yield counter are schedule
     // *perturbation* state — no data is published through them and any
@@ -33,6 +64,37 @@ mod active {
     // so Relaxed cannot lose anything that matters.
     static STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
     static YIELDS: AtomicU64 = AtomicU64::new(0);
+
+    /// Fast-path gate: true while capture or replay is active, i.e.
+    /// while [`CONTROL`] must be consulted.
+    // ORDERING: advisory gate — a stale read merely routes one draw down
+    // the lock-free path an instant after capture toggles, and
+    // run_scenario flips it before any scenario thread starts (the
+    // thread spawn synchronizes), so Relaxed is enough.
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    /// Capture/replay state. One mutex on purpose: while active, every
+    /// decision draw passes through it, which serializes the draws into
+    /// the single global order a trace records and replays.
+    static CONTROL: Mutex<Control> =
+        Mutex::new(Control { recording: false, log: Vec::new(), replay: None });
+
+    struct Control {
+        recording: bool,
+        log: Vec<u8>,
+        replay: Option<Replay>,
+    }
+
+    struct Replay {
+        decisions: Vec<u8>,
+        next: usize,
+    }
+
+    fn control() -> std::sync::MutexGuard<'static, Control> {
+        // Poisoning just means a scenario body panicked mid-draw — the
+        // capture state itself is always coherent, so keep going.
+        CONTROL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
     pub fn seed_schedule(seed: u64) {
         // ORDERING: see STATE above — reseeding racing with draws just
@@ -45,39 +107,139 @@ mod active {
         YIELDS.load(Ordering::Relaxed)
     }
 
-    #[inline]
-    pub fn yield_point() {
-        // splitmix64 over a shared counter: each call draws the next
-        // value; concurrent draws interleave arbitrarily (intended).
+    /// Draws the next splitmix64 value from the shared stream.
+    fn draw() -> u64 {
         // ORDERING: see STATE above.
         let mut z = STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
+        z
+    }
+
+    use super::{DECISION_NOTHING, DECISION_SPIN_BASE, DECISION_YIELD};
+
+    fn decide(z: u64) -> u8 {
         match z & 7 {
+            0 => DECISION_YIELD,
+            1 | 2 => DECISION_SPIN_BASE + ((z >> 3) & 63) as u8,
+            _ => DECISION_NOTHING,
+        }
+    }
+
+    fn apply(decision: u8) {
+        match decision {
             // Full OS-level yield: lets another runnable thread win the
             // race window outright.
-            0 => {
+            DECISION_YIELD => {
                 // ORDERING: advisory counter (see YIELDS above).
                 YIELDS.fetch_add(1, Ordering::Relaxed);
                 std::thread::yield_now();
             }
+            // Most calls do nothing: racy regions stay short often
+            // enough that both "fast" and "slow" paths get exercised.
+            DECISION_NOTHING => {}
             // Short spin: stretches the window without descheduling, so
             // same-core SMT siblings and other cores can slip in.
-            1 | 2 => {
-                for _ in 0..(z >> 3) & 63 {
+            spin => {
+                for _ in 0..(spin - DECISION_SPIN_BASE) {
                     std::hint::spin_loop();
                 }
             }
-            // Most calls do nothing: racy regions stay short often
-            // enough that both "fast" and "slow" paths get exercised.
-            _ => {}
         }
+    }
+
+    #[inline]
+    pub fn yield_point() {
+        // ORDERING: see ACTIVE above.
+        if !ACTIVE.load(Ordering::Relaxed) {
+            // PR 7 fast path: lock-free draws whose racing interleaving
+            // adds entropy on top of the seed.
+            apply(decide(draw()));
+            return;
+        }
+        let decision = {
+            let mut c = control();
+            let decision = match &mut c.replay {
+                Some(r) => {
+                    let d = r.decisions.get(r.next).copied().unwrap_or(DECISION_NOTHING);
+                    r.next += 1;
+                    d
+                }
+                None => decide(draw()),
+            };
+            if c.recording {
+                c.log.push(decision);
+            }
+            decision
+        };
+        // The lock is released before the decision is *applied*, so the
+        // spin/yield widening happens unserialized, as in a live run.
+        apply(decision);
+    }
+
+    /// Starts capturing decision bytes (clearing any previous log).
+    /// Composes with replay: during a replay with recording on, the log
+    /// echoes the decisions actually fed back — the identity check
+    /// replay tests rely on.
+    pub fn start_recording() {
+        let mut c = control();
+        c.recording = true;
+        c.log = Vec::new();
+        // ORDERING: see ACTIVE above.
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops capturing and returns the decision log in global call order.
+    pub fn stop_recording() -> Vec<u8> {
+        let mut c = control();
+        c.recording = false;
+        if c.replay.is_none() {
+            // ORDERING: see ACTIVE above.
+            ACTIVE.store(false, Ordering::Relaxed);
+        }
+        std::mem::take(&mut c.log)
+    }
+
+    /// Starts feeding `decisions` back: the i-th `yield_point` call from
+    /// now on applies the i-th byte (calls past the end do nothing).
+    pub fn start_replay(decisions: Vec<u8>) {
+        let mut c = control();
+        c.replay = Some(Replay { decisions, next: 0 });
+        // ORDERING: see ACTIVE above.
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+
+    /// Ends replay; returns `(consumed, recorded)` call counts.
+    /// `consumed > recorded` means the run made more `yield_point` calls
+    /// than the trace had decisions for (the excess did nothing).
+    pub fn stop_replay() -> (usize, usize) {
+        let mut c = control();
+        let counts = match c.replay.take() {
+            Some(r) => (r.next, r.decisions.len()),
+            None => (0, 0),
+        };
+        if !c.recording {
+            // ORDERING: see ACTIVE above.
+            ACTIVE.store(false, Ordering::Relaxed);
+        }
+        counts
     }
 }
 
 #[cfg(feature = "schedule_fuzz")]
-pub use active::{seed_schedule, yield_point, yields_taken};
+pub use active::{
+    seed_schedule, start_recording, start_replay, stop_recording, stop_replay, yield_point,
+    yields_taken,
+};
+
+/// Decision encoding (the trace byte format): `0` do nothing, `1` full
+/// `yield_now`, `2 + n` spin for `n` iterations (`n ≤ 63`).
+pub const DECISION_NOTHING: u8 = 0;
+/// See [`DECISION_NOTHING`].
+pub const DECISION_YIELD: u8 = 1;
+/// See [`DECISION_NOTHING`].
+pub const DECISION_SPIN_BASE: u8 = 2;
 
 /// Seeds the schedule-perturbation stream. No-op without the
 /// `schedule_fuzz` feature.
@@ -98,6 +260,293 @@ pub fn yields_taken() -> u64 {
 #[cfg(not(feature = "schedule_fuzz"))]
 #[inline(always)]
 pub fn yield_point() {}
+
+/// Starts capturing decision bytes. No-op without `schedule_fuzz`.
+#[cfg(not(feature = "schedule_fuzz"))]
+#[inline(always)]
+pub fn start_recording() {}
+
+/// Stops capturing; always empty without `schedule_fuzz`.
+#[cfg(not(feature = "schedule_fuzz"))]
+#[inline(always)]
+pub fn stop_recording() -> Vec<u8> {
+    Vec::new()
+}
+
+/// Starts replaying a decision log. No-op without `schedule_fuzz`.
+#[cfg(not(feature = "schedule_fuzz"))]
+#[inline(always)]
+pub fn start_replay(_decisions: Vec<u8>) {}
+
+/// Ends replay; always `(0, 0)` without `schedule_fuzz`.
+#[cfg(not(feature = "schedule_fuzz"))]
+#[inline(always)]
+pub fn stop_replay() -> (usize, usize) {
+    (0, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Traces and the scenario harness (available in both modes; without the
+// feature the harness degenerates to a plain seed loop)
+// ---------------------------------------------------------------------------
+
+/// Magic header of a schedule trace file.
+pub const TRACE_MAGIC: &[u8; 8] = b"RSTRACE1";
+
+/// A recorded schedule: enough to re-launch the exact scenario
+/// (`cargo xtask replay` reads the same header via its own dep-free
+/// parser in `crates/xtask/src/trace.rs` — keep the two in sync).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Cargo package the scenario lives in (`rs_par`, `rs_serve`).
+    pub package: String,
+    /// Integration-test target (source file stem, e.g. `schedule_fuzz`).
+    pub target: String,
+    /// Test function name.
+    pub scenario: String,
+    /// `RS_NUM_THREADS` at record time; empty when it was unset.
+    pub threads_env: String,
+    /// The model seed the failing run used.
+    pub seed: u64,
+    /// `yields_taken` delta over the recorded run.
+    pub yields_taken: u64,
+    /// Decision bytes in global `yield_point` call order.
+    pub decisions: Vec<u8>,
+}
+
+impl Trace {
+    /// Serializes to the `RSTRACE1` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64 + self.decisions.len());
+        b.extend_from_slice(TRACE_MAGIC);
+        for s in [&self.package, &self.target, &self.scenario, &self.threads_env] {
+            b.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            b.extend_from_slice(s.as_bytes());
+        }
+        b.extend_from_slice(&self.seed.to_le_bytes());
+        b.extend_from_slice(&self.yields_taken.to_le_bytes());
+        b.extend_from_slice(&(self.decisions.len() as u64).to_le_bytes());
+        b.extend_from_slice(&self.decisions);
+        b
+    }
+
+    /// Parses the `RSTRACE1` byte format (inverse of [`Trace::to_bytes`]).
+    pub fn parse(bytes: &[u8]) -> Result<Trace, String> {
+        fn take<'a>(b: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], String> {
+            if b.len() < n {
+                return Err(format!("truncated {what}"));
+            }
+            let (head, rest) = b.split_at(n);
+            *b = rest;
+            Ok(head)
+        }
+        fn u64_of(b: &mut &[u8], what: &str) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(b, 8, what)?.try_into().expect("8 bytes")))
+        }
+        fn string(b: &mut &[u8], what: &str) -> Result<String, String> {
+            let len = u64_of(b, what)? as usize;
+            if len > 4096 {
+                return Err(format!("{what} length {len} is implausible"));
+            }
+            String::from_utf8(take(b, len, what)?.to_vec())
+                .map_err(|_| format!("{what} is not utf-8"))
+        }
+        let mut b = bytes;
+        if take(&mut b, 8, "magic")? != TRACE_MAGIC {
+            return Err("bad magic (expected RSTRACE1)".to_string());
+        }
+        let package = string(&mut b, "package")?;
+        let target = string(&mut b, "target")?;
+        let scenario = string(&mut b, "scenario")?;
+        let threads_env = string(&mut b, "threads_env")?;
+        let seed = u64_of(&mut b, "seed")?;
+        let yields_taken = u64_of(&mut b, "yields_taken")?;
+        let count = u64_of(&mut b, "decision count")? as usize;
+        let decisions = take(&mut b, count, "decisions")?.to_vec();
+        if !b.is_empty() {
+            return Err(format!("{} trailing bytes after decisions", b.len()));
+        }
+        Ok(Trace { package, target, scenario, threads_env, seed, yields_taken, decisions })
+    }
+}
+
+/// Identifies a stress scenario for tracing: which `cargo test`
+/// invocation re-runs it.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    package: String,
+    target: String,
+    scenario: String,
+}
+
+impl ScenarioSpec {
+    /// `package` is `env!("CARGO_PKG_NAME")`, `source_file` is `file!()`
+    /// (the test-target stem is derived from it), `scenario` is the test
+    /// function's name.
+    pub fn new(package: &str, source_file: &str, scenario: &str) -> ScenarioSpec {
+        let stem =
+            source_file.rsplit(['/', '\\']).next().unwrap_or(source_file).trim_end_matches(".rs");
+        ScenarioSpec {
+            package: package.to_string(),
+            target: stem.to_string(),
+            scenario: scenario.to_string(),
+        }
+    }
+
+    /// Decorrelates the model stream across scenarios that share a seed
+    /// sweep: the scenario name is folded into every seed (FNV-1a), so
+    /// no two scenarios replay each other's schedules.
+    fn schedule_seed(&self, seed: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.scenario.bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ seed
+    }
+}
+
+/// Runs `body(seed)` for `seed ∈ 0..seeds` with the model stream seeded
+/// per scenario, capturing every schedule. On a panic the failing seed's
+/// trace is written to disk, its path printed with a
+/// `cargo xtask replay` hint, and the panic resumed. Scenarios are
+/// serialized process-wide so concurrent tests cannot interleave their
+/// recorded decisions.
+///
+/// Honours `RS_REPLAY_TRACE` / `RS_REPLAY_STRICT` / `RS_RECORD_TRACE` /
+/// `RS_TRACE_DIR` as described in the module docs. Without the
+/// `schedule_fuzz` feature this is a plain seed loop (capture would be
+/// empty — every yield point is a no-op).
+pub fn run_scenario(spec: ScenarioSpec, seeds: u64, mut body: impl FnMut(u64)) {
+    if !cfg!(feature = "schedule_fuzz") {
+        for seed in 0..seeds {
+            seed_schedule(spec.schedule_seed(seed));
+            body(seed);
+        }
+        return;
+    }
+
+    // One scenario at a time per process: the capture log is global.
+    static SCENARIO: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = SCENARIO.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+
+    if let Some(trace) = replay_request_for(&spec) {
+        eprintln!(
+            "model: replaying {}/{}/{} — seed {}, {} decisions, {} recorded yields",
+            trace.package,
+            trace.target,
+            trace.scenario,
+            trace.seed,
+            trace.decisions.len(),
+            trace.yields_taken,
+        );
+        let strict = std::env::var("RS_REPLAY_STRICT").is_ok_and(|v| !v.is_empty() && v != "0");
+        seed_schedule(spec.schedule_seed(trace.seed));
+        let yields_before = yields_taken();
+        start_replay(trace.decisions.clone());
+        start_recording();
+        body(trace.seed);
+        let echoed = stop_recording();
+        let (consumed, recorded) = stop_replay();
+        let yields = yields_taken() - yields_before;
+        eprintln!(
+            "model: replay done — consumed {consumed}/{recorded} decisions, {yields} yields \
+             (recorded {})",
+            trace.yields_taken
+        );
+        if strict {
+            assert_eq!(
+                consumed, recorded,
+                "strict replay: the run made {consumed} yield_point calls but the trace \
+                 recorded {recorded}"
+            );
+            assert_eq!(
+                echoed, trace.decisions,
+                "strict replay: echoed decision bytes diverge from the trace"
+            );
+            assert_eq!(
+                yields, trace.yields_taken,
+                "strict replay: yields taken diverge from the trace"
+            );
+        }
+        return;
+    }
+
+    let force_record = std::env::var("RS_RECORD_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    for seed in 0..seeds {
+        seed_schedule(spec.schedule_seed(seed));
+        let yields_before = yields_taken();
+        start_recording();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(seed)));
+        let decisions = stop_recording();
+        let yields = yields_taken() - yields_before;
+        let trace = || Trace {
+            package: spec.package.clone(),
+            target: spec.target.clone(),
+            scenario: spec.scenario.clone(),
+            threads_env: std::env::var("RS_NUM_THREADS").unwrap_or_default(),
+            seed,
+            yields_taken: yields,
+            decisions: decisions.clone(),
+        };
+        if let Err(panic) = outcome {
+            match write_trace(&trace()) {
+                Ok(path) => eprintln!(
+                    "model: seed {seed} failed — schedule trace written to {path}\n\
+                     model: reproduce with `cargo xtask replay {path}`",
+                ),
+                Err(e) => eprintln!("model: seed {seed} failed; trace not written ({e})"),
+            }
+            std::panic::resume_unwind(panic);
+        }
+        if force_record && seed == 0 {
+            match write_trace(&trace()) {
+                Ok(path) => eprintln!("model: seed 0 trace recorded to {path}"),
+                Err(e) => eprintln!("model: RS_RECORD_TRACE set but trace not written ({e})"),
+            }
+        }
+    }
+}
+
+/// The trace to replay, if `RS_REPLAY_TRACE` names one for this
+/// scenario. A trace for a *different* scenario is ignored (the suite
+/// may be running every test; only the matching one replays).
+fn replay_request_for(spec: &ScenarioSpec) -> Option<Trace> {
+    let path = std::env::var("RS_REPLAY_TRACE").ok().filter(|p| !p.is_empty())?;
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("model: RS_REPLAY_TRACE={path} is unreadable ({e}); running normally");
+            return None;
+        }
+    };
+    let trace = match Trace::parse(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("model: RS_REPLAY_TRACE={path} is not a trace ({e}); running normally");
+            return None;
+        }
+    };
+    (trace.package == spec.package
+        && trace.target == spec.target
+        && trace.scenario == spec.scenario)
+        .then_some(trace)
+}
+
+/// Writes `trace` under `RS_TRACE_DIR` (default: temp dir +
+/// `rs-schedule-traces/`); returns the path.
+fn write_trace(trace: &Trace) -> Result<String, std::io::Error> {
+    let dir = match std::env::var("RS_TRACE_DIR") {
+        Ok(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => std::env::temp_dir().join("rs-schedule-traces"),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let file = dir.join(format!(
+        "{}-{}-{}-seed{}.rstrace",
+        trace.package, trace.target, trace.scenario, trace.seed
+    ));
+    std::fs::write(&file, trace.to_bytes())?;
+    Ok(file.display().to_string())
+}
 
 #[cfg(test)]
 mod tests {
@@ -121,6 +570,61 @@ mod tests {
         let _ = yields_taken();
     }
 
+    #[test]
+    fn trace_bytes_round_trip() {
+        let t = Trace {
+            package: "rs_par".into(),
+            target: "schedule_fuzz".into(),
+            scenario: "fuzz_exactly_one_lowering_winner".into(),
+            threads_env: "4".into(),
+            seed: 17,
+            yields_taken: 3,
+            decisions: vec![0, 1, 5, 1, 0, 1, 65],
+        };
+        assert_eq!(Trace::parse(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn trace_parse_rejects_garbage() {
+        assert!(Trace::parse(b"NOTTRACE").is_err());
+        let t = Trace {
+            package: "p".into(),
+            target: "t".into(),
+            scenario: "s".into(),
+            threads_env: String::new(),
+            seed: 0,
+            yields_taken: 0,
+            decisions: vec![1, 2, 3],
+        };
+        let bytes = t.to_bytes();
+        assert!(Trace::parse(&bytes[..bytes.len() - 1]).unwrap_err().contains("truncated"));
+        let mut long = bytes.clone();
+        long.push(9);
+        assert!(Trace::parse(&long).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn scenario_spec_derives_the_target_stem() {
+        let spec = ScenarioSpec::new("rs_par", "crates/par/tests/schedule_fuzz.rs", "fuzz_x");
+        assert_eq!(spec.target, "schedule_fuzz");
+        assert_eq!(spec.package, "rs_par");
+        // Different scenarios never share a schedule stream.
+        let other = ScenarioSpec::new("rs_par", "crates/par/tests/schedule_fuzz.rs", "fuzz_y");
+        assert_ne!(spec.schedule_seed(3), other.schedule_seed(3));
+    }
+
+    #[test]
+    fn run_scenario_visits_every_seed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = AtomicU64::new(0);
+        let spec = ScenarioSpec::new("rayon", file!(), "run_scenario_visits_every_seed");
+        run_scenario(spec, 5, |seed| {
+            // ORDERING: test-local counter, no data published through it.
+            seen.fetch_add(seed + 1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1 + 2 + 3 + 4 + 5);
+    }
+
     #[cfg(feature = "schedule_fuzz")]
     #[test]
     fn fuzzing_actually_preempts() {
@@ -130,5 +634,45 @@ mod tests {
             yield_point();
         }
         assert!(yields_taken() > before, "1/8 of 100k draws must yield");
+    }
+
+    // Capture/replay identity tests live in `crates/par/tests/replay.rs`:
+    // the capture log is process-global, so they need a binary where no
+    // unrelated test draws yield points concurrently.
+
+    /// A failing seed leaves a parseable trace behind, named after its
+    /// scenario and seed, and the panic still propagates.
+    #[cfg(feature = "schedule_fuzz")]
+    #[test]
+    fn failing_seed_writes_a_replayable_trace() {
+        let dir = std::env::temp_dir().join("rs-model-unit-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("RS_TRACE_DIR", &dir);
+        let spec = ScenarioSpec::new("rayon", file!(), "failing_seed_writes_a_replayable_trace");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenario(spec, 8, |seed| {
+                for _ in 0..16 {
+                    yield_point();
+                }
+                assert_ne!(seed, 3, "injected failure");
+            });
+        }));
+        std::env::remove_var("RS_TRACE_DIR");
+        assert!(outcome.is_err(), "the seed-3 panic must propagate through run_scenario");
+        let path = dir.join("rayon-model-failing_seed_writes_a_replayable_trace-seed3.rstrace");
+        let bytes = std::fs::read(&path).expect("failing seed must write its trace");
+        let trace = Trace::parse(&bytes).expect("written trace must parse");
+        assert_eq!((trace.seed, trace.scenario.as_str()), (3, spec_name(&trace)));
+        // Other tests' concurrent draws may be interleaved into the log
+        // (capture is process-global), so only a lower bound is exact.
+        assert!(trace.decisions.len() >= 16, "all 16 decisions of seed 3 are in the log");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "schedule_fuzz")]
+    fn spec_name(t: &Trace) -> &str {
+        assert_eq!(t.package, "rayon");
+        assert_eq!(t.target, "model");
+        "failing_seed_writes_a_replayable_trace"
     }
 }
