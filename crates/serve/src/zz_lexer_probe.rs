@@ -1,0 +1,4 @@
+fn probe(o: Option<u32>) -> u32 {
+    let _sep = '\\';
+    o.unwrap()
+}
